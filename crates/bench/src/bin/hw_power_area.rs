@@ -1,0 +1,58 @@
+//! §V-C — power, energy and area estimates for the neurosynaptic
+//! circuit, regenerating the paper's reported numbers and extending the
+//! estimate to the paper's full network layers.
+//!
+//! Usage: `hw_power_area [--steps N] [--spikes N]`
+
+use bench::{banner, Args};
+use snn_hardware::{power, CircuitParams};
+
+fn main() {
+    let args = Args::parse();
+    let steps = args.get_usize("steps", power::REFERENCE_STEPS);
+    let spikes = args.get_usize("spikes", power::REFERENCE_SPIKES).min(steps);
+    let params = CircuitParams::paper();
+
+    banner("Section V-C: power, energy and area estimates");
+
+    println!("\nreference workload: {steps} steps x {:.0} ns, {spikes} input spikes", params.step_seconds * 1e9);
+    let r = power::estimate(steps, spikes, &params);
+    println!("single neuron + synapse circuit:");
+    println!("  minimum power  {:.3} mW   (paper: 1.067 mW)", r.min_w * 1e3);
+    println!("  maximum power  {:.3} mW   (paper: 1.965 mW)", r.max_w * 1e3);
+    println!("  average power  {:.3} mW   (paper: 1.110 mW)", r.avg_w * 1e3);
+    println!("  total energy   {:.3} nJ   (paper: 3.329 nJ)", r.energy_j * 1e9);
+
+    let area = power::AreaBreakdown::paper();
+    println!("\narea breakdown (mm^2):");
+    println!("  comparator op-amp   {:.4}", area.comparator_opamp);
+    println!("  bias op-amp         {:.4}", area.bias_opamp);
+    println!("  filter capacitors   {:.4}", area.filter_capacitors);
+    println!("  resistors           {:.4}", area.resistors);
+    println!("  inverters + misc    {:.4}", area.inverters_misc);
+    println!("  total               {:.4}   (paper: ~0.0125 mm^2)", area.total_mm2());
+
+    // Extrapolation to the paper's network layers (neuron + filter
+    // circuitry only; RRAM arrays excluded, as in the paper).
+    println!("\nextrapolation to full layers (dynamics circuitry only):");
+    for (name, n_in, n_out) in [
+        ("N-MNIST layer 1 (2312 -> 500)", 2312usize, 500usize),
+        ("N-MNIST layer 2 (500 -> 500)", 500, 500),
+        ("SHD layer 1 (700 -> 400)", 700, 400),
+        ("association output (500 -> 300)", 500, 300),
+    ] {
+        let layer = power::estimate_layer(steps, spikes, n_out, n_in, &params);
+        println!(
+            "  {name:<34} avg {:>8.2} mW, energy {:>8.2} nJ/sample",
+            layer.avg_w * 1e3,
+            layer.energy_j * 1e9
+        );
+    }
+
+    // Duty-cycle sensitivity: energy vs input activity.
+    println!("\nenergy vs input activity (300-step sample):");
+    for s in [0usize, 7, 14, 30, 60, 150, 300] {
+        let r = power::estimate(300, s, &params);
+        println!("  {s:>3} spikes: avg {:.3} mW, energy {:.3} nJ", r.avg_w * 1e3, r.energy_j * 1e9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Model checkpointing: save and load trained networks as JSON.
+//!
+//! The deployment pipeline (train in software → program crossbars) needs
+//! trained weights to outlive a process; JSON keeps checkpoints
+//! human-inspectable and diff-able, which matters for a reproduction
+//! repository.
+
+use crate::Network;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Error loading or saving a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed checkpoint contents.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Parse(e)
+    }
+}
+
+/// Serializes a network to a JSON string.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Parse`] if serialization fails (which only
+/// happens for non-finite weights under strict JSON).
+pub fn to_json(net: &Network) -> Result<String, CheckpointError> {
+    Ok(serde_json::to_string(net)?)
+}
+
+/// Deserializes a network from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Parse`] on malformed input.
+pub fn from_json(json: &str) -> Result<Network, CheckpointError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Saves a network to a file.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written or the network cannot
+/// be serialized.
+pub fn save(net: &Network, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), net)?;
+    Ok(())
+}
+
+/// Loads a network from a file.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or parsed.
+pub fn load(path: impl AsRef<Path>) -> Result<Network, CheckpointError> {
+    let file = File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NeuronKind, SpikeRaster};
+    use snn_neuron::NeuronParams;
+    use snn_tensor::Rng;
+
+    fn sample_net() -> Network {
+        let mut rng = Rng::seed_from(17);
+        Network::mlp(&[5, 8, 3], NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let net = sample_net();
+        let restored = from_json(&to_json(&net).unwrap()).unwrap();
+        let input = SpikeRaster::from_events(12, 5, &[(0, 0), (3, 2), (7, 4), (9, 1)]);
+        assert_eq!(
+            net.forward(&input).output().as_slice(),
+            restored.forward(&input).output().as_slice()
+        );
+        assert_eq!(net.layers()[0].weights(), restored.layers()[0].weights());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let net = sample_net();
+        let path = std::env::temp_dir().join("neurosnn_checkpoint_test.json");
+        save(&net, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(net.layers()[1].weights(), restored.layers()[1].weights());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn roundtrip_preserves_neuron_kind() {
+        let mut net = sample_net();
+        net.set_neuron_kind(NeuronKind::HardReset);
+        let restored = from_json(&to_json(&net).unwrap()).unwrap();
+        assert!(restored.layers().iter().all(|l| l.kind() == NeuronKind::HardReset));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let err = from_json("{not json").unwrap_err();
+        assert!(err.to_string().contains("parse"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load("/nonexistent/dir/ckpt.json").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

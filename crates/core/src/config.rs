@@ -1,0 +1,129 @@
+//! The paper's Table I hyper-parameter set, in one place so every
+//! experiment harness prints exactly what it ran with.
+
+use serde::{Deserialize, Serialize};
+use snn_neuron::{NeuronParams, Surrogate};
+use std::fmt;
+
+/// All Table I hyper-parameters.
+///
+/// | Parameter | Value | Parameter | Value |
+/// |---|---|---|---|
+/// | Optimizer | AdamW | Batch size | 64 |
+/// | lr (classification) | 1e-4 | τ | 4 |
+/// | lr (pattern association) | 1e-3 | τr | 4 |
+/// | σ | 1/√(2π) | τm, τs | 4, 1 |
+///
+/// # Examples
+///
+/// ```
+/// let h = snn_core::config::Hyperparams::table1();
+/// assert_eq!(h.batch_size, 64);
+/// println!("{h}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hyperparams {
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Classification learning rate.
+    pub lr_classification: f32,
+    /// Pattern-association learning rate.
+    pub lr_association: f32,
+    /// Synapse filter time constant τ.
+    pub tau: f32,
+    /// Reset trace time constant τr.
+    pub tau_r: f32,
+    /// Van Rossum kernel slow constant τm.
+    pub tau_m: f32,
+    /// Van Rossum kernel fast constant τs.
+    pub tau_s: f32,
+    /// Surrogate sharpness σ.
+    pub sigma: f32,
+}
+
+impl Hyperparams {
+    /// The exact Table I values.
+    pub fn table1() -> Self {
+        Self {
+            batch_size: 64,
+            lr_classification: 1e-4,
+            lr_association: 1e-3,
+            tau: 4.0,
+            tau_r: 4.0,
+            tau_m: 4.0,
+            tau_s: 1.0,
+            sigma: 1.0 / std::f32::consts::TAU.sqrt(),
+        }
+    }
+
+    /// Neuron parameters implied by this configuration.
+    pub fn neuron_params(&self) -> NeuronParams {
+        NeuronParams::paper_defaults()
+            .with_tau(self.tau)
+            .with_tau_r(self.tau_r)
+    }
+
+    /// Surrogate gradient implied by this configuration.
+    pub fn surrogate(&self) -> Surrogate {
+        Surrogate::Erfc { sigma: self.sigma }
+    }
+}
+
+impl Default for Hyperparams {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+impl fmt::Display for Hyperparams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I parameters:")?;
+        writeln!(f, "  optimizer            AdamW")?;
+        writeln!(f, "  batch size           {}", self.batch_size)?;
+        writeln!(f, "  lr (classification)  {}", self.lr_classification)?;
+        writeln!(f, "  lr (association)     {}", self.lr_association)?;
+        writeln!(f, "  tau                  {}", self.tau)?;
+        writeln!(f, "  tau_r                {}", self.tau_r)?;
+        writeln!(f, "  tau_m / tau_s        {} / {}", self.tau_m, self.tau_s)?;
+        write!(f, "  sigma                {:.6}", self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let h = Hyperparams::table1();
+        assert_eq!(h.batch_size, 64);
+        assert_eq!(h.lr_classification, 1e-4);
+        assert_eq!(h.lr_association, 1e-3);
+        assert_eq!(h.tau, 4.0);
+        assert_eq!(h.tau_r, 4.0);
+        assert_eq!(h.tau_m, 4.0);
+        assert_eq!(h.tau_s, 1.0);
+        assert!((h.sigma - 0.3989423).abs() < 1e-5);
+    }
+
+    #[test]
+    fn neuron_params_carry_taus() {
+        let p = Hyperparams::table1().neuron_params();
+        assert_eq!(p.tau, 4.0);
+        assert_eq!(p.tau_r, 4.0);
+    }
+
+    #[test]
+    fn display_mentions_every_field() {
+        let s = Hyperparams::table1().to_string();
+        for needle in ["AdamW", "64", "0.0001", "0.001", "sigma"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+
+    #[test]
+    fn surrogate_peak_is_unity() {
+        let s = Hyperparams::table1().surrogate();
+        assert!((s.grad(0.0) - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,277 @@
+//! Feedforward spiking network: a stack of [`DenseLayer`]s rolled over
+//! time (the "unfolded network" of paper Fig. 2).
+
+use crate::{DenseLayer, LayerRecord, NeuronKind, SpikeRaster};
+use serde::{Deserialize, Serialize};
+use snn_neuron::NeuronParams;
+use snn_tensor::{stats, Matrix, Rng};
+
+/// Forward pass result: one [`LayerRecord`] per layer, bottom to top.
+#[derive(Debug, Clone)]
+pub struct Forward {
+    /// Per-layer caches, `records[0]` is the first hidden layer.
+    pub records: Vec<LayerRecord>,
+}
+
+impl Forward {
+    /// The output layer's spike matrix (`T × n_classes`/`T × n_out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network had no layers.
+    pub fn output(&self) -> &Matrix {
+        &self.records.last().expect("empty network").o
+    }
+
+    /// Output spikes as a [`SpikeRaster`].
+    pub fn output_raster(&self) -> SpikeRaster {
+        let o = self.output();
+        let mut r = SpikeRaster::zeros(o.rows(), o.cols());
+        for t in 0..o.rows() {
+            for c in 0..o.cols() {
+                if o.row(t)[c] != 0.0 {
+                    r.set(t, c, true);
+                }
+            }
+        }
+        r
+    }
+
+    /// Per-output-channel spike counts (the rate readout).
+    pub fn spike_counts(&self) -> Vec<f32> {
+        let o = self.output();
+        let mut counts = vec![0.0; o.cols()];
+        for t in 0..o.rows() {
+            for (c, &x) in o.row(t).iter().enumerate() {
+                counts[c] += x;
+            }
+        }
+        counts
+    }
+}
+
+/// A feedforward spiking MLP.
+///
+/// Temporal processing happens entirely inside the layers' synapse
+/// filters and adaptive thresholds, so there are no recurrent weights —
+/// the property that makes the network crossbar-mappable (paper §II).
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::{Network, NeuronKind, SpikeRaster};
+/// use snn_neuron::NeuronParams;
+/// use snn_tensor::Rng;
+///
+/// let mut rng = Rng::seed_from(0);
+/// let net = Network::mlp(&[10, 20, 4], NeuronKind::Adaptive,
+///                        NeuronParams::paper_defaults(), &mut rng);
+/// let input = SpikeRaster::zeros(30, 10);
+/// let fwd = net.forward(&input);
+/// assert_eq!(fwd.output().shape(), (30, 4));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<DenseLayer>,
+}
+
+impl Network {
+    /// Builds an MLP with the given layer sizes, e.g. `&[700, 400, 400, 20]`
+    /// for the paper's SHD network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn mlp(sizes: &[usize], kind: NeuronKind, params: NeuronParams, rng: &mut Rng) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| DenseLayer::new(w[0], w[1], kind, params, rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Builds a network from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layer widths do not chain.
+    pub fn from_layers(layers: Vec<DenseLayer>) -> Self {
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].n_out(),
+                pair[1].n_in(),
+                "layer widths do not chain: {} -> {}",
+                pair[0].n_out(),
+                pair[1].n_in()
+            );
+        }
+        Self { layers }
+    }
+
+    /// The layers, bottom to top.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (optimizer updates, hardware deployment).
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer] {
+        &mut self.layers
+    }
+
+    /// Input width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no layers.
+    pub fn n_in(&self) -> usize {
+        self.layers.first().expect("empty network").n_in()
+    }
+
+    /// Output width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no layers.
+    pub fn n_out(&self) -> usize {
+        self.layers.last().expect("empty network").n_out()
+    }
+
+    /// Swaps the neuron dynamics of **every** layer while keeping the
+    /// trained weights — the Table II hard-reset ablation.
+    pub fn set_neuron_kind(&mut self, kind: NeuronKind) {
+        for layer in &mut self.layers {
+            layer.set_kind(kind);
+        }
+    }
+
+    /// Full forward rollout over an input raster, caching every layer's
+    /// state trajectory (needed for BPTT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.channels() != n_in`.
+    pub fn forward(&self, input: &SpikeRaster) -> Forward {
+        assert_eq!(input.channels(), self.n_in(), "input has {} channels, network expects {}", input.channels(), self.n_in());
+        let mut x = Matrix::from_vec(input.steps(), input.channels(), input.as_slice().to_vec());
+        let mut records = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let rec = layer.forward(&x);
+            x = rec.o.clone();
+            records.push(rec);
+        }
+        Forward { records }
+    }
+
+    /// Classifies an input by the highest output spike count, returning
+    /// `(class, softmax probabilities)`.
+    pub fn classify(&self, input: &SpikeRaster) -> (usize, Vec<f32>) {
+        let fwd = self.forward(input);
+        let counts = fwd.spike_counts();
+        let probs = stats::softmax(&counts);
+        (stats::argmax(&counts).unwrap_or(0), probs)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.n_in() * l.n_out()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_net(kind: NeuronKind) -> Network {
+        let mut rng = Rng::seed_from(11);
+        Network::mlp(&[6, 10, 3], kind, NeuronParams::paper_defaults(), &mut rng)
+    }
+
+    #[test]
+    fn mlp_builds_chained_layers() {
+        let net = small_net(NeuronKind::Adaptive);
+        assert_eq!(net.layers().len(), 2);
+        assert_eq!(net.n_in(), 6);
+        assert_eq!(net.n_out(), 3);
+        assert_eq!(net.parameter_count(), 6 * 10 + 10 * 3);
+    }
+
+    #[test]
+    fn forward_records_every_layer() {
+        let net = small_net(NeuronKind::Adaptive);
+        let input = SpikeRaster::from_events(8, 6, &[(0, 0), (1, 2), (5, 5)]);
+        let fwd = net.forward(&input);
+        assert_eq!(fwd.records.len(), 2);
+        assert_eq!(fwd.records[0].o.shape(), (8, 10));
+        assert_eq!(fwd.output().shape(), (8, 3));
+    }
+
+    #[test]
+    fn unfold_propagates_spikes_layer_to_layer() {
+        // The second layer's `pre` must be the filter of the first
+        // layer's output spikes (adaptive) — i.e. unfolding is consistent.
+        let net = small_net(NeuronKind::Adaptive);
+        let input = SpikeRaster::from_events(12, 6, &[(0, 0), (0, 1), (2, 3), (4, 4)]);
+        let fwd = net.forward(&input);
+        let alpha = NeuronParams::paper_defaults().synapse_decay();
+        let mut k = vec![0.0f32; 10];
+        for t in 0..12 {
+            for (ki, &o) in k.iter_mut().zip(fwd.records[0].o.row(t)) {
+                *ki = alpha * *ki + o;
+            }
+            for (a, b) in fwd.records[1].pre.row(t).iter().zip(&k) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = small_net(NeuronKind::Adaptive);
+        let input = SpikeRaster::from_events(8, 6, &[(0, 0), (3, 2)]);
+        let a = net.forward(&input);
+        let b = net.forward(&input);
+        assert_eq!(a.output().as_slice(), b.output().as_slice());
+    }
+
+    #[test]
+    fn classify_returns_valid_distribution() {
+        let net = small_net(NeuronKind::Adaptive);
+        let input = SpikeRaster::from_events(8, 6, &[(0, 0), (1, 1), (2, 2)]);
+        let (class, probs) = net.classify(&input);
+        assert!(class < 3);
+        assert_eq!(probs.len(), 3);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn neuron_kind_swap_changes_dynamics_not_weights() {
+        let mut net = small_net(NeuronKind::Adaptive);
+        let w0 = net.layers()[0].weights().clone();
+        net.set_neuron_kind(NeuronKind::HardReset);
+        assert!(net.layers().iter().all(|l| l.kind() == NeuronKind::HardReset));
+        assert_eq!(net.layers()[0].weights(), &w0);
+    }
+
+    #[test]
+    fn output_raster_matches_output_matrix() {
+        let net = small_net(NeuronKind::Adaptive);
+        let input = SpikeRaster::from_events(8, 6, &[(0, 0), (0, 1), (0, 2), (1, 3)]);
+        let fwd = net.forward(&input);
+        let raster = fwd.output_raster();
+        for t in 0..8 {
+            for c in 0..3 {
+                assert_eq!(raster.get(t, c), fwd.output().row(t)[c] != 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "widths do not chain")]
+    fn mismatched_layers_panic() {
+        let mut rng = Rng::seed_from(1);
+        let a = DenseLayer::new(4, 5, NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
+        let b = DenseLayer::new(6, 2, NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
+        Network::from_layers(vec![a, b]);
+    }
+}

@@ -1,0 +1,522 @@
+//! Spike-train containers and kernel methods.
+//!
+//! A spike train is a sequence of time-shifted Dirac deltas; to compare
+//! two of them the paper maps trains to continuous traces with the kernel
+//! `f[t] = e^{−t/τm} − e^{−t/τs}` and measures the squared trace distance
+//! (eqs. 15–16, after Park et al.). This module provides the dense
+//! [`SpikeRaster`] container used throughout the workspace plus those
+//! kernel utilities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense binary spike tensor: `steps` timesteps × `channels` spike trains.
+///
+/// Stored row-major by timestep so `raster.step(t)` is the network input
+/// vector at time `t`. Values are `f32` 0/1 so rasters can be fed to the
+/// linear algebra directly.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::SpikeRaster;
+///
+/// let mut r = SpikeRaster::zeros(5, 3);
+/// r.set(2, 1, true);
+/// assert_eq!(r.spike_count(), 1);
+/// assert_eq!(r.step(2), &[0.0, 1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikeRaster {
+    steps: usize,
+    channels: usize,
+    data: Vec<f32>,
+}
+
+impl SpikeRaster {
+    /// Creates an empty raster of `steps × channels`.
+    pub fn zeros(steps: usize, channels: usize) -> Self {
+        Self {
+            steps,
+            channels,
+            data: vec![0.0; steps * channels],
+        }
+    }
+
+    /// Builds a raster from `(t, channel)` event pairs; events outside
+    /// the raster are ignored (event-camera crops routinely produce a few).
+    pub fn from_events(steps: usize, channels: usize, events: &[(usize, usize)]) -> Self {
+        let mut r = Self::zeros(steps, channels);
+        for &(t, c) in events {
+            if t < steps && c < channels {
+                r.set(t, c, true);
+            }
+        }
+        r
+    }
+
+    /// Number of timesteps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of channels (spike trains).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The input vector at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= steps`.
+    pub fn step(&self, t: usize) -> &[f32] {
+        assert!(t < self.steps, "step {t} out of range {}", self.steps);
+        &self.data[t * self.channels..(t + 1) * self.channels]
+    }
+
+    /// Whether channel `c` spikes at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, t: usize, c: usize) -> bool {
+        assert!(t < self.steps && c < self.channels, "({t},{c}) out of range");
+        self.data[t * self.channels + c] != 0.0
+    }
+
+    /// Sets or clears the spike at `(t, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, t: usize, c: usize, spike: bool) {
+        assert!(t < self.steps && c < self.channels, "({t},{c}) out of range");
+        self.data[t * self.channels + c] = if spike { 1.0 } else { 0.0 };
+    }
+
+    /// Total number of spikes.
+    pub fn spike_count(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// Per-channel spike counts (the rate-coding summary).
+    pub fn channel_counts(&self) -> Vec<f32> {
+        let mut counts = vec![0.0; self.channels];
+        for t in 0..self.steps {
+            for (c, &x) in self.step(t).iter().enumerate() {
+                counts[c] += x;
+            }
+        }
+        counts
+    }
+
+    /// Mean firing rate over all trains (spikes per channel per step).
+    pub fn mean_rate(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.spike_count() as f32 / self.data.len() as f32
+    }
+
+    /// Spike events as `(t, channel)` pairs in time order.
+    pub fn events(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for t in 0..self.steps {
+            for c in 0..self.channels {
+                if self.get(t, c) {
+                    out.push((t, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// One channel as a 0/1 time series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= channels`.
+    pub fn channel(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.channels, "channel {c} out of range {}", self.channels);
+        (0..self.steps).map(|t| self.data[t * self.channels + c]).collect()
+    }
+
+    /// Flat row-major (by timestep) buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Renders a textual raster plot (`time →` on x, channels on y),
+    /// used by the figure harnesses. Channels are downsampled to at most
+    /// `max_rows` rows.
+    pub fn render_ascii(&self, max_rows: usize) -> String {
+        let rows = self.channels.min(max_rows.max(1));
+        let group = (self.channels + rows - 1) / rows.max(1);
+        let mut out = String::new();
+        for r in (0..rows).rev() {
+            for t in 0..self.steps {
+                let lo = r * group;
+                let hi = ((r + 1) * group).min(self.channels);
+                let any = (lo..hi).any(|c| self.get(t, c));
+                out.push(if any { '|' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SpikeRaster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SpikeRaster({} steps x {} channels, {} spikes)",
+            self.steps,
+            self.channels,
+            self.spike_count()
+        )
+    }
+}
+
+/// The double-exponential kernel `f[t] = e^{−t/τm} − e^{−t/τs}` of eq. 15.
+///
+/// With Table I values `τm = 4`, `τs = 1` this is a smooth bump that
+/// rises on the fast time constant and decays on the slow one, giving a
+/// differentiable notion of "a spike happened around here".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceKernel {
+    /// Slow (membrane) time constant `τm`.
+    pub tau_m: f32,
+    /// Fast (synaptic) time constant `τs`.
+    pub tau_s: f32,
+}
+
+impl TraceKernel {
+    /// Paper Table I values `τm = 4`, `τs = 1`.
+    pub fn paper_defaults() -> Self {
+        Self { tau_m: 4.0, tau_s: 1.0 }
+    }
+
+    /// Kernel value at lag `t ≥ 0`.
+    pub fn eval(&self, t: f32) -> f32 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        (-t / self.tau_m).exp() - (-t / self.tau_s).exp()
+    }
+
+    /// Convolves a 0/1 spike train with the kernel, producing the
+    /// continuous trace `f ∗ S`. Runs in O(T) using the two-exponential
+    /// decomposition.
+    pub fn trace(&self, train: &[f32]) -> Vec<f32> {
+        let am = (-1.0 / self.tau_m).exp();
+        let as_ = (-1.0 / self.tau_s).exp();
+        let mut m = 0.0f32;
+        let mut s = 0.0f32;
+        let mut out = Vec::with_capacity(train.len());
+        for &x in train {
+            // f[0] = 0, so the spike at time t contributes from t onward
+            // with value a^{lag} - b^{lag}; implement as two leaky
+            // integrators fed *after* scaling.
+            m = am * m + x;
+            s = as_ * s + x;
+            out.push(m - s);
+        }
+        out
+    }
+}
+
+impl Default for TraceKernel {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Van Rossum-style distance between two spike trains (paper eq. 15):
+/// `D = 1/(2T) Σ_t (f∗Si − f∗Sj)²`.
+///
+/// # Panics
+///
+/// Panics if the trains have different lengths.
+pub fn van_rossum_distance(kernel: TraceKernel, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "spike trains must have equal length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ta = kernel.trace(a);
+    let tb = kernel.trace(b);
+    let sum: f32 = ta.iter().zip(&tb).map(|(x, y)| (x - y).powi(2)).sum();
+    sum / (2.0 * a.len() as f32)
+}
+
+/// Total van Rossum distance between two rasters, summed over channels
+/// (paper eq. 16).
+///
+/// # Panics
+///
+/// Panics if the rasters have different shapes.
+pub fn raster_distance(kernel: TraceKernel, a: &SpikeRaster, b: &SpikeRaster) -> f32 {
+    assert_eq!(a.steps(), b.steps(), "rasters must have equal steps");
+    assert_eq!(a.channels(), b.channels(), "rasters must have equal channels");
+    (0..a.channels())
+        .map(|c| van_rossum_distance(kernel, &a.channel(c), &b.channel(c)))
+        .sum()
+}
+
+/// Summary statistics of a single spike train.
+///
+/// Inter-spike-interval (ISI) statistics are the standard way to
+/// characterise firing regularity: a coefficient of variation (CV) near
+/// 0 means clock-like firing, near 1 means Poisson-like.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Number of spikes.
+    pub count: usize,
+    /// Mean firing rate (spikes per step).
+    pub rate: f32,
+    /// Mean inter-spike interval (0 when fewer than two spikes).
+    pub mean_isi: f32,
+    /// Coefficient of variation of the ISI (0 when fewer than three
+    /// spikes).
+    pub cv_isi: f32,
+    /// Time of the first spike, if any.
+    pub first_spike: Option<usize>,
+}
+
+/// Computes [`TrainStats`] for one 0/1 spike train.
+pub fn train_stats(train: &[f32]) -> TrainStats {
+    let times: Vec<usize> = train
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x != 0.0)
+        .map(|(t, _)| t)
+        .collect();
+    let count = times.len();
+    let rate = if train.is_empty() { 0.0 } else { count as f32 / train.len() as f32 };
+    let isis: Vec<f32> = times.windows(2).map(|w| (w[1] - w[0]) as f32).collect();
+    let mean_isi = if isis.is_empty() {
+        0.0
+    } else {
+        isis.iter().sum::<f32>() / isis.len() as f32
+    };
+    let cv_isi = if isis.len() < 2 || mean_isi == 0.0 {
+        0.0
+    } else {
+        let var = isis.iter().map(|x| (x - mean_isi).powi(2)).sum::<f32>() / isis.len() as f32;
+        var.sqrt() / mean_isi
+    };
+    TrainStats {
+        count,
+        rate,
+        mean_isi,
+        cv_isi,
+        first_spike: times.first().copied(),
+    }
+}
+
+/// Pairwise spike-time synchrony between two rasters: the fraction of
+/// spikes in `a` that have a spike in the same channel of `b` within
+/// `±window` steps. 1.0 means every spike is matched.
+///
+/// # Panics
+///
+/// Panics if the rasters have different shapes.
+pub fn synchrony(a: &SpikeRaster, b: &SpikeRaster, window: usize) -> f32 {
+    assert_eq!(a.steps(), b.steps(), "step mismatch");
+    assert_eq!(a.channels(), b.channels(), "channel mismatch");
+    let events = a.events();
+    if events.is_empty() {
+        return 0.0;
+    }
+    let matched = events
+        .iter()
+        .filter(|&&(t, c)| {
+            let lo = t.saturating_sub(window);
+            let hi = (t + window).min(a.steps().saturating_sub(1));
+            (lo..=hi).any(|s| b.get(s, c))
+        })
+        .count();
+    matched as f32 / events.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_stats_regular_train() {
+        // Spikes every 4 steps: CV = 0, mean ISI = 4.
+        let mut train = vec![0.0f32; 20];
+        for t in (0..20).step_by(4) {
+            train[t] = 1.0;
+        }
+        let s = train_stats(&train);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean_isi, 4.0);
+        assert_eq!(s.cv_isi, 0.0);
+        assert_eq!(s.first_spike, Some(0));
+        assert!((s.rate - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn train_stats_irregular_has_positive_cv() {
+        let mut train = vec![0.0f32; 30];
+        for &t in &[0usize, 1, 9, 10, 25] {
+            train[t] = 1.0;
+        }
+        let s = train_stats(&train);
+        assert!(s.cv_isi > 0.5, "irregular ISIs should have high CV, got {}", s.cv_isi);
+    }
+
+    #[test]
+    fn train_stats_empty_and_single() {
+        let s = train_stats(&[0.0; 10]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.first_spike, None);
+        let mut one = vec![0.0f32; 10];
+        one[3] = 1.0;
+        let s = train_stats(&one);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_isi, 0.0);
+        assert_eq!(s.first_spike, Some(3));
+    }
+
+    #[test]
+    fn synchrony_identical_is_one() {
+        let r = SpikeRaster::from_events(10, 3, &[(1, 0), (5, 2), (9, 1)]);
+        assert_eq!(synchrony(&r, &r, 0), 1.0);
+    }
+
+    #[test]
+    fn synchrony_window_tolerance() {
+        let a = SpikeRaster::from_events(20, 1, &[(5, 0)]);
+        let b = SpikeRaster::from_events(20, 1, &[(7, 0)]);
+        assert_eq!(synchrony(&a, &b, 0), 0.0);
+        assert_eq!(synchrony(&a, &b, 1), 0.0);
+        assert_eq!(synchrony(&a, &b, 2), 1.0);
+    }
+
+    #[test]
+    fn synchrony_empty_is_zero() {
+        let a = SpikeRaster::zeros(5, 2);
+        let b = SpikeRaster::from_events(5, 2, &[(0, 0)]);
+        assert_eq!(synchrony(&a, &b, 1), 0.0);
+    }
+
+    #[test]
+    fn raster_set_get_roundtrip() {
+        let mut r = SpikeRaster::zeros(4, 3);
+        r.set(1, 2, true);
+        assert!(r.get(1, 2));
+        r.set(1, 2, false);
+        assert!(!r.get(1, 2));
+    }
+
+    #[test]
+    fn from_events_ignores_out_of_range() {
+        let r = SpikeRaster::from_events(3, 2, &[(0, 0), (2, 1), (5, 0), (0, 9)]);
+        assert_eq!(r.spike_count(), 2);
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        let events = vec![(0, 1), (2, 0), (3, 4)];
+        let r = SpikeRaster::from_events(5, 5, &events);
+        assert_eq!(r.events(), events);
+    }
+
+    #[test]
+    fn channel_counts_match_manual() {
+        let r = SpikeRaster::from_events(4, 2, &[(0, 0), (1, 0), (3, 1)]);
+        assert_eq!(r.channel_counts(), vec![2.0, 1.0]);
+        assert!((r.mean_rate() - 3.0 / 8.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn kernel_is_zero_at_origin_and_positive_after() {
+        let k = TraceKernel::paper_defaults();
+        assert_eq!(k.eval(0.0), 0.0);
+        assert!(k.eval(1.0) > 0.0);
+        assert!(k.eval(50.0) < 1e-4);
+    }
+
+    #[test]
+    fn trace_matches_direct_convolution() {
+        let k = TraceKernel::paper_defaults();
+        let train = [0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let fast = k.trace(&train);
+        // Direct O(T²) convolution: sum over spikes s ≤ t of f[t−s].
+        // Note our recursive trace treats a spike at s as contributing
+        // a^{t-s+1}−b^{t-s+1}? No: m[t] = Σ_s a^{t−s} x[s], so trace[t]
+        // = Σ_s (a^{t−s} − b^{t−s}) x[s] = Σ f_geom[t−s]x[s] where
+        // f_geom[0] = 0 only when a=b... check against that formula.
+        let am = (-1.0f32 / 4.0).exp();
+        let as_ = (-1.0f32 / 1.0).exp();
+        for t in 0..train.len() {
+            let direct: f32 = (0..=t)
+                .map(|s| (am.powi((t - s) as i32) - as_.powi((t - s) as i32)) * train[s])
+                .sum();
+            assert!((fast[t] - direct).abs() < 1e-5, "t={t}: {} vs {direct}", fast[t]);
+        }
+    }
+
+    #[test]
+    fn distance_zero_for_identical_trains() {
+        let k = TraceKernel::paper_defaults();
+        let t = [0.0, 1.0, 0.0, 1.0];
+        assert_eq!(van_rossum_distance(k, &t, &t), 0.0);
+    }
+
+    #[test]
+    fn distance_grows_with_time_shift() {
+        let k = TraceKernel::paper_defaults();
+        let steps = 40;
+        let base = SpikeRaster::from_events(steps, 1, &[(10, 0)]);
+        let mut prev = 0.0;
+        for shift in [1usize, 3, 8, 20] {
+            let shifted = SpikeRaster::from_events(steps, 1, &[(10 + shift, 0)]);
+            let d = raster_distance(k, &base, &shifted);
+            assert!(d > prev, "shift {shift}: {d} should exceed {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let k = TraceKernel::paper_defaults();
+        let a = [1.0, 0.0, 0.0, 1.0, 0.0];
+        let b = [0.0, 0.0, 1.0, 0.0, 1.0];
+        assert!((van_rossum_distance(k, &a, &b) - van_rossum_distance(k, &b, &a)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn distance_triangle_like_monotonicity() {
+        // More differing spikes → larger distance.
+        let k = TraceKernel::paper_defaults();
+        let empty = vec![0.0; 30];
+        let mut one = empty.clone();
+        one[5] = 1.0;
+        let mut two = one.clone();
+        two[20] = 1.0;
+        assert!(van_rossum_distance(k, &empty, &two) > van_rossum_distance(k, &empty, &one));
+    }
+
+    #[test]
+    fn ascii_render_has_expected_shape() {
+        let r = SpikeRaster::from_events(10, 4, &[(3, 0)]);
+        let art = r.render_ascii(4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 10));
+        assert!(lines[3].contains('|')); // channel 0 is the bottom row
+    }
+
+    #[test]
+    fn display_summarises() {
+        let r = SpikeRaster::from_events(5, 2, &[(1, 1)]);
+        let s = r.to_string();
+        assert!(s.contains("5 steps"));
+        assert!(s.contains("1 spikes"));
+    }
+}

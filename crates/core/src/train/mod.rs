@@ -1,0 +1,14 @@
+//! Training: BPTT with surrogate gradients, losses, optimizers and the
+//! epoch-level [`Trainer`] loop (paper §III).
+
+mod backprop;
+mod loss;
+mod optimizer;
+mod schedule;
+mod trainer;
+
+pub use backprop::{backward, Gradients};
+pub use loss::{ClassificationLoss, PatternLoss, RateCrossEntropy, VanRossumLoss};
+pub use optimizer::Optimizer;
+pub use schedule::LrSchedule;
+pub use trainer::{evaluate_classification, EpochStats, Trainer, TrainerConfig};

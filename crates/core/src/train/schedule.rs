@@ -1,0 +1,137 @@
+//! Learning-rate schedules for long training runs.
+//!
+//! The paper trains with a fixed AdamW learning rate (Table I); schedules
+//! are provided for the paper-scale runs where a decay measurably helps
+//! the last few accuracy points.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule mapping epoch index to a multiplier of the
+/// base rate.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::train::LrSchedule;
+///
+/// let s = LrSchedule::step(10, 0.5);
+/// assert_eq!(s.factor(0), 1.0);
+/// assert_eq!(s.factor(10), 0.5);
+/// assert_eq!(s.factor(25), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// Constant rate (the paper's setting).
+    #[default]
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    Step {
+        /// Epochs between decays.
+        every: usize,
+        /// Decay multiplier.
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 down to `floor` over `total` epochs.
+    Cosine {
+        /// Total epochs of the schedule.
+        total: usize,
+        /// Final multiplier.
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Step decay constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn step(every: usize, gamma: f32) -> Self {
+        assert!(every > 0, "decay interval must be positive");
+        Self::Step { every, gamma }
+    }
+
+    /// Cosine annealing constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn cosine(total: usize, floor: f32) -> Self {
+        assert!(total > 0, "schedule length must be positive");
+        Self::Cosine { total, floor }
+    }
+
+    /// The multiplier applied to the base learning rate at `epoch`.
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { every, gamma } => gamma.powi((epoch / every) as i32),
+            LrSchedule::Cosine { total, floor } => {
+                let progress = (epoch as f32 / total as f32).min(1.0);
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                floor + (1.0 - floor) * cos
+            }
+        }
+    }
+
+    /// The absolute learning rate at `epoch` given a base rate.
+    pub fn rate(&self, base: f32, epoch: usize) -> f32 {
+        base * self.factor(epoch)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_identity() {
+        let s = LrSchedule::Constant;
+        for e in [0usize, 5, 100] {
+            assert_eq!(s.factor(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::step(5, 0.1);
+        assert_eq!(s.factor(4), 1.0);
+        assert!((s.factor(5) - 0.1).abs() < 1e-7);
+        assert!((s.factor(9) - 0.1).abs() < 1e-7);
+        assert!((s.factor(10) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::cosine(20, 0.05);
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(20) - 0.05).abs() < 1e-6);
+        // Past the end it stays at the floor.
+        assert!((s.factor(100) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::cosine(30, 0.0);
+        let mut prev = f32::INFINITY;
+        for e in 0..=30 {
+            let f = s.factor(e);
+            assert!(f <= prev + 1e-6);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn rate_scales_base() {
+        let s = LrSchedule::step(2, 0.5);
+        assert!((s.rate(1e-3, 2) - 5e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        LrSchedule::step(0, 0.5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the network, losses and spike utilities.
+
+use proptest::prelude::*;
+use snn_core::spike::{raster_distance, van_rossum_distance, TraceKernel};
+use snn_core::train::{backward, ClassificationLoss, PatternLoss, RateCrossEntropy, VanRossumLoss};
+use snn_core::{Network, NeuronKind, SpikeRaster};
+use snn_neuron::{NeuronParams, Surrogate};
+use snn_tensor::{Matrix, Rng};
+
+fn raster_strategy(steps: usize, channels: usize) -> impl Strategy<Value = SpikeRaster> {
+    proptest::collection::vec(any::<bool>(), steps * channels).prop_map(move |bits| {
+        let mut r = SpikeRaster::zeros(steps, channels);
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                r.set(i / channels, i % channels, true);
+            }
+        }
+        r
+    })
+}
+
+proptest! {
+    #[test]
+    fn van_rossum_is_a_pseudometric(
+        a in raster_strategy(20, 2),
+        b in raster_strategy(20, 2),
+        c in raster_strategy(20, 2),
+    ) {
+        let k = TraceKernel::paper_defaults();
+        let dab = raster_distance(k, &a, &b);
+        let dba = raster_distance(k, &b, &a);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-5, "symmetry");
+        prop_assert!(raster_distance(k, &a, &a) < 1e-9, "identity");
+        // Triangle inequality holds for the underlying L2 norm of traces;
+        // since D is the squared distance scaled by 1/(2T), we check it
+        // on square roots.
+        let dac = raster_distance(k, &a, &c);
+        let dbc = raster_distance(k, &b, &c);
+        prop_assert!(dac.sqrt() <= dab.sqrt() + dbc.sqrt() + 1e-4, "triangle");
+    }
+
+    #[test]
+    fn van_rossum_single_spike_distance_decreases_with_proximity(
+        t1 in 0usize..15, shift in 1usize..10
+    ) {
+        let k = TraceKernel::paper_defaults();
+        let steps = 40;
+        let mk = |t: usize| {
+            let mut v = vec![0.0f32; steps];
+            v[t] = 1.0;
+            v
+        };
+        let near = van_rossum_distance(k, &mk(t1), &mk(t1 + 1));
+        let far = van_rossum_distance(k, &mk(t1), &mk(t1 + 1 + shift));
+        prop_assert!(near <= far + 1e-6);
+    }
+
+    #[test]
+    fn rate_ce_loss_is_finite_and_grad_bounded(r in raster_strategy(15, 4), target in 0usize..4) {
+        let output = Matrix::from_vec(15, 4, r.as_slice().to_vec());
+        let (loss, grad) = RateCrossEntropy.loss_and_grad(&output, target);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        // Softmax gradient entries live in [−1, 1].
+        prop_assert!(grad.as_slice().iter().all(|&g| g.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn van_rossum_loss_zero_iff_equal(r in raster_strategy(20, 3)) {
+        let output = Matrix::from_vec(20, 3, r.as_slice().to_vec());
+        let (loss, grad) = VanRossumLoss::paper_default().loss_and_grad(&output, &r);
+        prop_assert_eq!(loss, 0.0);
+        prop_assert_eq!(grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn forward_output_is_binary_and_shaped(
+        r in raster_strategy(12, 5), seed in 0u64..50
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let net = Network::mlp(
+            &[5, 7, 3],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.4),
+            &mut rng,
+        );
+        let fwd = net.forward(&r);
+        let o = fwd.output();
+        prop_assert_eq!(o.shape(), (12, 3));
+        prop_assert!(o.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn forward_is_causal(seed in 0u64..30, cut in 1usize..11) {
+        // Changing the input after time `cut` must not change the output
+        // before `cut` — the rollout is strictly causal.
+        let mut rng = Rng::seed_from(seed);
+        let net = Network::mlp(
+            &[4, 6, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.3),
+            &mut rng,
+        );
+        let mut a = SpikeRaster::zeros(12, 4);
+        for t in 0..12 {
+            a.set(t, t % 4, true);
+        }
+        let mut b = a.clone();
+        for t in cut..12 {
+            for c in 0..4 {
+                b.set(t, c, !b.get(t, c));
+            }
+        }
+        let fa = net.forward(&a);
+        let fb = net.forward(&b);
+        for t in 0..cut {
+            prop_assert_eq!(fa.output().row(t), fb.output().row(t), "diverged at t={}", t);
+        }
+    }
+
+    #[test]
+    fn gradients_are_finite_for_any_binary_input(
+        r in raster_strategy(10, 4), seed in 0u64..20, target in 0usize..3
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let net = Network::mlp(
+            &[4, 5, 3],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.4),
+            &mut rng,
+        );
+        let fwd = net.forward(&r);
+        let (_, d_out) = RateCrossEntropy.loss_and_grad(fwd.output(), target);
+        let grads = backward(&net, &fwd, &d_out, Surrogate::paper_default());
+        for g in &grads.per_layer {
+            prop_assert!(!g.has_non_finite());
+        }
+    }
+
+    #[test]
+    fn hr_swap_preserves_shape_and_binary_output(r in raster_strategy(10, 4), seed in 0u64..20) {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = Network::mlp(
+            &[4, 6, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
+        net.set_neuron_kind(NeuronKind::HardReset);
+        let o = net.forward(&r);
+        prop_assert_eq!(o.output().shape(), (10, 2));
+        prop_assert!(o.output().as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+}

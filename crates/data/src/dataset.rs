@@ -1,0 +1,133 @@
+//! Labelled dataset container and deterministic splits.
+
+use snn_core::SpikeRaster;
+use snn_tensor::Rng;
+
+/// A labelled spiking dataset.
+///
+/// # Examples
+///
+/// ```
+/// use snn_data::ClassDataset;
+/// use snn_core::SpikeRaster;
+///
+/// let ds = ClassDataset::new(vec![(SpikeRaster::zeros(5, 2), 0)], 1);
+/// assert_eq!(ds.classes, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassDataset {
+    /// `(raster, label)` pairs.
+    pub samples: Vec<(SpikeRaster, usize)>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+/// A train/test split of a [`ClassDataset`].
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training samples.
+    pub train: Vec<(SpikeRaster, usize)>,
+    /// Held-out test samples.
+    pub test: Vec<(SpikeRaster, usize)>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl ClassDataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is `>= classes`.
+    pub fn new(samples: Vec<(SpikeRaster, usize)>, classes: usize) -> Self {
+        assert!(
+            samples.iter().all(|(_, l)| *l < classes),
+            "label out of range"
+        );
+        Self { samples, classes }
+    }
+
+    /// Shuffles and splits into train/test with the given test fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is not in `[0, 1]`.
+    pub fn split(mut self, test_fraction: f32, rng: &mut Rng) -> Split {
+        assert!(
+            (0.0..=1.0).contains(&test_fraction),
+            "test_fraction must be in [0,1], got {test_fraction}"
+        );
+        rng.shuffle(&mut self.samples);
+        let n_test = (self.samples.len() as f32 * test_fraction).round() as usize;
+        let n_test = n_test.min(self.samples.len());
+        let test = self.samples.split_off(self.samples.len() - n_test);
+        Split {
+            train: self.samples,
+            test,
+            classes: self.classes,
+        }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.classes];
+        for (_, l) in &self.samples {
+            hist[*l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, classes: usize) -> ClassDataset {
+        let samples = (0..n)
+            .map(|i| (SpikeRaster::zeros(3, 2), i % classes))
+            .collect();
+        ClassDataset::new(samples, classes)
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let mut rng = Rng::seed_from(1);
+        let split = toy(20, 4).split(0.25, &mut rng);
+        assert_eq!(split.train.len(), 15);
+        assert_eq!(split.test.len(), 5);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let labels = |seed| {
+            let mut rng = Rng::seed_from(seed);
+            toy(10, 5)
+                .split(0.5, &mut rng)
+                .test
+                .iter()
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(labels(7), labels(7));
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        let ds = toy(9, 3);
+        assert_eq!(ds.class_histogram(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn zero_fraction_keeps_all_in_train() {
+        let mut rng = Rng::seed_from(1);
+        let split = toy(6, 2).split(0.0, &mut rng);
+        assert_eq!(split.train.len(), 6);
+        assert!(split.test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        ClassDataset::new(vec![(SpikeRaster::zeros(1, 1), 3)], 2);
+    }
+}

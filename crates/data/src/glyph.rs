@@ -1,0 +1,248 @@
+//! Procedural digit glyphs 0–9.
+//!
+//! Both synthetic datasets need recognisable digit shapes: the
+//! N-MNIST-like generator displays them to its simulated event camera,
+//! and the pattern-association task uses them as target rasters (paper
+//! §V-B converts "handwritten digit images" to spikes). Each digit is a
+//! set of polyline strokes in the unit square, rasterised at any
+//! resolution with a configurable stroke thickness.
+
+/// Polyline strokes (unit coordinates, y grows downward) for one digit.
+type Strokes = &'static [&'static [(f32, f32)]];
+
+const DIGIT_STROKES: [Strokes; 10] = [
+    // 0: rounded box
+    &[&[(0.3, 0.12), (0.7, 0.12), (0.82, 0.35), (0.82, 0.65), (0.7, 0.88), (0.3, 0.88), (0.18, 0.65), (0.18, 0.35), (0.3, 0.12)]],
+    // 1: vertical bar with flag
+    &[&[(0.35, 0.28), (0.55, 0.12), (0.55, 0.88)], &[(0.35, 0.88), (0.75, 0.88)]],
+    // 2
+    &[&[(0.22, 0.28), (0.38, 0.12), (0.65, 0.12), (0.78, 0.3), (0.55, 0.55), (0.22, 0.88), (0.8, 0.88)]],
+    // 3
+    &[&[(0.22, 0.15), (0.72, 0.12), (0.45, 0.45), (0.75, 0.62), (0.68, 0.85), (0.25, 0.88)]],
+    // 4
+    &[&[(0.68, 0.88), (0.68, 0.12), (0.2, 0.62), (0.85, 0.62)]],
+    // 5
+    &[&[(0.78, 0.12), (0.25, 0.12), (0.25, 0.5), (0.65, 0.45), (0.8, 0.65), (0.65, 0.88), (0.22, 0.85)]],
+    // 6
+    &[&[(0.7, 0.12), (0.38, 0.35), (0.22, 0.65), (0.4, 0.88), (0.68, 0.85), (0.78, 0.65), (0.55, 0.5), (0.25, 0.62)]],
+    // 7
+    &[&[(0.2, 0.12), (0.8, 0.12), (0.45, 0.88)], &[(0.35, 0.5), (0.68, 0.5)]],
+    // 8
+    &[
+        &[(0.5, 0.12), (0.3, 0.25), (0.5, 0.46), (0.7, 0.25), (0.5, 0.12)],
+        &[(0.5, 0.46), (0.25, 0.68), (0.5, 0.88), (0.75, 0.68), (0.5, 0.46)],
+    ],
+    // 9
+    &[&[(0.75, 0.35), (0.5, 0.5), (0.25, 0.32), (0.45, 0.12), (0.72, 0.18), (0.75, 0.35), (0.68, 0.88)]],
+];
+
+/// A grayscale bitmap (row-major, values in `[0, 1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    pixels: Vec<f32>,
+}
+
+impl Bitmap {
+    /// Creates a black bitmap.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel value at `(x, y)`, 0 outside the bitmap.
+    pub fn get(&self, x: isize, y: isize) -> f32 {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            0.0
+        } else {
+            self.pixels[y as usize * self.width + x as usize]
+        }
+    }
+
+    /// Sets pixel `(x, y)` if inside the bitmap.
+    pub fn set(&mut self, x: isize, y: isize, v: f32) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.pixels[y as usize * self.width + x as usize] = v;
+        }
+    }
+
+    /// Bilinear sample at continuous coordinates (pixels), 0 outside.
+    pub fn sample(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let (x0, y0) = (x0 as isize, y0 as isize);
+        let v00 = self.get(x0, y0);
+        let v10 = self.get(x0 + 1, y0);
+        let v01 = self.get(x0, y0 + 1);
+        let v11 = self.get(x0 + 1, y0 + 1);
+        v00 * (1.0 - fx) * (1.0 - fy) + v10 * fx * (1.0 - fy) + v01 * (1.0 - fx) * fy + v11 * fx * fy
+    }
+
+    /// Fraction of pixels above 0.5.
+    pub fn ink_fraction(&self) -> f32 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().filter(|&&p| p > 0.5).count() as f32 / self.pixels.len() as f32
+    }
+
+    /// Raw pixel buffer (row-major).
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+}
+
+/// Renders digit `d` into a `width × height` bitmap.
+///
+/// `thickness` is the stroke radius in pixels (1.0 gives ~2-px strokes).
+/// The affine jitter `(dx, dy, scale)` is applied in unit coordinates
+/// before rasterisation, letting dataset generators produce per-sample
+/// "handwriting" variation.
+///
+/// # Panics
+///
+/// Panics if `d > 9`.
+pub fn render_digit(
+    d: usize,
+    width: usize,
+    height: usize,
+    thickness: f32,
+    jitter: (f32, f32, f32),
+) -> Bitmap {
+    assert!(d <= 9, "digit must be 0-9, got {d}");
+    let (dx, dy, scale) = jitter;
+    let mut bmp = Bitmap::new(width, height);
+    let to_px = |p: (f32, f32)| -> (f32, f32) {
+        let u = (p.0 - 0.5) * scale + 0.5 + dx;
+        let v = (p.1 - 0.5) * scale + 0.5 + dy;
+        (u * (width as f32 - 1.0), v * (height as f32 - 1.0))
+    };
+    for stroke in DIGIT_STROKES[d] {
+        for seg in stroke.windows(2) {
+            let (x0, y0) = to_px(seg[0]);
+            let (x1, y1) = to_px(seg[1]);
+            draw_segment(&mut bmp, x0, y0, x1, y1, thickness);
+        }
+    }
+    bmp
+}
+
+fn draw_segment(bmp: &mut Bitmap, x0: f32, y0: f32, x1: f32, y1: f32, thickness: f32) {
+    let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+    let steps = (len * 2.0).ceil().max(1.0) as usize;
+    let r = thickness.max(0.1);
+    let ri = r.ceil() as isize;
+    for s in 0..=steps {
+        let t = s as f32 / steps as f32;
+        let cx = x0 + t * (x1 - x0);
+        let cy = y0 + t * (y1 - y0);
+        for oy in -ri..=ri {
+            for ox in -ri..=ri {
+                let px = cx.round() as isize + ox;
+                let py = cy.round() as isize + oy;
+                let d2 = (px as f32 - cx).powi(2) + (py as f32 - cy).powi(2);
+                if d2 <= r * r {
+                    bmp.set(px, py, 1.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_digits_render_nonempty() {
+        for d in 0..10 {
+            let bmp = render_digit(d, 34, 34, 1.0, (0.0, 0.0, 1.0));
+            assert!(bmp.ink_fraction() > 0.02, "digit {d} nearly empty");
+            assert!(bmp.ink_fraction() < 0.6, "digit {d} nearly full");
+        }
+    }
+
+    #[test]
+    fn digits_are_mutually_distinct() {
+        // Pixel overlap between different digits must be well below
+        // self-overlap, otherwise the classification task is ill-posed.
+        let bitmaps: Vec<Bitmap> = (0..10)
+            .map(|d| render_digit(d, 34, 34, 1.0, (0.0, 0.0, 1.0)))
+            .collect();
+        let iou = |a: &Bitmap, b: &Bitmap| {
+            let mut inter = 0usize;
+            let mut union = 0usize;
+            for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+                let (ia, ib) = (*pa > 0.5, *pb > 0.5);
+                if ia && ib {
+                    inter += 1;
+                }
+                if ia || ib {
+                    union += 1;
+                }
+            }
+            inter as f32 / union.max(1) as f32
+        };
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let overlap = iou(&bitmaps[i], &bitmaps[j]);
+                assert!(overlap < 0.75, "digits {i} and {j} overlap {overlap}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_moves_the_glyph() {
+        let base = render_digit(3, 34, 34, 1.0, (0.0, 0.0, 1.0));
+        let moved = render_digit(3, 34, 34, 1.0, (0.15, 0.0, 1.0));
+        assert_ne!(base.pixels(), moved.pixels());
+        // Ink amount roughly preserved.
+        assert!((base.ink_fraction() - moved.ink_fraction()).abs() < 0.05);
+    }
+
+    #[test]
+    fn scale_changes_extent() {
+        let small = render_digit(0, 64, 64, 1.0, (0.0, 0.0, 0.5));
+        let large = render_digit(0, 64, 64, 1.0, (0.0, 0.0, 1.0));
+        assert!(small.ink_fraction() < large.ink_fraction());
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let mut bmp = Bitmap::new(3, 3);
+        bmp.set(1, 1, 1.0);
+        assert_eq!(bmp.sample(1.0, 1.0), 1.0);
+        let half = bmp.sample(1.5, 1.0);
+        assert!((half - 0.5).abs() < 1e-6);
+        assert_eq!(bmp.sample(-5.0, -5.0), 0.0);
+    }
+
+    #[test]
+    fn thicker_strokes_have_more_ink() {
+        let thin = render_digit(7, 34, 34, 0.5, (0.0, 0.0, 1.0));
+        let thick = render_digit(7, 34, 34, 2.0, (0.0, 0.0, 1.0));
+        assert!(thick.ink_fraction() > thin.ink_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "digit must be 0-9")]
+    fn digit_out_of_range_panics() {
+        render_digit(10, 8, 8, 1.0, (0.0, 0.0, 1.0));
+    }
+}

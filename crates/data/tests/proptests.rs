@@ -1,0 +1,61 @@
+//! Property-based tests for the dataset generators.
+
+use proptest::prelude::*;
+use snn_data::{glyph, nmnist, shd};
+use snn_tensor::Rng;
+
+proptest! {
+    // Dataset generation is comparatively slow; keep case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn nmnist_samples_fit_declared_shape(digit in 0usize..10, seed in 0u64..500) {
+        let cfg = nmnist::NmnistConfig::small();
+        let mut rng = Rng::seed_from(seed);
+        let r = nmnist::simulate_sample(digit, &cfg, &mut rng);
+        prop_assert_eq!(r.steps(), cfg.steps);
+        prop_assert_eq!(r.channels(), cfg.channels());
+        // A digit under saccadic motion always produces some events.
+        prop_assert!(r.spike_count() > 0);
+        // And never saturates the sensor.
+        prop_assert!(r.mean_rate() < 0.5);
+    }
+
+    #[test]
+    fn shd_samples_fit_declared_shape(label in 0usize..10, seed in 0u64..500) {
+        let cfg = shd::ShdConfig::small();
+        let mut rng = Rng::seed_from(seed);
+        let r = shd::simulate_sample(label, &cfg, &mut rng);
+        prop_assert_eq!(r.steps(), cfg.steps);
+        prop_assert_eq!(r.channels(), cfg.channels);
+        prop_assert!(r.spike_count() > 0);
+        prop_assert!(r.mean_rate() < 0.5);
+    }
+
+    #[test]
+    fn same_seed_same_sample(digit in 0usize..10, seed in 0u64..200) {
+        let cfg = nmnist::NmnistConfig::small();
+        let a = nmnist::simulate_sample(digit, &cfg, &mut Rng::seed_from(seed));
+        let b = nmnist::simulate_sample(digit, &cfg, &mut Rng::seed_from(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn glyphs_render_within_bounds(d in 0usize..10, w in 8usize..48, h in 8usize..48) {
+        let bmp = glyph::render_digit(d, w, h, 1.0, (0.0, 0.0, 1.0));
+        prop_assert_eq!(bmp.width(), w);
+        prop_assert_eq!(bmp.height(), h);
+        let ink = bmp.ink_fraction();
+        prop_assert!(ink > 0.0 && ink < 0.8, "digit {} ink {}", d, ink);
+    }
+
+    #[test]
+    fn pair_helpers_are_involutions(label in 0usize..20) {
+        prop_assert_eq!(shd::paired_class(shd::paired_class(label)), label);
+        prop_assert_ne!(shd::paired_class(label), label);
+        prop_assert_eq!(
+            shd::is_reversed_class(label),
+            !shd::is_reversed_class(shd::paired_class(label))
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Memristor crossbar model: differential conductance pairs, bit-line
+//! current summation and sense-resistor readout (paper Fig. 6).
+
+use crate::{Quantizer, VariationModel};
+use serde::{Deserialize, Serialize};
+use snn_tensor::{Matrix, Rng};
+
+/// An RRAM crossbar programmed with a signed weight matrix.
+///
+/// Each weight `w` maps to a differential conductance pair: the positive
+/// device carries `|w|`-proportional conductance when `w > 0` (on the
+/// positive bit-line), the negative device when `w < 0`. Applying the
+/// word-line voltage vector `V` produces bit-line currents
+/// `I = (G⁺ − G⁻)·V`, converted to PSP voltages by the sense resistor.
+/// Conductances are quantized to the cell's bit precision and optionally
+/// perturbed by process variation — the two non-idealities swept in
+/// Fig. 8.
+///
+/// Matrices are stored `n_out × n_in` to match [`snn_core`] layer
+/// weights (row = bit-line, column = word-line).
+///
+/// # Examples
+///
+/// ```
+/// use snn_hardware::{Crossbar, Quantizer};
+/// use snn_tensor::Matrix;
+///
+/// let w = Matrix::from_rows(&[&[0.5, -0.25]]);
+/// let xbar = Crossbar::program(&w, Quantizer::new(8), 1e-4);
+/// let i = xbar.bitline_currents(&[1.0, 1.0]);
+/// // I = (w₀ + w₁) · g_max / scale, up to 8-bit quantization error.
+/// assert!((i[0] - 0.5e-4).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Crossbar {
+    g_pos: Matrix,
+    g_neg: Matrix,
+    /// Weight value represented by a device at full conductance.
+    scale: f32,
+    /// Maximum programmable device conductance (S).
+    g_max: f32,
+    quantizer: Quantizer,
+}
+
+impl Crossbar {
+    /// Programs a crossbar from a signed weight matrix.
+    ///
+    /// `g_max` is the conductance of a fully-on device (Siemens); the
+    /// matrix's max-abs weight maps onto it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g_max` is not positive.
+    pub fn program(weights: &Matrix, quantizer: Quantizer, g_max: f32) -> Self {
+        assert!(g_max > 0.0, "g_max must be positive, got {g_max}");
+        let scale = weights.max_abs();
+        let (rows, cols) = weights.shape();
+        let mut g_pos = Matrix::zeros(rows, cols);
+        let mut g_neg = Matrix::zeros(rows, cols);
+        let levels = quantizer.levels() as f32;
+        for r in 0..rows {
+            for c in 0..cols {
+                let level = quantizer.level_index(weights[(r, c)], scale);
+                let g = level.unsigned_abs() as f32 / levels * g_max;
+                if level >= 0 {
+                    g_pos[(r, c)] = g;
+                } else {
+                    g_neg[(r, c)] = g;
+                }
+            }
+        }
+        Self { g_pos, g_neg, scale, g_max, quantizer }
+    }
+
+    /// Applies independent multiplicative process variation to every
+    /// device of both polarity arrays.
+    pub fn apply_variation(&mut self, model: VariationModel, rng: &mut Rng) {
+        self.g_pos = model.apply(&self.g_pos, rng);
+        self.g_neg = model.apply(&self.g_neg, rng);
+    }
+
+    /// Bit-line currents `I = (G⁺ − G⁻)·V` for word-line voltages `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the word-line count.
+    pub fn bitline_currents(&self, v: &[f32]) -> Vec<f32> {
+        let mut pos = self.g_pos.matvec(v);
+        let neg = self.g_neg.matvec(v);
+        for (p, n) in pos.iter_mut().zip(&neg) {
+            *p -= n;
+        }
+        pos
+    }
+
+    /// PSP voltages: bit-line currents through the sense resistor.
+    pub fn psp_voltages(&self, v: &[f32], r_sense: f32) -> Vec<f32> {
+        let mut i = self.bitline_currents(v);
+        for x in &mut i {
+            *x *= r_sense;
+        }
+        i
+    }
+
+    /// The effective signed weight matrix the crossbar realises
+    /// (quantized and possibly variation-perturbed), in the original
+    /// weight units.
+    pub fn effective_weights(&self) -> Matrix {
+        let (rows, cols) = self.g_pos.shape();
+        let mut w = Matrix::zeros(rows, cols);
+        if self.g_max <= 0.0 {
+            return w;
+        }
+        for r in 0..rows {
+            for c in 0..cols {
+                w[(r, c)] = (self.g_pos[(r, c)] - self.g_neg[(r, c)]) / self.g_max * self.scale;
+            }
+        }
+        w
+    }
+
+    /// Word-line (input) count.
+    pub fn wordlines(&self) -> usize {
+        self.g_pos.cols()
+    }
+
+    /// Bit-line (output) count.
+    pub fn bitlines(&self) -> usize {
+        self.g_pos.rows()
+    }
+
+    /// Number of RRAM devices (two per cell).
+    pub fn device_count(&self) -> usize {
+        2 * self.g_pos.rows() * self.g_pos.cols()
+    }
+
+    /// The quantizer the crossbar was programmed with.
+    pub fn quantizer(&self) -> Quantizer {
+        self.quantizer
+    }
+
+    /// Mutable access to the positive-polarity conductance array (fault
+    /// injection).
+    pub fn g_pos_mut(&mut self) -> &mut Matrix {
+        &mut self.g_pos
+    }
+
+    /// Mutable access to the negative-polarity conductance array.
+    pub fn g_neg_mut(&mut self) -> &mut Matrix {
+        &mut self.g_neg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::Rng;
+
+    #[test]
+    fn program_and_reconstruct_roundtrips_within_quant_error() {
+        let mut rng = Rng::seed_from(1);
+        let w = Matrix::xavier_uniform(8, 12, &mut rng);
+        let q = Quantizer::new(5);
+        let xbar = Crossbar::program(&w, q, 1e-4);
+        let w_eff = xbar.effective_weights();
+        let bound = q.max_error(w.max_abs()) + 1e-6;
+        for (a, b) in w.as_slice().iter().zip(w_eff.as_slice()) {
+            assert!((a - b).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn currents_match_effective_weights() {
+        let mut rng = Rng::seed_from(2);
+        let w = Matrix::xavier_uniform(4, 6, &mut rng);
+        let xbar = Crossbar::program(&w, Quantizer::new(8), 2e-4);
+        let v: Vec<f32> = (0..6).map(|i| 0.1 * i as f32).collect();
+        let i = xbar.bitline_currents(&v);
+        let expected = xbar.effective_weights().matvec(&v);
+        let k = 2e-4 / w.max_abs(); // conductance per weight unit
+        for (ia, we) in i.iter().zip(&expected) {
+            assert!((ia - we * k).abs() < 1e-9, "{ia} vs {}", we * k);
+        }
+    }
+
+    #[test]
+    fn psp_is_current_times_sense_resistance() {
+        let w = Matrix::from_rows(&[&[1.0]]);
+        let xbar = Crossbar::program(&w, Quantizer::new(4), 1e-4);
+        let i = xbar.bitline_currents(&[0.5]);
+        let psp = xbar.psp_voltages(&[0.5], 10e3);
+        assert!((psp[0] - i[0] * 10e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polarity_separation() {
+        let w = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let xbar = Crossbar::program(&w, Quantizer::new(4), 1e-4);
+        // Devices carry magnitude on the right array only.
+        assert!(xbar.g_pos[(0, 0)] > 0.0 && xbar.g_neg[(0, 0)] == 0.0);
+        assert!(xbar.g_pos[(0, 1)] == 0.0 && xbar.g_neg[(0, 1)] > 0.0);
+    }
+
+    #[test]
+    fn variation_perturbs_but_zero_devices_stay_zero() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[-0.5, 0.25]]);
+        let mut xbar = Crossbar::program(&w, Quantizer::new(6), 1e-4);
+        let mut rng = Rng::seed_from(3);
+        let before = xbar.effective_weights();
+        xbar.apply_variation(VariationModel::new(0.3), &mut rng);
+        let after = xbar.effective_weights();
+        assert_ne!(before, after);
+        // An unprogrammed cell has zero conductance in both arrays and
+        // multiplicative variation cannot create one.
+        assert_eq!(after[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn device_count_is_two_per_cell() {
+        let xbar = Crossbar::program(&Matrix::zeros(3, 5), Quantizer::new(4), 1e-4);
+        assert_eq!(xbar.device_count(), 30);
+        assert_eq!(xbar.wordlines(), 5);
+        assert_eq!(xbar.bitlines(), 3);
+    }
+
+    #[test]
+    fn all_zero_weights_produce_no_current() {
+        let xbar = Crossbar::program(&Matrix::zeros(2, 2), Quantizer::new(4), 1e-4);
+        let i = xbar.bitline_currents(&[1.0, 1.0]);
+        assert!(i.iter().all(|&x| x == 0.0));
+    }
+}

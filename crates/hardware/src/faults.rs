@@ -1,0 +1,120 @@
+//! RRAM stuck-at-fault injection — an extension beyond the paper's
+//! Fig. 8 process-variation sweep.
+//!
+//! Real RRAM arrays contain cells permanently stuck in the low- or
+//! high-resistance state. This module injects such faults into a
+//! programmed [`Crossbar`](crate::Crossbar)'s conductance arrays so the
+//! Fig. 8 pipeline can also report robustness against hard faults, the
+//! "future work" dimension a deployment study would need.
+
+use crate::Crossbar;
+use serde::{Deserialize, Serialize};
+use snn_tensor::Rng;
+
+/// Stuck-at-fault model: each device independently becomes stuck-off
+/// (conductance 0) with probability `p_stuck_off`, or stuck-on (full
+/// `g_max`) with probability `p_stuck_on`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Probability a device is stuck in the high-resistance (off) state.
+    pub p_stuck_off: f32,
+    /// Probability a device is stuck in the low-resistance (on) state.
+    pub p_stuck_on: f32,
+    /// Conductance of a stuck-on device (S).
+    pub g_on: f32,
+}
+
+impl FaultModel {
+    /// A model with only stuck-off faults (the common RRAM failure).
+    pub fn stuck_off(p: f32) -> Self {
+        Self { p_stuck_off: p, p_stuck_on: 0.0, g_on: 1e-4 }
+    }
+
+    /// A model with both polarities.
+    pub fn new(p_stuck_off: f32, p_stuck_on: f32, g_on: f32) -> Self {
+        Self { p_stuck_off, p_stuck_on, g_on }
+    }
+
+    /// Injects faults into both conductance arrays of a crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are outside `[0, 1]` or sum above 1.
+    pub fn inject(&self, xbar: &mut Crossbar, rng: &mut Rng) {
+        assert!(
+            (0.0..=1.0).contains(&self.p_stuck_off)
+                && (0.0..=1.0).contains(&self.p_stuck_on)
+                && self.p_stuck_off + self.p_stuck_on <= 1.0,
+            "invalid fault probabilities ({}, {})",
+            self.p_stuck_off,
+            self.p_stuck_on
+        );
+        self.inject_array(xbar.g_pos_mut().as_mut_slice(), rng);
+        self.inject_array(xbar.g_neg_mut().as_mut_slice(), rng);
+    }
+
+    fn inject_array(&self, devices: &mut [f32], rng: &mut Rng) {
+        for g in devices {
+            let u = rng.uniform(0.0, 1.0);
+            if u < self.p_stuck_off {
+                *g = 0.0;
+            } else if u < self.p_stuck_off + self.p_stuck_on {
+                *g = self.g_on;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Quantizer;
+    use snn_tensor::Matrix;
+
+    fn full_crossbar() -> Crossbar {
+        Crossbar::program(&Matrix::full(10, 10, 1.0), Quantizer::new(4), 1e-4)
+    }
+
+    #[test]
+    fn stuck_off_zeroes_roughly_p_fraction() {
+        let mut xbar = full_crossbar();
+        let mut rng = Rng::seed_from(1);
+        FaultModel::stuck_off(0.3).inject(&mut xbar, &mut rng);
+        let zeros = xbar
+            .effective_weights()
+            .as_slice()
+            .iter()
+            .filter(|&&w| w == 0.0)
+            .count();
+        // 100 positive devices at p=0.3 → ~30 dead cells.
+        assert!((15..=45).contains(&zeros), "got {zeros}");
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut xbar = full_crossbar();
+        let before = xbar.effective_weights();
+        let mut rng = Rng::seed_from(2);
+        FaultModel::new(0.0, 0.0, 1e-4).inject(&mut xbar, &mut rng);
+        assert_eq!(xbar.effective_weights(), before);
+    }
+
+    #[test]
+    fn stuck_on_creates_spurious_negative_weights() {
+        // All-positive crossbar: stuck-on faults in the negative array
+        // push some effective weights down.
+        let mut xbar = full_crossbar();
+        let mut rng = Rng::seed_from(3);
+        FaultModel::new(0.0, 0.5, 1e-4).inject(&mut xbar, &mut rng);
+        let w = xbar.effective_weights();
+        assert!(w.as_slice().iter().any(|&x| x < 0.5), "expected corrupted weights");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault probabilities")]
+    fn bad_probabilities_panic() {
+        let mut xbar = full_crossbar();
+        let mut rng = Rng::seed_from(4);
+        FaultModel::new(0.8, 0.8, 1e-4).inject(&mut xbar, &mut rng);
+    }
+}

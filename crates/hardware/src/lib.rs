@@ -1,0 +1,59 @@
+//! Behavioural analog simulator for the paper's RRAM-crossbar
+//! neurosynaptic circuit (paper §IV, Figs. 6–7) plus the deployment and
+//! non-ideality pipeline behind Fig. 8 and the §V-C power/area estimates.
+//!
+//! The paper's circuit was designed in Cadence Virtuoso on TSMC 65 nm; we
+//! cannot run transistor-level SPICE here, so this crate implements a
+//! behavioural equivalent with the same component values and the same
+//! observable dynamics:
+//!
+//! * [`RcFilter`] — the word-line synapse filter and the neuron's
+//!   feedback filter (`R = 4.56 kΩ`, `C = 10.14 pF`, one 10 ns input
+//!   spike per algorithmic timestep).
+//! * [`OpAmp`] / [`Inverter`] — a finite-gain, slew-limited comparator
+//!   model and the two output inverters that square up its non-ideal
+//!   edge (the yellow vs dashed-green traces of Fig. 7b).
+//! * [`Crossbar`] — differential-pair conductance mapping of signed
+//!   weights with programmable bit precision ([`Quantizer`]) and
+//!   multiplicative resistance deviation ([`VariationModel`]), computing
+//!   bit-line currents and sense-resistor PSP voltages.
+//! * [`NeuronCircuit`] / [`transient`] — the full Fig. 6 circuit stepped
+//!   at sub-nanosecond resolution, reproducing the Fig. 7 waveforms
+//!   (filtered PSP, adaptive threshold rise/decay, suppressed follow-up
+//!   spikes).
+//! * [`deploy`] — maps a trained [`snn_core::Network`] onto quantized,
+//!   variation-perturbed crossbars and re-evaluates accuracy (Fig. 8).
+//! * [`power`] — a device-library power/energy/area model calibrated to
+//!   the paper's measured numbers (1.067–1.965 mW, 3.329 nJ per 300-step
+//!   sample with 14 input spikes, 0.0125 mm²).
+//!
+//! # Examples
+//!
+//! ```
+//! use snn_hardware::{CircuitParams, transient};
+//!
+//! let params = CircuitParams::paper();
+//! // A burst of three input spikes accumulates past the 550 mV bias.
+//! let trace = transient::simulate_neuron(&[5, 6, 7], 40, &params);
+//! assert!(!trace.output_spike_times().is_empty());
+//! ```
+
+mod circuit_params;
+mod crossbar;
+pub mod deploy;
+pub mod faults;
+mod neuron_circuit;
+mod opamp;
+pub mod power;
+mod quantize;
+mod rc_filter;
+pub mod transient;
+mod variation;
+
+pub use circuit_params::CircuitParams;
+pub use crossbar::Crossbar;
+pub use neuron_circuit::NeuronCircuit;
+pub use opamp::{Inverter, OpAmp};
+pub use quantize::Quantizer;
+pub use rc_filter::RcFilter;
+pub use variation::VariationModel;

@@ -1,0 +1,206 @@
+//! The adaptive-threshold neuron circuit of Fig. 6: comparator +
+//! feedback RC filter + threshold bias + output inverter pair.
+
+use crate::{CircuitParams, Inverter, OpAmp, RcFilter};
+use serde::{Deserialize, Serialize};
+
+/// One neuron circuit instance.
+///
+/// The PSP voltage from the crossbar bit-line drives the comparator's
+/// positive input; the negative input is `V_bias + h(t)` where `h(t)` is
+/// the comparator's own output through a second RC filter (identical to
+/// the synapse filter). When the PSP crosses the threshold the
+/// comparator goes high, which charges the feedback filter, raising the
+/// threshold and turning the comparator off again — a spike. Two
+/// inverters buffer the comparator's non-ideal edge into a full-swing
+/// output pulse.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hardware::{CircuitParams, NeuronCircuit};
+///
+/// let p = CircuitParams::paper();
+/// let mut n = NeuronCircuit::new(&p);
+/// // Drive far above the 550 mV bias: the neuron spikes.
+/// let mut fired = false;
+/// for _ in 0..p.substeps() * 3 {
+///     fired |= n.step(0.9, p.dt_sim);
+/// }
+/// assert!(fired);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeuronCircuit {
+    comparator: OpAmp,
+    feedback: RcFilter,
+    inv1: Inverter,
+    inv2: Inverter,
+    v_bias: f32,
+    vdd: f32,
+    hysteresis: f32,
+    spiking: bool,
+    comparator_high: bool,
+}
+
+impl NeuronCircuit {
+    /// Builds the circuit from shared component values.
+    pub fn new(params: &CircuitParams) -> Self {
+        Self {
+            comparator: OpAmp::new(params.opamp_gain, params.opamp_slew, params.vdd),
+            feedback: RcFilter::new(params.r_filter, params.c_filter),
+            inv1: Inverter::new(params.vdd),
+            inv2: Inverter::new(params.vdd),
+            v_bias: params.v_bias,
+            vdd: params.vdd,
+            hysteresis: params.hysteresis,
+            spiking: false,
+            comparator_high: false,
+        }
+    }
+
+    /// Advances the circuit by `dt` seconds with the given PSP voltage.
+    /// Returns `true` exactly once per output spike (on the rising edge
+    /// of the buffered output).
+    pub fn step(&mut self, psp: f32, dt: f32) -> bool {
+        // Schmitt-trigger action: while the comparator is high its own
+        // effective threshold is lowered, so the output pulse completes
+        // cleanly instead of chattering as the feedback rises.
+        let hyst = if self.comparator_high { self.hysteresis } else { 0.0 };
+        let threshold = self.v_bias + self.feedback.output() - hyst;
+        let comp_out = self.comparator.step(psp, threshold, dt);
+        self.comparator_high = comp_out > 0.5 * self.vdd;
+        self.feedback.step(comp_out, dt);
+        let a = self.inv1.step(comp_out, dt);
+        let out = self.inv2.step(a, dt);
+        let high = out > 0.5 * self.vdd;
+        let rising = high && !self.spiking;
+        self.spiking = high;
+        rising
+    }
+
+    /// Momentary threshold `V_bias + h(t)` (hysteresis excluded — this
+    /// is the orange trace of Fig. 7a).
+    pub fn threshold(&self) -> f32 {
+        self.v_bias + self.feedback.output()
+    }
+
+    /// Raw comparator output voltage (the non-ideal yellow trace of
+    /// Fig. 7b).
+    pub fn comparator_output(&self) -> f32 {
+        self.comparator.output()
+    }
+
+    /// Feedback filter voltage `h(t)`.
+    pub fn feedback_voltage(&self) -> f32 {
+        self.feedback.output()
+    }
+
+    /// Buffered (full-swing) output voltage.
+    pub fn buffered_output(&self) -> f32 {
+        self.inv2.output()
+    }
+
+    /// Whether the buffered output is currently high.
+    pub fn is_spiking(&self) -> bool {
+        self.spiking
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(psp: impl Fn(usize) -> f32, substeps: usize) -> (NeuronCircuit, Vec<usize>) {
+        let p = CircuitParams::paper();
+        let mut n = NeuronCircuit::new(&p);
+        let mut spikes = Vec::new();
+        for s in 0..substeps {
+            if n.step(psp(s), p.dt_sim) {
+                spikes.push(s);
+            }
+        }
+        (n, spikes)
+    }
+
+    #[test]
+    fn subthreshold_psp_never_fires() {
+        let (_, spikes) = run(|_| 0.5, 2000); // below the 550 mV bias
+        assert!(spikes.is_empty());
+    }
+
+    #[test]
+    fn suprathreshold_psp_fires() {
+        let (_, spikes) = run(|_| 0.8, 2000);
+        assert!(!spikes.is_empty());
+    }
+
+    #[test]
+    fn threshold_rises_after_spike_then_decays() {
+        let p = CircuitParams::paper();
+        let mut n = NeuronCircuit::new(&p);
+        // Fire once with a brief strong PSP.
+        for _ in 0..p.substeps() {
+            n.step(0.9, p.dt_sim);
+        }
+        let raised = n.threshold();
+        assert!(raised > p.v_bias + 0.05, "threshold should rise, got {raised}");
+        // Remove the drive; the threshold decays back toward the bias.
+        for _ in 0..p.substeps() * 40 {
+            n.step(0.0, p.dt_sim);
+        }
+        assert!((n.threshold() - p.v_bias).abs() < 0.02);
+    }
+
+    #[test]
+    fn constant_drive_spikes_sparsely_not_continuously() {
+        // The self-raising threshold chops a constant supra-threshold PSP
+        // into discrete spikes (Fig. 7's oscillatory comparator pattern).
+        let p = CircuitParams::paper();
+        let total = p.substeps() * 60;
+        let (_, spikes) = run(|_| 0.75, total);
+        assert!(spikes.len() >= 2, "should spike repeatedly, got {}", spikes.len());
+        assert!(
+            spikes.len() < total / p.substeps(),
+            "must not spike every step: {} spikes",
+            spikes.len()
+        );
+        // Spikes are separated by a refractory-like interval.
+        for pair in spikes.windows(2) {
+            assert!(pair[1] - pair[0] >= p.substeps() / 2, "interval too short: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn second_bump_suppressed_by_raised_threshold() {
+        // A strong PSP bump fires the neuron; a weaker (but still
+        // supra-bias) bump arriving shortly after is blocked by the
+        // raised threshold — the headline behaviour of Fig. 7a. The
+        // weaker bump alone *would* have fired a fresh neuron.
+        let p = CircuitParams::paper();
+        let bump = move |s: usize| {
+            let step = s / p.substeps();
+            match step {
+                0 | 1 => 0.9,
+                3 | 4 => 0.65,
+                _ => 0.0,
+            }
+        };
+        let (_, spikes) = run(bump, p.substeps() * 10);
+        assert_eq!(spikes.len(), 1, "second bump should be suppressed: {spikes:?}");
+        // Control: the weak bump alone fires a fresh neuron.
+        let (_, control) = run(|s| if s / p.substeps() < 2 { 0.65 } else { 0.0 }, p.substeps() * 10);
+        assert_eq!(control.len(), 1, "control bump should fire: {control:?}");
+    }
+
+    #[test]
+    fn buffered_output_is_full_swing() {
+        let p = CircuitParams::paper();
+        let mut n = NeuronCircuit::new(&p);
+        let mut max_out = 0.0f32;
+        for _ in 0..p.substeps() * 4 {
+            n.step(0.9, p.dt_sim);
+            max_out = max_out.max(n.buffered_output());
+        }
+        assert!(max_out > 0.99 * p.vdd, "buffered spike should reach VDD, got {max_out}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Behavioural op-amp comparator and inverter buffer models.
+//!
+//! The neuron's comparator is an operational amplifier with finite gain
+//! and a slew-limited, rail-bounded output; Fig. 7b's yellow trace shows
+//! its non-ideal edge, which the paper squares up with two inverters
+//! (dashed green trace). These models reproduce exactly that behaviour
+//! without transistor-level detail.
+
+use serde::{Deserialize, Serialize};
+
+/// Finite-gain, slew-limited operational amplifier used as a comparator.
+///
+/// The target output is `gain · (v⁺ − v⁻)` clipped to `[0, VDD]`; the
+/// actual output moves toward the target at most `slew` volts per
+/// second. With the paper's strong second stage the edge is a few
+/// nanoseconds — visible but not ideal.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hardware::OpAmp;
+///
+/// let mut amp = OpAmp::new(1000.0, 2e9, 1.0);
+/// for _ in 0..100 { amp.step(0.7, 0.55, 0.5e-9); }
+/// assert!(amp.output() > 0.95); // comparator saturated high
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpAmp {
+    gain: f32,
+    slew: f32,
+    vdd: f32,
+    v_out: f32,
+}
+
+impl OpAmp {
+    /// Creates an amplifier with open-loop `gain`, `slew` rate (V/s) and
+    /// supply `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is not positive.
+    pub fn new(gain: f32, slew: f32, vdd: f32) -> Self {
+        assert!(gain > 0.0 && slew > 0.0 && vdd > 0.0, "op-amp parameters must be positive");
+        Self { gain, slew, vdd, v_out: 0.0 }
+    }
+
+    /// Advances by `dt` seconds with inputs `v_plus`, `v_minus`,
+    /// returning the new output voltage.
+    pub fn step(&mut self, v_plus: f32, v_minus: f32, dt: f32) -> f32 {
+        let target = (self.gain * (v_plus - v_minus)).clamp(0.0, self.vdd);
+        let max_delta = self.slew * dt;
+        let delta = (target - self.v_out).clamp(-max_delta, max_delta);
+        self.v_out += delta;
+        self.v_out
+    }
+
+    /// Current output voltage.
+    pub fn output(&self) -> f32 {
+        self.v_out
+    }
+
+    /// Discharges the output node.
+    pub fn reset(&mut self) {
+        self.v_out = 0.0;
+    }
+}
+
+/// A CMOS inverter modelled as a sharp threshold at `VDD/2` with a small
+/// RC-like output transition; two in series restore full-swing spikes
+/// with ideal shape (paper Fig. 7b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Inverter {
+    vdd: f32,
+    v_out: f32,
+    /// Output transition rate (V/s), much faster than the op-amp.
+    rate: f32,
+}
+
+impl Inverter {
+    /// Creates an inverter with supply `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive.
+    pub fn new(vdd: f32) -> Self {
+        assert!(vdd > 0.0, "vdd must be positive");
+        Self { vdd, v_out: vdd, rate: 20e9 }
+    }
+
+    /// Advances by `dt` with input voltage `v_in`.
+    pub fn step(&mut self, v_in: f32, dt: f32) -> f32 {
+        let target = if v_in > self.vdd * 0.5 { 0.0 } else { self.vdd };
+        let max_delta = self.rate * dt;
+        let delta = (target - self.v_out).clamp(-max_delta, max_delta);
+        self.v_out += delta;
+        self.v_out
+    }
+
+    /// Current output voltage.
+    pub fn output(&self) -> f32 {
+        self.v_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparator_goes_high_when_plus_exceeds_minus() {
+        let mut amp = OpAmp::new(1000.0, 2e9, 1.0);
+        for _ in 0..50 {
+            amp.step(0.6, 0.55, 1e-9);
+        }
+        assert!(amp.output() > 0.99);
+    }
+
+    #[test]
+    fn comparator_stays_low_otherwise() {
+        let mut amp = OpAmp::new(1000.0, 2e9, 1.0);
+        for _ in 0..50 {
+            amp.step(0.5, 0.55, 1e-9);
+        }
+        assert_eq!(amp.output(), 0.0);
+    }
+
+    #[test]
+    fn output_is_slew_limited() {
+        let mut amp = OpAmp::new(1000.0, 1e9, 1.0);
+        amp.step(1.0, 0.0, 0.1e-9);
+        // After 0.1 ns at 1 V/ns the output can have moved at most 0.1 V.
+        assert!(amp.output() <= 0.1 + 1e-6);
+        assert!(amp.output() > 0.0);
+    }
+
+    #[test]
+    fn output_clamped_to_rails() {
+        let mut amp = OpAmp::new(1e6, 1e12, 1.0);
+        amp.step(5.0, 0.0, 1.0);
+        assert!(amp.output() <= 1.0);
+        amp.step(-5.0, 0.0, 1.0);
+        assert!(amp.output() >= 0.0);
+    }
+
+    #[test]
+    fn small_differential_gives_analog_level() {
+        // Finite gain: a 0.2 mV difference with gain 1000 sits mid-rail,
+        // not saturated — the non-ideality the inverters clean up.
+        let mut amp = OpAmp::new(1000.0, 1e12, 1.0);
+        for _ in 0..100 {
+            amp.step(0.5502, 0.55, 1e-9);
+        }
+        assert!(amp.output() > 0.05 && amp.output() < 0.95, "got {}", amp.output());
+    }
+
+    #[test]
+    fn inverter_pair_restores_full_swing() {
+        let mut inv1 = Inverter::new(1.0);
+        let mut inv2 = Inverter::new(1.0);
+        // Mid-rail-ish analog input (0.7 V > VDD/2): first inverter → 0,
+        // second → VDD.
+        for _ in 0..100 {
+            let a = inv1.step(0.7, 1e-9);
+            inv2.step(a, 1e-9);
+        }
+        assert!(inv2.output() > 0.99);
+        for _ in 0..100 {
+            let a = inv1.step(0.2, 1e-9);
+            inv2.step(a, 1e-9);
+        }
+        assert!(inv2.output() < 0.01);
+    }
+
+    #[test]
+    fn inverter_is_faster_than_opamp() {
+        let mut amp = OpAmp::new(1000.0, 2e9, 1.0);
+        let mut inv = Inverter::new(1.0);
+        // Both asked to traverse the full rail in 0.1 ns.
+        amp.step(1.0, 0.0, 0.1e-9); // target 1.0, starts at 0
+        inv.step(1.0, 0.1e-9); // input high → target 0, starts at VDD
+        let amp_progress = amp.output(); // distance travelled toward 1.0
+        let inv_progress = 1.0 - inv.output(); // distance travelled toward 0
+        assert!(inv_progress > amp_progress);
+    }
+}

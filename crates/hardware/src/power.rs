@@ -1,0 +1,198 @@
+//! Power, energy and area model for the neurosynaptic circuit (§V-C).
+//!
+//! The paper reports, for a single neuron + synapse circuit on TSMC
+//! 65 nm driven by a 300-step sample containing 14 input spikes:
+//! minimum power 1.067 mW, maximum 1.965 mW, average 1.11 mW, total
+//! energy 3.329 nJ, and a device footprint of ≈0.0125 mm². Those four
+//! power/energy numbers are mutually consistent with a simple two-state
+//! model — a static baseline (op-amp bias currents) plus an activity
+//! component while a spike is being processed:
+//!
+//! ```text
+//! P_avg  = P_static + duty · P_active,   duty = 14/300
+//! E      = P_avg · (300 · 10 ns)  = 3.33 nJ   (paper: 3.329 nJ)
+//! P_max  = P_static + P_active    ≈ 1.99 mW   (paper: 1.965 mW)
+//! ```
+//!
+//! so we calibrate `P_static = 1.067 mW` and `P_active = 0.921 mW` and
+//! expose estimates for arbitrary workloads. The area model itemises the
+//! devices of Fig. 6 with budgets that sum to the paper's total.
+
+use crate::CircuitParams;
+use serde::{Deserialize, Serialize};
+
+/// Calibrated static power of one neuron+synapse circuit (W): op-amp
+/// bias currents and leakage present regardless of activity.
+pub const P_STATIC_W: f64 = 1.067e-3;
+
+/// Calibrated additional power while an input spike is processed (W).
+pub const P_ACTIVE_W: f64 = 0.921e-3;
+
+/// Reference workload the paper measured: 300 steps, 14 input spikes.
+pub const REFERENCE_STEPS: usize = 300;
+/// Reference workload spike count.
+pub const REFERENCE_SPIKES: usize = 14;
+
+/// Per-device area budget (mm²), summing to the paper's ≈0.0125 mm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Comparator op-amp with its strong second stage.
+    pub comparator_opamp: f64,
+    /// Bias-voltage op-amp.
+    pub bias_opamp: f64,
+    /// The two 10.14 pF filter capacitors (MIM caps dominate).
+    pub filter_capacitors: f64,
+    /// The two 4.56 kΩ filter resistors and the sense resistor.
+    pub resistors: f64,
+    /// Output inverter pair and routing.
+    pub inverters_misc: f64,
+}
+
+impl AreaBreakdown {
+    /// The calibrated 65 nm budget.
+    pub fn paper() -> Self {
+        Self {
+            comparator_opamp: 0.0030,
+            bias_opamp: 0.0025,
+            filter_capacitors: 0.0050,
+            resistors: 0.0012,
+            inverters_misc: 0.0008,
+        }
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.comparator_opamp
+            + self.bias_opamp
+            + self.filter_capacitors
+            + self.resistors
+            + self.inverters_misc
+    }
+}
+
+/// Power/energy estimate for one neuron+synapse circuit over a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Minimum instantaneous power (W) — the static floor.
+    pub min_w: f64,
+    /// Maximum instantaneous power (W) — static + active.
+    pub max_w: f64,
+    /// Time-averaged power (W).
+    pub avg_w: f64,
+    /// Total energy over the sample (J).
+    pub energy_j: f64,
+    /// Sample duration (s).
+    pub duration_s: f64,
+}
+
+/// Estimates power and energy for a workload of `steps` algorithmic
+/// steps containing `input_spikes` input spike events.
+///
+/// # Panics
+///
+/// Panics if `input_spikes > steps` (at most one spike per step per
+/// synapse in this circuit).
+pub fn estimate(steps: usize, input_spikes: usize, params: &CircuitParams) -> PowerReport {
+    assert!(
+        input_spikes <= steps,
+        "at most one input spike per step ({input_spikes} > {steps})"
+    );
+    let duration = steps as f64 * params.step_seconds as f64;
+    let duty = if steps == 0 { 0.0 } else { input_spikes as f64 / steps as f64 };
+    let avg = P_STATIC_W + duty * P_ACTIVE_W;
+    PowerReport {
+        min_w: P_STATIC_W,
+        max_w: if input_spikes > 0 { P_STATIC_W + P_ACTIVE_W } else { P_STATIC_W },
+        avg_w: avg,
+        energy_j: avg * duration,
+        duration_s: duration,
+    }
+}
+
+/// Scales the single-circuit estimate to a layer of `neurons` neuron
+/// circuits and `synapse_filters` word-line filters. Crossbar array
+/// energy is excluded, as in the paper ("estimates are independent of
+/// RRAM array size").
+pub fn estimate_layer(
+    steps: usize,
+    input_spikes_per_synapse: usize,
+    neurons: usize,
+    synapse_filters: usize,
+    params: &CircuitParams,
+) -> PowerReport {
+    let single = estimate(steps, input_spikes_per_synapse, params);
+    // One neuron+synapse reference circuit = 1 neuron + 1 filter; scale
+    // the two halves separately (filters carry the active component,
+    // neurons the static floor is shared proportionally).
+    let scale = (neurons + synapse_filters) as f64 / 2.0;
+    PowerReport {
+        min_w: single.min_w * scale,
+        max_w: single.max_w * scale,
+        avg_w: single.avg_w * scale,
+        energy_j: single.energy_j * scale,
+        duration_s: single.duration_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_workload_matches_paper_numbers() {
+        let p = CircuitParams::paper();
+        let r = estimate(REFERENCE_STEPS, REFERENCE_SPIKES, &p);
+        assert!((r.min_w - 1.067e-3).abs() < 1e-6, "min {}", r.min_w);
+        assert!((r.max_w - 1.965e-3).abs() < 0.05e-3, "max {}", r.max_w);
+        assert!((r.avg_w - 1.11e-3).abs() < 0.01e-3, "avg {}", r.avg_w);
+        assert!((r.energy_j - 3.329e-9).abs() < 0.05e-9, "energy {}", r.energy_j);
+    }
+
+    #[test]
+    fn idle_workload_is_static_only() {
+        let p = CircuitParams::paper();
+        let r = estimate(100, 0, &p);
+        assert_eq!(r.avg_w, P_STATIC_W);
+        assert_eq!(r.max_w, P_STATIC_W);
+        assert!((r.energy_j - P_STATIC_W * 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_spikes_cost_more_energy() {
+        let p = CircuitParams::paper();
+        let quiet = estimate(300, 5, &p);
+        let busy = estimate(300, 50, &p);
+        assert!(busy.energy_j > quiet.energy_j);
+        assert!(busy.avg_w > quiet.avg_w);
+        assert_eq!(busy.min_w, quiet.min_w);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_duration_at_fixed_duty() {
+        let p = CircuitParams::paper();
+        let short = estimate(150, 7, &p);
+        let long = estimate(300, 14, &p);
+        assert!((long.energy_j / short.energy_j - 2.0).abs() < 0.01);
+        assert!((long.avg_w - short.avg_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_breakdown_sums_to_paper_total() {
+        let a = AreaBreakdown::paper();
+        assert!((a.total_mm2() - 0.0125).abs() < 1e-6, "total {}", a.total_mm2());
+    }
+
+    #[test]
+    fn layer_estimate_scales_with_size() {
+        let p = CircuitParams::paper();
+        let one = estimate_layer(300, 14, 1, 1, &p);
+        let ten = estimate_layer(300, 14, 10, 10, &p);
+        assert!((ten.avg_w / one.avg_w - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one input spike per step")]
+    fn too_many_spikes_panics() {
+        estimate(10, 11, &CircuitParams::paper());
+    }
+}

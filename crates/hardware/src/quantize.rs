@@ -1,0 +1,167 @@
+//! Symmetric uniform weight quantization for crossbar deployment.
+
+use serde::{Deserialize, Serialize};
+use snn_tensor::Matrix;
+
+/// Symmetric uniform quantizer mapping signed weights onto `bits`-bit
+/// conductance levels (Fig. 8 evaluates 4- and 5-bit cells).
+///
+/// Weights are scaled by the matrix's max-abs value onto the integer
+/// grid `[−(2^{bits−1}−1), 2^{bits−1}−1]`; each level corresponds to one
+/// programmable RRAM conductance state of the differential pair.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hardware::Quantizer;
+/// use snn_tensor::Matrix;
+///
+/// let q = Quantizer::new(4);
+/// let w = Matrix::from_rows(&[&[1.0, -0.5, 0.01]]);
+/// let wq = q.quantize_matrix(&w);
+/// assert!((wq[(0, 0)] - 1.0).abs() < 1e-6); // max maps to max level
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quantizer {
+    bits: u8,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn new(bits: u8) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+        Self { bits }
+    }
+
+    /// Bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of positive levels (`2^{bits−1} − 1`).
+    pub fn levels(&self) -> i32 {
+        (1 << (self.bits - 1)) - 1
+    }
+
+    /// Quantizes one weight given the scale (max-abs of its matrix),
+    /// returning the reconstructed value.
+    pub fn quantize(&self, w: f32, scale: f32) -> f32 {
+        if scale <= 0.0 {
+            return 0.0;
+        }
+        let levels = self.levels() as f32;
+        let q = (w / scale * levels).round().clamp(-levels, levels);
+        q / levels * scale
+    }
+
+    /// The integer level index for one weight.
+    pub fn level_index(&self, w: f32, scale: f32) -> i32 {
+        if scale <= 0.0 {
+            return 0;
+        }
+        let levels = self.levels() as f32;
+        (w / scale * levels).round().clamp(-levels, levels) as i32
+    }
+
+    /// Quantizes a whole matrix with a per-matrix scale.
+    pub fn quantize_matrix(&self, w: &Matrix) -> Matrix {
+        let scale = w.max_abs();
+        let mut out = w.clone();
+        out.map_inplace(|x| self.quantize(x, scale));
+        out
+    }
+
+    /// Worst-case reconstruction error for a matrix with scale `s`:
+    /// half a quantization step.
+    pub fn max_error(&self, scale: f32) -> f32 {
+        0.5 * scale / self.levels() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::Rng;
+
+    #[test]
+    fn levels_for_common_widths() {
+        assert_eq!(Quantizer::new(4).levels(), 7);
+        assert_eq!(Quantizer::new(5).levels(), 15);
+        assert_eq!(Quantizer::new(8).levels(), 127);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let mut rng = Rng::seed_from(1);
+        let w = Matrix::xavier_uniform(20, 20, &mut rng);
+        for bits in [4u8, 5, 8] {
+            let q = Quantizer::new(bits);
+            let wq = q.quantize_matrix(&w);
+            let bound = q.max_error(w.max_abs()) + 1e-6;
+            for (a, b) in w.as_slice().iter().zip(wq.as_slice()) {
+                assert!((a - b).abs() <= bound, "{bits}-bit error {} > {bound}", (a - b).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let mut rng = Rng::seed_from(2);
+        let w = Matrix::xavier_uniform(30, 30, &mut rng);
+        let err = |bits| {
+            let wq = Quantizer::new(bits).quantize_matrix(&w);
+            w.as_slice()
+                .iter()
+                .zip(wq.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+        };
+        assert!(err(5) < err(4));
+        assert!(err(8) < err(5));
+    }
+
+    #[test]
+    fn zero_and_extremes_are_exact() {
+        let q = Quantizer::new(4);
+        assert_eq!(q.quantize(0.0, 1.0), 0.0);
+        assert_eq!(q.quantize(1.0, 1.0), 1.0);
+        assert_eq!(q.quantize(-1.0, 1.0), -1.0);
+    }
+
+    #[test]
+    fn symmetric_in_sign() {
+        let q = Quantizer::new(5);
+        for w in [0.1f32, 0.33, 0.77] {
+            assert_eq!(q.quantize(w, 1.0), -q.quantize(-w, 1.0));
+        }
+    }
+
+    #[test]
+    fn zero_scale_maps_to_zero() {
+        let q = Quantizer::new(4);
+        assert_eq!(q.quantize(0.5, 0.0), 0.0);
+        assert_eq!(q.level_index(0.5, 0.0), 0);
+    }
+
+    #[test]
+    fn quantized_matrix_is_idempotent() {
+        let mut rng = Rng::seed_from(3);
+        let w = Matrix::xavier_uniform(10, 10, &mut rng);
+        let q = Quantizer::new(4);
+        let once = q.quantize_matrix(&w);
+        let twice = q.quantize_matrix(&once);
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn one_bit_panics() {
+        Quantizer::new(1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Continuous-time first-order RC low-pass filter.
+//!
+//! The synapse filter on each crossbar word-line and the neuron's
+//! threshold-feedback filter are both a series resistor driving a
+//! capacitor, with the output taken across the capacitor:
+//! `C·dv/dt = (v_in − v) / R`. The transient engine integrates this with
+//! the exact exponential update for a piecewise-constant input, so the
+//! simulation is unconditionally stable at any substep size.
+
+use serde::{Deserialize, Serialize};
+
+/// A single RC low-pass filter stage.
+///
+/// # Examples
+///
+/// ```
+/// use snn_hardware::RcFilter;
+///
+/// let mut f = RcFilter::new(4.56e3, 10.14e-12);
+/// // Drive with 1 V for one RC period: output reaches 1 − 1/e.
+/// let rc = 4.56e3 * 10.14e-12;
+/// for _ in 0..1000 { f.step(1.0, rc / 1000.0); }
+/// assert!((f.output() - (1.0 - (-1.0f32).exp())).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RcFilter {
+    r: f32,
+    c: f32,
+    v: f32,
+}
+
+impl RcFilter {
+    /// Creates a discharged filter with resistance `r` (Ω) and
+    /// capacitance `c` (F).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is not positive.
+    pub fn new(r: f32, c: f32) -> Self {
+        assert!(r > 0.0 && c > 0.0, "R and C must be positive (r={r}, c={c})");
+        Self { r, c, v: 0.0 }
+    }
+
+    /// Advances the filter by `dt` seconds with a constant input voltage,
+    /// returning the new output. Uses the exact solution
+    /// `v ← v_in + (v − v_in)·e^{−dt/RC}`.
+    pub fn step(&mut self, v_in: f32, dt: f32) -> f32 {
+        let decay = (-dt / (self.r * self.c)).exp();
+        self.v = v_in + (self.v - v_in) * decay;
+        self.v
+    }
+
+    /// Current capacitor voltage.
+    pub fn output(&self) -> f32 {
+        self.v
+    }
+
+    /// Time constant `RC` in seconds.
+    pub fn time_constant(&self) -> f32 {
+        self.r * self.c
+    }
+
+    /// Forces the capacitor voltage (initial conditions in tests).
+    pub fn set_output(&mut self, v: f32) {
+        self.v = v;
+    }
+
+    /// Discharges the capacitor.
+    pub fn reset(&mut self) {
+        self.v = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_filter() -> RcFilter {
+        RcFilter::new(4.56e3, 10.14e-12)
+    }
+
+    #[test]
+    fn step_response_converges_to_input() {
+        let mut f = paper_filter();
+        let rc = f.time_constant();
+        for _ in 0..10_000 {
+            f.step(0.8, rc / 100.0);
+        }
+        assert!((f.output() - 0.8).abs() < 1e-4);
+    }
+
+    #[test]
+    fn decay_is_exponential() {
+        let mut f = paper_filter();
+        f.set_output(1.0);
+        let rc = f.time_constant();
+        f.step(0.0, rc); // exactly one time constant
+        assert!((f.output() - (-1.0f32).exp()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn exact_update_is_substep_invariant() {
+        // Integrating one RC in 1 substep or 1000 must agree exactly
+        // (property of the exponential integrator).
+        let mut coarse = paper_filter();
+        let mut fine = paper_filter();
+        let rc = coarse.time_constant();
+        coarse.step(0.6, rc);
+        for _ in 0..1000 {
+            fine.step(0.6, rc / 1000.0);
+        }
+        assert!((coarse.output() - fine.output()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pulse_train_accumulates_like_discrete_filter() {
+        // A 10 ns pulse per step with amplitude A: after the pulse the
+        // capacitor holds A(1 − e^{−Δt/RC}) plus decayed history — the
+        // physical realisation of k[t] = a·k[t−1] + const·x[t].
+        let p = crate::CircuitParams::paper();
+        let mut f = paper_filter();
+        let mut discrete = 0.0f32;
+        let a = (-p.step_seconds / f.time_constant()).exp();
+        let charge = 1.0 - (-p.step_seconds / f.time_constant()).exp();
+        for step in 0..30 {
+            let spike = step % 7 == 0;
+            let v_in = if spike { 1.0 } else { 0.0 };
+            f.step(v_in, p.step_seconds);
+            discrete = a * discrete + if spike { charge } else { 0.0 };
+            assert!(
+                (f.output() - discrete).abs() < 1e-4,
+                "step {step}: {} vs {discrete}",
+                f.output()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_discharges() {
+        let mut f = paper_filter();
+        f.step(1.0, 1e-7);
+        f.reset();
+        assert_eq!(f.output(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_component_panics() {
+        RcFilter::new(0.0, 1e-12);
+    }
+}

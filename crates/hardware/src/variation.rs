@@ -1,0 +1,127 @@
+//! RRAM process-variation model (Fig. 8's x-axis).
+
+use serde::{Deserialize, Serialize};
+use snn_tensor::{Matrix, Rng};
+
+/// Multiplicative resistance deviation applied to every programmed
+/// device.
+///
+/// Following the paper's Fig. 8 protocol ("process variation (resistance
+/// deviation) ranging from 0 to 0.5"), each device's conductance is
+/// perturbed as `g′ = g · (1 + σ·ξ)` with `ξ ~ N(0, 1)` truncated at
+/// ±3σ so devices never flip sign or go negative for σ ≤ 0.33 (clamped
+/// at 0 beyond that).
+///
+/// # Examples
+///
+/// ```
+/// use snn_hardware::VariationModel;
+/// use snn_tensor::{Matrix, Rng};
+///
+/// let model = VariationModel::new(0.2);
+/// let mut rng = Rng::seed_from(1);
+/// let g = Matrix::full(4, 4, 1.0);
+/// let perturbed = model.apply(&g, &mut rng);
+/// assert_ne!(perturbed, g);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    sigma: f32,
+}
+
+impl VariationModel {
+    /// Creates a model with relative deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(sigma: f32) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative, got {sigma}");
+        Self { sigma }
+    }
+
+    /// The relative deviation.
+    pub fn sigma(&self) -> f32 {
+        self.sigma
+    }
+
+    /// Perturbation factor for one device.
+    pub fn factor(&self, rng: &mut Rng) -> f32 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let xi = rng.normal().clamp(-3.0, 3.0);
+        (1.0 + self.sigma * xi).max(0.0)
+    }
+
+    /// Applies independent deviation to every entry of a conductance (or
+    /// effective-weight) matrix. Sign is preserved: the deviation acts on
+    /// the device magnitude of the differential pair.
+    pub fn apply(&self, g: &Matrix, rng: &mut Rng) -> Matrix {
+        let mut out = g.clone();
+        for x in out.as_mut_slice() {
+            *x *= self.factor(rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_tensor::stats;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let model = VariationModel::new(0.0);
+        let mut rng = Rng::seed_from(4);
+        let g = Matrix::full(3, 3, 0.7);
+        assert_eq!(model.apply(&g, &mut rng), g);
+    }
+
+    #[test]
+    fn factors_have_requested_spread() {
+        let model = VariationModel::new(0.2);
+        let mut rng = Rng::seed_from(5);
+        let factors: Vec<f32> = (0..20_000).map(|_| model.factor(&mut rng)).collect();
+        let mean = stats::mean(&factors);
+        let std = stats::std_dev(&factors);
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((std - 0.2).abs() < 0.02, "std {std}");
+    }
+
+    #[test]
+    fn factors_never_negative() {
+        let model = VariationModel::new(0.5);
+        let mut rng = Rng::seed_from(6);
+        assert!((0..50_000).all(|_| model.factor(&mut rng) >= 0.0));
+    }
+
+    #[test]
+    fn sign_is_preserved() {
+        let model = VariationModel::new(0.5);
+        let mut rng = Rng::seed_from(7);
+        let g = Matrix::from_rows(&[&[1.0, -1.0], &[0.5, -0.5]]);
+        let p = model.apply(&g, &mut rng);
+        for (orig, new) in g.as_slice().iter().zip(p.as_slice()) {
+            assert!(orig.signum() == new.signum() || *new == 0.0);
+        }
+    }
+
+    #[test]
+    fn larger_sigma_larger_spread() {
+        let spread = |sigma: f32| {
+            let model = VariationModel::new(sigma);
+            let mut rng = Rng::seed_from(8);
+            let f: Vec<f32> = (0..5000).map(|_| model.factor(&mut rng)).collect();
+            stats::std_dev(&f)
+        };
+        assert!(spread(0.4) > spread(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        VariationModel::new(-0.1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the hardware models.
+
+use proptest::prelude::*;
+use snn_hardware::{CircuitParams, Crossbar, Quantizer, RcFilter, VariationModel};
+use snn_tensor::{Matrix, Rng};
+
+fn weight_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1.0f32..1.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn quantization_error_never_exceeds_half_step(
+        w in weight_matrix(8), bits in 2u8..10
+    ) {
+        let q = Quantizer::new(bits);
+        let scale = w.max_abs();
+        let wq = q.quantize_matrix(&w);
+        let bound = q.max_error(scale) + 1e-6;
+        for (a, b) in w.as_slice().iter().zip(wq.as_slice()) {
+            prop_assert!((a - b).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn quantization_is_idempotent(w in weight_matrix(6), bits in 2u8..9) {
+        let q = Quantizer::new(bits);
+        let once = q.quantize_matrix(&w);
+        let twice = q.quantize_matrix(&once);
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn crossbar_effective_weights_match_quantized_weights(
+        w in weight_matrix(6), bits in 3u8..9
+    ) {
+        let q = Quantizer::new(bits);
+        let xbar = Crossbar::program(&w, q, 1e-4);
+        let expected = q.quantize_matrix(&w);
+        let got = xbar.effective_weights();
+        for (a, b) in expected.as_slice().iter().zip(got.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn crossbar_currents_are_linear_in_voltage(w in weight_matrix(5), alpha in 0.1f32..3.0) {
+        let xbar = Crossbar::program(&w, Quantizer::new(8), 1e-4);
+        let v: Vec<f32> = (0..xbar.wordlines()).map(|i| 0.1 + 0.05 * i as f32).collect();
+        let scaled: Vec<f32> = v.iter().map(|x| alpha * x).collect();
+        let i1 = xbar.bitline_currents(&scaled);
+        let i2: Vec<f32> = xbar.bitline_currents(&v).into_iter().map(|x| alpha * x).collect();
+        for (a, b) in i1.iter().zip(&i2) {
+            prop_assert!((a - b).abs() < 1e-8 + 1e-3 * b.abs());
+        }
+    }
+
+    #[test]
+    fn variation_preserves_mean_on_average(sigma in 0.0f32..0.5, seed in 0u64..100) {
+        let model = VariationModel::new(sigma);
+        let mut rng = Rng::seed_from(seed);
+        let g = Matrix::full(40, 40, 1.0);
+        let p = model.apply(&g, &mut rng);
+        let mean: f32 = p.as_slice().iter().sum::<f32>() / 1600.0;
+        prop_assert!((mean - 1.0).abs() < 0.08, "mean drifted to {mean}");
+    }
+
+    #[test]
+    fn rc_filter_output_bounded_by_input_range(
+        inputs in proptest::collection::vec(0.0f32..1.2, 50)
+    ) {
+        let p = CircuitParams::paper();
+        let mut f = RcFilter::new(p.r_filter, p.c_filter);
+        let hi = 1.2f32;
+        for &v in &inputs {
+            let out = f.step(v, p.step_seconds);
+            prop_assert!(out >= -1e-6 && out <= hi + 1e-6);
+        }
+    }
+
+    #[test]
+    fn rc_filter_exponential_update_is_exact(v0 in 0.0f32..1.0, vin in 0.0f32..1.0, dt_ns in 0.1f32..100.0) {
+        let p = CircuitParams::paper();
+        let mut f = RcFilter::new(p.r_filter, p.c_filter);
+        f.set_output(v0);
+        let dt = dt_ns * 1e-9;
+        let out = f.step(vin, dt);
+        let expected = vin + (v0 - vin) * (-dt / p.rc_seconds()).exp();
+        prop_assert!((out - expected).abs() < 1e-5);
+    }
+}

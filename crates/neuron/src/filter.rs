@@ -1,0 +1,191 @@
+//! First-order exponential low-pass filter bank (paper eq. 5).
+
+use serde::{Deserialize, Serialize};
+
+/// A bank of first-order low-pass filters, one per channel.
+///
+/// Implements the discrete-time kernel `k[t] = a·k[t−1] + x[t]` obtained
+/// by Z-transforming the SRM kernel `k(t) = e^{−t/τ}` (paper eq. 5a).
+/// The same recurrence with decay `e^{−1/τr}` realises the reset trace
+/// `h[t]` (eq. 5b). In hardware each channel corresponds to one RC filter
+/// on a crossbar word-line; here it is a vector of state variables that
+/// are **never cleared** during inference — this is precisely the
+/// "memory distributed to filters" property the paper contrasts with the
+/// hard-reset model.
+///
+/// # Examples
+///
+/// ```
+/// use snn_neuron::ExpFilter;
+///
+/// let mut f = ExpFilter::new(2, 0.5);
+/// f.step(&[1.0, 0.0]);
+/// f.step(&[0.0, 1.0]);
+/// assert_eq!(f.state(), &[0.5, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpFilter {
+    decay: f32,
+    state: Vec<f32>,
+}
+
+impl ExpFilter {
+    /// Creates a filter bank with `channels` channels and per-step decay
+    /// factor `decay` (`e^{−1/τ}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not in `[0, 1)`.
+    pub fn new(channels: usize, decay: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decay),
+            "decay must be in [0,1), got {decay}"
+        );
+        Self {
+            decay,
+            state: vec![0.0; channels],
+        }
+    }
+
+    /// Creates a filter bank from a time constant `τ` (in steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau <= 0`.
+    pub fn from_tau(channels: usize, tau: f32) -> Self {
+        assert!(tau > 0.0, "tau must be positive, got {tau}");
+        Self::new(channels, (-1.0 / tau).exp())
+    }
+
+    /// Advances the filter one step: `k ← a·k + x`, returning the new
+    /// state as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the channel count.
+    pub fn step(&mut self, input: &[f32]) -> &[f32] {
+        assert_eq!(
+            input.len(),
+            self.state.len(),
+            "input has {} channels, filter has {}",
+            input.len(),
+            self.state.len()
+        );
+        for (s, &x) in self.state.iter_mut().zip(input) {
+            *s = self.decay * *s + x;
+        }
+        &self.state
+    }
+
+    /// Advances with no input (pure decay).
+    pub fn decay_step(&mut self) -> &[f32] {
+        for s in &mut self.state {
+            *s *= self.decay;
+        }
+        &self.state
+    }
+
+    /// Current filter state.
+    pub fn state(&self) -> &[f32] {
+        &self.state
+    }
+
+    /// The per-step decay factor.
+    pub fn decay(&self) -> f32 {
+        self.decay
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Resets all state to zero (between independent samples, not within
+    /// a sample — the model never clears state mid-sequence).
+    pub fn reset(&mut self) {
+        self.state.fill(0.0);
+    }
+
+    /// The steady-state value reached under a constant unit input:
+    /// `1 / (1 − a)`.
+    pub fn unit_steady_state(&self) -> f32 {
+        1.0 / (1.0 - self.decay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_response_is_exponential() {
+        let tau = 4.0f32;
+        let mut f = ExpFilter::from_tau(1, tau);
+        f.step(&[1.0]);
+        let mut expected = 1.0f32;
+        for _ in 0..20 {
+            let got = f.decay_step()[0];
+            expected *= (-1.0 / tau).exp();
+            assert!((got - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // Linearity: response to x1+x2 equals sum of responses.
+        let mk = || ExpFilter::new(1, 0.7);
+        let x1 = [1.0, 0.0, 0.5, 0.0, 2.0];
+        let x2 = [0.0, 1.0, 0.0, 0.25, 0.0];
+        let (mut fa, mut fb, mut fs) = (mk(), mk(), mk());
+        for t in 0..x1.len() {
+            let a = fa.step(&[x1[t]])[0];
+            let b = fb.step(&[x2[t]])[0];
+            let s = fs.step(&[x1[t] + x2[t]])[0];
+            assert!((s - (a + b)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut f = ExpFilter::new(3, 0.5);
+        f.step(&[1.0, 0.0, 2.0]);
+        assert_eq!(f.state(), &[1.0, 0.0, 2.0]);
+        f.step(&[0.0, 1.0, 0.0]);
+        assert_eq!(f.state(), &[0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_drive_converges_to_steady_state() {
+        let mut f = ExpFilter::new(1, 0.8);
+        for _ in 0..200 {
+            f.step(&[1.0]);
+        }
+        assert!((f.state()[0] - f.unit_steady_state()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = ExpFilter::new(2, 0.9);
+        f.step(&[1.0, 1.0]);
+        f.reset();
+        assert_eq!(f.state(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_tau_matches_manual_decay() {
+        let f = ExpFilter::from_tau(1, 4.0);
+        assert!((f.decay() - (-0.25f32).exp()).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in")]
+    fn decay_out_of_range_panics() {
+        ExpFilter::new(1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn wrong_width_panics() {
+        ExpFilter::new(2, 0.5).step(&[1.0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Conventional hard-reset ODE LIF neuron (paper eq. 1) — the baseline
+//! that Table II's "HR" rows swap in.
+
+use crate::NeuronParams;
+use serde::{Deserialize, Serialize};
+
+/// A population of hard-reset leaky integrate-and-fire neurons.
+///
+/// Discretisation of paper eq. 1: the membrane potential integrates the
+/// weighted input with leak `e^{−1/τ}` and is **cleared to the rest
+/// potential (0) whenever the neuron fires**:
+///
+/// ```text
+/// v[t] = e^{−1/τ}·v[t−1]·(1 − O[t−1]) + I[t]
+/// O[t] = U(v[t] − Vth)
+/// ```
+///
+/// The hard reset destroys all history accumulated in `v` — the property
+/// the paper identifies as the reason this model collapses on
+/// timing-dominated data (26.36 % on SHD vs 85.69 % for the
+/// adaptive-threshold model).
+///
+/// # Examples
+///
+/// ```
+/// use snn_neuron::{HardResetNeuron, NeuronParams};
+///
+/// let mut n = HardResetNeuron::new(1, NeuronParams::paper_defaults());
+/// assert!(n.step(&[1.5])[0]);
+/// assert_eq!(n.potential()[0], 0.0); // history wiped by the reset
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardResetNeuron {
+    params: NeuronParams,
+    decay: f32,
+    v: Vec<f32>,
+    spikes: Vec<bool>,
+}
+
+impl HardResetNeuron {
+    /// Creates a population of `n` hard-reset neurons.
+    pub fn new(n: usize, params: NeuronParams) -> Self {
+        Self {
+            params,
+            decay: params.synapse_decay(),
+            v: vec![0.0; n],
+            spikes: vec![false; n],
+        }
+    }
+
+    /// Advances one step given the weighted input current `I[t]`,
+    /// returning the output spikes. The reset is applied immediately when
+    /// the threshold is crossed, so a potential above `Vth` is never
+    /// carried to the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the population size.
+    pub fn step(&mut self, input: &[f32]) -> &[bool] {
+        assert_eq!(input.len(), self.len(), "input width {} != population {}", input.len(), self.len());
+        for i in 0..input.len() {
+            let mut v = self.decay * self.v[i] + input[i];
+            let fired = v >= self.params.v_th;
+            if fired {
+                v = 0.0; // hard reset: membrane history is destroyed
+            }
+            self.v[i] = v;
+            self.spikes[i] = fired;
+        }
+        &self.spikes
+    }
+
+    /// Current membrane potentials.
+    pub fn potential(&self) -> &[f32] {
+        &self.v
+    }
+
+    /// Spikes emitted at the most recent step.
+    pub fn spikes(&self) -> &[bool] {
+        &self.spikes
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// True if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> NeuronParams {
+        self.params
+    }
+
+    /// Clears all state (between independent input samples).
+    pub fn reset(&mut self) {
+        self.v.fill(0.0);
+        self.spikes.iter_mut().for_each(|s| *s = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single() -> HardResetNeuron {
+        HardResetNeuron::new(1, NeuronParams::paper_defaults())
+    }
+
+    #[test]
+    fn integrates_subthreshold_input() {
+        let mut n = single();
+        n.step(&[0.4]);
+        n.step(&[0.4]);
+        let v = n.potential()[0];
+        // v = 0.4*decay + 0.4
+        let d = NeuronParams::paper_defaults().synapse_decay();
+        assert!((v - (0.4 * d + 0.4)).abs() < 1e-6);
+        assert!(!n.spikes()[0]);
+    }
+
+    #[test]
+    fn fires_and_hard_resets() {
+        let mut n = single();
+        assert!(n.step(&[2.0])[0]);
+        assert_eq!(n.potential()[0], 0.0);
+    }
+
+    #[test]
+    fn reset_discards_history_unlike_soft_reset() {
+        // Build up potential, fire, then a small input is treated exactly
+        // as if the past never happened.
+        let mut fresh = single();
+        let fresh_v = {
+            fresh.step(&[0.3]);
+            fresh.potential()[0]
+        };
+
+        let mut n = single();
+        n.step(&[5.0]); // fire + reset
+        n.step(&[0.3]);
+        assert_eq!(n.potential()[0], fresh_v);
+    }
+
+    #[test]
+    fn leak_decays_potential() {
+        let mut n = single();
+        n.step(&[0.5]);
+        let v1 = n.potential()[0];
+        n.step(&[0.0]);
+        let v2 = n.potential()[0];
+        assert!(v2 < v1 && v2 > 0.0);
+    }
+
+    #[test]
+    fn can_fire_every_step_without_adaptation() {
+        // Unlike the adaptive-threshold model, constant supra-threshold
+        // drive makes a hard-reset neuron fire at every step.
+        let mut n = single();
+        let fired = (0..50).filter(|_| n.step(&[1.5])[0]).count();
+        assert_eq!(fired, 50);
+    }
+
+    #[test]
+    fn population_independence() {
+        let mut n = HardResetNeuron::new(2, NeuronParams::paper_defaults());
+        let out = n.step(&[1.5, 0.2]).to_vec();
+        assert_eq!(out, vec![true, false]);
+        assert_eq!(n.potential()[0], 0.0);
+        assert!(n.potential()[1] > 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut n = single();
+        n.step(&[0.7]);
+        n.reset();
+        assert_eq!(n.potential()[0], 0.0);
+        assert!(!n.spikes()[0]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Spiking neuron models for temporal pattern learning.
+//!
+//! This crate implements the neuron-level mathematics of Fang et al.,
+//! *"Neuromorphic Algorithm-hardware Codesign for Temporal Pattern
+//! Learning"* (DAC 2021):
+//!
+//! * [`ExpFilter`] — the first-order low-pass filters `k(t)` and `h(t)`
+//!   obtained from the Spike Response Model (paper eq. 5a/5b); one filter
+//!   per synapse channel, one per neuron for the reset trace.
+//! * [`AdaptiveThresholdNeuron`] — the paper's hardware-friendly LIF
+//!   reformulation (eqs. 6–12): instead of hard-resetting the membrane
+//!   potential, each output spike raises a time-varying threshold
+//!   `Vth + ϑ·h[t]` that decays exponentially, so historical information
+//!   in the synapse filters is never destroyed.
+//! * [`HardResetNeuron`] — the conventional ODE LIF baseline (eq. 1) that
+//!   the paper's "HR" ablation rows in Table II swap in.
+//! * [`Surrogate`] — pseudo-gradients for the Heaviside spike function
+//!   (eq. 14), used by BPTT in `snn-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use snn_neuron::{AdaptiveThresholdNeuron, NeuronParams};
+//!
+//! let params = NeuronParams::paper_defaults();
+//! let mut neuron = AdaptiveThresholdNeuron::new(1, params);
+//! // Drive one neuron with a strong PSP: it should fire, then be
+//! // suppressed by its own raised threshold.
+//! let first = neuron.step(&[1.5])[0];
+//! let second = neuron.step(&[1.5])[0];
+//! assert!(first && !second);
+//! ```
+
+// Numeric kernels index several arrays per iteration; iterator zips would
+// obscure the recurrences that mirror the paper's equations.
+#![allow(clippy::needless_range_loop)]
+
+mod adaptive;
+mod filter;
+mod hard_reset;
+mod params;
+mod surrogate;
+
+pub use adaptive::AdaptiveThresholdNeuron;
+pub use filter::ExpFilter;
+pub use hard_reset::HardResetNeuron;
+pub use params::NeuronParams;
+pub use surrogate::Surrogate;

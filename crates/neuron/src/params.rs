@@ -1,0 +1,138 @@
+//! Shared neuron hyper-parameters (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the neurosynaptic model.
+///
+/// The defaults follow Table I of the paper: membrane/synapse time
+/// constant `τ = 4`, reset-trace time constant `τr = 4`, unit reset
+/// strength `ϑ`, and unit firing threshold `Vth`. Time constants are in
+/// units of the discrete step `Δt` (the Z-transform discretisation of
+/// eq. 5 gives decay factors `e^{-1/τ}` per step).
+///
+/// # Examples
+///
+/// ```
+/// let p = snn_neuron::NeuronParams::paper_defaults();
+/// assert!((p.synapse_decay() - (-0.25f32).exp()).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeuronParams {
+    /// Synapse filter time constant `τ` (steps).
+    pub tau: f32,
+    /// Reset/threshold trace time constant `τr` (steps).
+    pub tau_r: f32,
+    /// Reset charge strength `ϑ` (how much one output spike raises the
+    /// effective threshold).
+    pub theta: f32,
+    /// Base firing threshold `Vth`.
+    pub v_th: f32,
+}
+
+impl NeuronParams {
+    /// Paper Table I values: `τ = 4`, `τr = 4`, `ϑ = 1`, `Vth = 1`.
+    pub fn paper_defaults() -> Self {
+        Self {
+            tau: 4.0,
+            tau_r: 4.0,
+            theta: 1.0,
+            v_th: 1.0,
+        }
+    }
+
+    /// Per-step synapse filter decay `e^{-1/τ}` (eq. 5a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `τ <= 0`.
+    pub fn synapse_decay(&self) -> f32 {
+        assert!(self.tau > 0.0, "tau must be positive, got {}", self.tau);
+        (-1.0 / self.tau).exp()
+    }
+
+    /// Per-step reset trace decay `e^{-1/τr}` (eq. 5b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `τr <= 0`.
+    pub fn reset_decay(&self) -> f32 {
+        assert!(self.tau_r > 0.0, "tau_r must be positive, got {}", self.tau_r);
+        (-1.0 / self.tau_r).exp()
+    }
+
+    /// Returns a copy with a different synapse time constant (builder-style
+    /// tweak used by the ablation benches).
+    pub fn with_tau(mut self, tau: f32) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Returns a copy with a different reset time constant.
+    pub fn with_tau_r(mut self, tau_r: f32) -> Self {
+        self.tau_r = tau_r;
+        self
+    }
+
+    /// Returns a copy with a different threshold.
+    pub fn with_v_th(mut self, v_th: f32) -> Self {
+        self.v_th = v_th;
+        self
+    }
+
+    /// Returns a copy with a different reset strength.
+    pub fn with_theta(mut self, theta: f32) -> Self {
+        self.theta = theta;
+        self
+    }
+}
+
+impl Default for NeuronParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let p = NeuronParams::paper_defaults();
+        assert_eq!(p.tau, 4.0);
+        assert_eq!(p.tau_r, 4.0);
+        assert_eq!(p.theta, 1.0);
+        assert_eq!(p.v_th, 1.0);
+    }
+
+    #[test]
+    fn decays_are_in_unit_interval() {
+        let p = NeuronParams::paper_defaults();
+        assert!(p.synapse_decay() > 0.0 && p.synapse_decay() < 1.0);
+        assert!(p.reset_decay() > 0.0 && p.reset_decay() < 1.0);
+    }
+
+    #[test]
+    fn larger_tau_decays_slower() {
+        let slow = NeuronParams::paper_defaults().with_tau(16.0);
+        let fast = NeuronParams::paper_defaults().with_tau(2.0);
+        assert!(slow.synapse_decay() > fast.synapse_decay());
+    }
+
+    #[test]
+    fn builder_tweaks() {
+        let p = NeuronParams::paper_defaults()
+            .with_v_th(0.5)
+            .with_theta(2.0)
+            .with_tau_r(8.0);
+        assert_eq!(p.v_th, 0.5);
+        assert_eq!(p.theta, 2.0);
+        assert_eq!(p.tau_r, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn zero_tau_panics() {
+        NeuronParams::paper_defaults().with_tau(0.0).synapse_decay();
+    }
+}

@@ -1,0 +1,153 @@
+//! Pseudo-gradients for the Heaviside spike nonlinearity (paper eq. 14).
+
+use serde::{Deserialize, Serialize};
+
+/// Surrogate derivative of the Heaviside step `U(v − Vth)`.
+///
+/// The true derivative is a Dirac delta, which blocks backpropagation;
+/// the paper (following Neftci et al.) replaces it with the derivative of
+/// a complementary error function:
+///
+/// ```text
+/// U'(x) ≈ exp(−x² / 2σ²) / (√(2π)·σ)       (eq. 14)
+/// ```
+///
+/// with sharpness `σ = 1/√(2π)` by default (Table I), which makes the
+/// peak value exactly 1. Two alternatives are provided for the ablation
+/// study: a rectangular window and the fast-sigmoid derivative.
+///
+/// # Examples
+///
+/// ```
+/// use snn_neuron::Surrogate;
+///
+/// let s = Surrogate::paper_default();
+/// assert!((s.grad(0.0) - 1.0).abs() < 1e-6);  // peak at the threshold
+/// assert!(s.grad(3.0) < s.grad(0.1));          // decays away from it
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Surrogate {
+    /// Gaussian pseudo-derivative of erfc (the paper's choice); `sigma`
+    /// controls sharpness.
+    Erfc {
+        /// Sharpness σ of eq. 14.
+        sigma: f32,
+    },
+    /// Rectangular window: `1/(2w)` for `|x| < w`, else 0.
+    Rect {
+        /// Half-width of the window.
+        width: f32,
+    },
+    /// Fast-sigmoid derivative `1 / (1 + k|x|)²`.
+    FastSigmoid {
+        /// Slope steepness k.
+        slope: f32,
+    },
+}
+
+impl Surrogate {
+    /// The paper's Table I configuration: erfc surrogate with
+    /// `σ = 1/√(2π)`.
+    pub fn paper_default() -> Self {
+        Self::Erfc {
+            sigma: 1.0 / (std::f32::consts::TAU).sqrt(),
+        }
+    }
+
+    /// Evaluates the pseudo-derivative at `x = v − Vth`.
+    pub fn grad(&self, x: f32) -> f32 {
+        match *self {
+            Surrogate::Erfc { sigma } => {
+                let s = sigma.max(1e-6);
+                (-x * x / (2.0 * s * s)).exp() / ((std::f32::consts::TAU).sqrt() * s)
+            }
+            Surrogate::Rect { width } => {
+                let w = width.max(1e-6);
+                if x.abs() < w {
+                    0.5 / w
+                } else {
+                    0.0
+                }
+            }
+            Surrogate::FastSigmoid { slope } => {
+                let d = 1.0 + slope.max(0.0) * x.abs();
+                1.0 / (d * d)
+            }
+        }
+    }
+}
+
+impl Default for Surrogate {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_peak_is_one_at_paper_sigma() {
+        let s = Surrogate::paper_default();
+        assert!((s.grad(0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erfc_is_symmetric_and_decaying() {
+        let s = Surrogate::paper_default();
+        assert!((s.grad(0.5) - s.grad(-0.5)).abs() < 1e-7);
+        assert!(s.grad(0.0) > s.grad(0.5));
+        assert!(s.grad(0.5) > s.grad(2.0));
+        assert!(s.grad(10.0) < 1e-6);
+    }
+
+    #[test]
+    fn erfc_integrates_to_one() {
+        // The pseudo-derivative is a probability density: ∫ grad dx = 1.
+        let s = Surrogate::paper_default();
+        let dx = 0.001f32;
+        let integral: f32 = (-8000..8000).map(|i| s.grad(i as f32 * dx) * dx).sum();
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn sharper_sigma_means_narrower_peak() {
+        let narrow = Surrogate::Erfc { sigma: 0.1 };
+        let wide = Surrogate::Erfc { sigma: 1.0 };
+        assert!(narrow.grad(0.0) > wide.grad(0.0));
+        assert!(narrow.grad(1.0) < wide.grad(1.0));
+    }
+
+    #[test]
+    fn rect_window() {
+        let s = Surrogate::Rect { width: 0.5 };
+        assert_eq!(s.grad(0.0), 1.0);
+        assert_eq!(s.grad(0.6), 0.0);
+        // Integrates to one as well.
+        let dx = 0.001f32;
+        let integral: f32 = (-1000..1000).map(|i| s.grad(i as f32 * dx) * dx).sum();
+        assert!((integral - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn fast_sigmoid_shape() {
+        let s = Surrogate::FastSigmoid { slope: 10.0 };
+        assert_eq!(s.grad(0.0), 1.0);
+        assert!(s.grad(1.0) < 0.05);
+        assert!((s.grad(1.0) - s.grad(-1.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn all_variants_finite_everywhere() {
+        for s in [
+            Surrogate::Erfc { sigma: 1e-9 },
+            Surrogate::Rect { width: 0.0 },
+            Surrogate::FastSigmoid { slope: -1.0 },
+        ] {
+            for x in [-1e6f32, -1.0, 0.0, 1.0, 1e6] {
+                assert!(s.grad(x).is_finite(), "{s:?} at {x}");
+            }
+        }
+    }
+}

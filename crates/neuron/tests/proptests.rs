@@ -1,0 +1,119 @@
+//! Property-based tests for the neuron dynamics invariants.
+
+use proptest::prelude::*;
+use snn_neuron::{AdaptiveThresholdNeuron, ExpFilter, HardResetNeuron, NeuronParams, Surrogate};
+
+fn spike_train(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(prop_oneof![Just(0.0f32), Just(1.0f32)], len)
+}
+
+proptest! {
+    #[test]
+    fn filter_state_is_bounded_by_steady_state(train in spike_train(100), tau in 0.5f32..16.0) {
+        let mut f = ExpFilter::from_tau(1, tau);
+        let bound = f.unit_steady_state() + 1e-3;
+        for &x in &train {
+            let v = f.step(&[x])[0];
+            prop_assert!(v >= 0.0 && v <= bound, "state {v} out of [0, {bound}]");
+        }
+    }
+
+    #[test]
+    fn filter_is_monotone_in_input(train in spike_train(60)) {
+        // Adding one extra spike can only increase the state at every
+        // later time (positivity of the kernel).
+        let mut base = ExpFilter::from_tau(1, 4.0);
+        let mut more = ExpFilter::from_tau(1, 4.0);
+        let extra_at = train.len() / 2;
+        for (t, &x) in train.iter().enumerate() {
+            let b = base.step(&[x])[0];
+            let m = more.step(&[x + if t == extra_at { 1.0 } else { 0.0 }])[0];
+            prop_assert!(m >= b - 1e-6);
+        }
+    }
+
+    #[test]
+    fn adaptive_threshold_never_below_vth(psps in proptest::collection::vec(0.0f32..3.0, 50)) {
+        let params = NeuronParams::paper_defaults();
+        let mut n = AdaptiveThresholdNeuron::new(1, params);
+        for &g in &psps {
+            n.step(&[g]);
+            let th = n.effective_threshold()[0];
+            prop_assert!(th >= params.v_th - 1e-6, "threshold {th} below Vth");
+        }
+    }
+
+    #[test]
+    fn adaptive_neuron_cannot_fire_two_consecutive_steps_at_unit_theta(
+        psps in proptest::collection::vec(0.0f32..1.9, 60)
+    ) {
+        // With ϑ = Vth = 1, a spike raises the next-step threshold to at
+        // least Vth + ϑ·1 = 2; any drive below 2 cannot refire instantly.
+        let mut n = AdaptiveThresholdNeuron::new(1, NeuronParams::paper_defaults());
+        let mut prev = false;
+        for &g in &psps {
+            let fired = n.step(&[g])[0];
+            prop_assert!(!(fired && prev), "fired twice consecutively at drive {g}");
+            prev = fired;
+        }
+    }
+
+    #[test]
+    fn hard_reset_potential_bounded_when_subthreshold_inputs(
+        inputs in proptest::collection::vec(0.0f32..0.2, 80)
+    ) {
+        // Leak + bounded input → potential bounded by input/(1−λ).
+        let params = NeuronParams::paper_defaults();
+        let lambda = params.synapse_decay();
+        let bound = 0.2 / (1.0 - lambda) + 1e-4;
+        let mut n = HardResetNeuron::new(1, params);
+        for &x in &inputs {
+            n.step(&[x]);
+            prop_assert!(n.potential()[0] <= bound);
+            prop_assert!(n.potential()[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hard_reset_spike_count_monotone_in_drive(scale in 1.0f32..3.0) {
+        let params = NeuronParams::paper_defaults();
+        let drive: Vec<f32> = (0..60).map(|t| if t % 3 == 0 { 0.6 } else { 0.1 }).collect();
+        let count = |k: f32| {
+            let mut n = HardResetNeuron::new(1, params);
+            drive.iter().filter(|&&x| n.step(&[k * x])[0]).count()
+        };
+        prop_assert!(count(scale) >= count(1.0));
+    }
+
+    #[test]
+    fn surrogate_grad_nonnegative_and_bounded(x in -100.0f32..100.0, sigma in 0.01f32..5.0) {
+        let s = Surrogate::Erfc { sigma };
+        let g = s.grad(x);
+        prop_assert!(g >= 0.0);
+        prop_assert!(g <= 1.0 / ((std::f32::consts::TAU).sqrt() * sigma) + 1e-6);
+        prop_assert!(g.is_finite());
+    }
+
+    #[test]
+    fn surrogate_is_even(x in 0.0f32..50.0) {
+        for s in [
+            Surrogate::paper_default(),
+            Surrogate::Rect { width: 1.0 },
+            Surrogate::FastSigmoid { slope: 3.0 },
+        ] {
+            prop_assert!((s.grad(x) - s.grad(-x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reset_restores_determinism(train in spike_train(30)) {
+        // Running a neuron, resetting, and re-running the same input
+        // must reproduce the exact same spikes.
+        let params = NeuronParams::paper_defaults().with_v_th(0.5);
+        let mut n = AdaptiveThresholdNeuron::new(1, params);
+        let first: Vec<bool> = train.iter().map(|&x| n.step(&[2.0 * x])[0]).collect();
+        n.reset();
+        let second: Vec<bool> = train.iter().map(|&x| n.step(&[2.0 * x])[0]).collect();
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,28 @@
+//! Minimal dense linear-algebra substrate for the neurosnn workspace.
+//!
+//! The paper's reference implementation relies on PyTorch for tensor
+//! operations; this crate provides the small, CPU-only subset the
+//! reproduction actually needs: a row-major [`Matrix`] with matrix-vector
+//! and matrix-matrix products (including the transposed variants used by
+//! backpropagation-through-time), elementwise kernels, reductions,
+//! weight initializers, and a seedable RNG wrapper so every experiment in
+//! the workspace is reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use snn_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let w = Matrix::xavier_uniform(3, 4, &mut rng);
+//! let x = vec![1.0, 0.0, 1.0, 0.0];
+//! let y = w.matvec(&x);
+//! assert_eq!(y.len(), 3);
+//! ```
+
+mod matrix;
+mod rng;
+pub mod stats;
+
+pub use matrix::{Matrix, ShapeError};
+pub use rng::Rng;

@@ -1,0 +1,199 @@
+//! Seedable random number generation for reproducible experiments.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A seedable random-number generator used throughout the workspace.
+///
+/// Wraps [`rand::rngs::StdRng`] so that every dataset generator, weight
+/// initializer and process-variation model can be driven from a single
+/// `u64` seed, which keeps entire experiments bit-reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use snn_tensor::Rng;
+///
+/// let mut a = Rng::seed_from(7);
+/// let mut b = Rng::seed_from(7);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: StdRng,
+}
+
+impl Rng {
+    /// Creates a generator from an explicit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful for splitting one
+    /// experiment seed into per-component streams.
+    pub fn split(&mut self) -> Self {
+        Self::seed_from(self.inner.gen())
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "uniform range must be non-empty: [{lo}, {hi})");
+        Uniform::new(lo, hi).sample(&mut self.inner)
+    }
+
+    /// Uniform integer sample in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal sample (Box–Muller; mean 0, std 1).
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller keeps us independent of rand_distr.
+        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn coin(&mut self, p: f32) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_range(0.0..1.0f32) < p
+    }
+
+    /// Raw `u64` sample, for deriving sub-seeds.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Poisson sample via inversion (suitable for the small rates used by
+    /// the dataset noise models).
+    pub fn poisson(&mut self, lambda: f32) -> u32 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        let limit = (-lambda).exp();
+        let mut product: f32 = self.inner.gen_range(0.0..1.0);
+        let mut count = 0u32;
+        while product > limit && count < 10_000 {
+            count += 1;
+            product *= self.inner.gen_range(0.0..1.0f32);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from(123);
+        let mut b = Rng::seed_from(123);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = Rng::seed_from(5);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn coin_frequency_tracks_p() {
+        let mut rng = Rng::seed_from(11);
+        let hits = (0..10_000).filter(|_| rng.coin(0.3)).count();
+        let freq = hits as f32 / 10_000.0;
+        assert!((freq - 0.3).abs() < 0.03, "freq {freq}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = Rng::seed_from(13);
+        let n = 10_000;
+        let total: u32 = (0..n).map(|_| rng.poisson(2.5)).sum();
+        let mean = total as f32 / n as f32;
+        assert!((mean - 2.5).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = Rng::seed_from(13);
+        assert_eq!(rng.poisson(0.0), 0);
+        assert_eq!(rng.poisson(-1.0), 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from(17);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = Rng::seed_from(23);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform range")]
+    fn uniform_empty_range_panics() {
+        let mut rng = Rng::seed_from(1);
+        let _ = rng.uniform(1.0, 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use snn_tensor::{stats, Matrix, Rng};
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn vector_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #[test]
+    fn matvec_is_linear(m in matrix_strategy(8), alpha in -3.0f32..3.0) {
+        let x: Vec<f32> = (0..m.cols()).map(|i| (i as f32 * 0.7).sin()).collect();
+        let scaled: Vec<f32> = x.iter().map(|v| alpha * v).collect();
+        let y1 = m.matvec(&scaled);
+        let y2: Vec<f32> = m.matvec(&x).into_iter().map(|v| alpha * v).collect();
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn matvec_t_agrees_with_transpose(m in matrix_strategy(8)) {
+        let x: Vec<f32> = (0..m.rows()).map(|i| (i as f32 * 1.3).cos()).collect();
+        let direct = m.matvec_t(&x);
+        let via = m.transpose().matvec(&x);
+        for (a, b) in direct.iter().zip(&via) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(10)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_outer_then_matvec_matches_rank1_formula(
+        rows in 1usize..6, cols in 1usize..6, alpha in -2.0f32..2.0
+    ) {
+        let u: Vec<f32> = (0..rows).map(|i| i as f32 + 1.0).collect();
+        let v: Vec<f32> = (0..cols).map(|i| 0.5 - i as f32).collect();
+        let x: Vec<f32> = (0..cols).map(|i| (i as f32).sin()).collect();
+        let mut m = Matrix::zeros(rows, cols);
+        m.add_outer(alpha, &u, &v);
+        // (α·u·vᵀ)x = α·u·(vᵀx)
+        let dot: f32 = v.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let y = m.matvec(&x);
+        for (yi, ui) in y.iter().zip(&u) {
+            prop_assert!((yi - alpha * ui * dot).abs() < 1e-3 * (1.0 + yi.abs()));
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_is_homogeneous(m in matrix_strategy(8), alpha in 0.0f32..4.0) {
+        let mut scaled = m.clone();
+        scaled.scale(alpha);
+        prop_assert!((scaled.frobenius_norm() - alpha * m.frobenius_norm()).abs()
+            < 1e-2 * (1.0 + m.frobenius_norm()));
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(v in vector_strategy(10)) {
+        let p = stats::softmax(&v);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        // argmax is preserved.
+        prop_assert_eq!(stats::argmax(&v), stats::argmax(&p));
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(v in vector_strategy(16)) {
+        let m = stats::mean(&v);
+        let lo = v.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(m >= lo - 1e-4 && m <= hi + 1e-4);
+    }
+
+    #[test]
+    fn rng_uniform_stays_in_range(seed in 0u64..1000, lo in -5.0f32..0.0, width in 0.1f32..5.0) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..100 {
+            let x = rng.uniform(lo, lo + width);
+            prop_assert!(x >= lo && x < lo + width);
+        }
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in matrix_strategy(6)) {
+        let left = Matrix::identity(m.rows()).matmul(&m).unwrap();
+        let right = m.matmul(&Matrix::identity(m.cols())).unwrap();
+        prop_assert_eq!(&left, &m);
+        prop_assert_eq!(&right, &m);
+    }
+}

@@ -1,0 +1,66 @@
+//! Classify synthetic SHD-like auditory spike patterns and demonstrate
+//! the hard-reset ablation (paper §V-A, Table II) on a small scale.
+//!
+//! Run with: `cargo run --release --example temporal_classification`
+
+use neurosnn::core::train::{
+    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
+};
+use neurosnn::core::{Network, NeuronKind};
+use neurosnn::data::shd::{generate, ShdConfig};
+use neurosnn::neuron::NeuronParams;
+use neurosnn::tensor::Rng;
+
+fn main() {
+    let cfg = ShdConfig {
+        channels: 64,
+        steps: 50,
+        classes: 6,
+        samples_per_class: 25,
+        ..ShdConfig::small()
+    };
+    let mut rng = Rng::seed_from(11);
+    let split = generate(&cfg, 11).split(0.25, &mut rng);
+    println!(
+        "synthetic SHD: {} train / {} test, {} classes of {} channels",
+        split.train.len(),
+        split.test.len(),
+        split.classes,
+        cfg.channels
+    );
+    println!("classes come in rate-identical pairs that differ only in segment order\n");
+
+    let params = NeuronParams::paper_defaults().with_v_th(0.5);
+    let mut net = Network::mlp(
+        &[cfg.channels, 96, split.classes],
+        NeuronKind::Adaptive,
+        params,
+        &mut rng,
+    );
+    let mut trainer = Trainer::new(TrainerConfig {
+        batch_size: 16,
+        optimizer: Optimizer::adamw(1e-3, 0.0),
+        ..TrainerConfig::default()
+    });
+
+    for epoch in 0..25 {
+        let stats = trainer.epoch_classification(&mut net, &split.train, &RateCrossEntropy);
+        if epoch % 5 == 0 || epoch == 24 {
+            println!(
+                "epoch {epoch:>2}: loss {:.4}, train accuracy {:.1}%",
+                stats.mean_loss,
+                stats.accuracy * 100.0
+            );
+        }
+    }
+
+    let adaptive_acc = evaluate_classification(&net, &split.test);
+    println!("\nadaptive-threshold test accuracy: {:.1}%", adaptive_acc * 100.0);
+
+    // The Table II "HR" ablation: same weights, hard-reset neuron.
+    let mut hr = net.clone();
+    hr.set_neuron_kind(NeuronKind::HardReset);
+    let hr_acc = evaluate_classification(&hr, &split.test);
+    println!("hard-reset swap test accuracy:    {:.1}%", hr_acc * 100.0);
+    println!("\n(paper Table II, real SHD: 85.69% adaptive vs 26.36% hard reset)");
+}

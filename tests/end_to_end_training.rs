@@ -1,0 +1,139 @@
+//! Integration: generate a synthetic dataset, train the paper's model,
+//! evaluate, and run the Table II hard-reset ablation — the whole §V-A
+//! pipeline at test scale.
+
+use neurosnn::core::metrics::confusion;
+use neurosnn::core::train::{
+    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
+};
+use neurosnn::core::{Network, NeuronKind};
+use neurosnn::data::shd::{generate, PairMode, ShdConfig};
+use neurosnn::data::nmnist;
+use neurosnn::neuron::NeuronParams;
+use neurosnn::tensor::Rng;
+
+fn train(
+    net: &mut Network,
+    data: &[(neurosnn::core::SpikeRaster, usize)],
+    epochs: usize,
+    lr: f32,
+) {
+    let mut trainer = Trainer::new(TrainerConfig {
+        batch_size: 16,
+        optimizer: Optimizer::adamw(lr, 0.0),
+        ..TrainerConfig::default()
+    });
+    for _ in 0..epochs {
+        trainer.epoch_classification(net, data, &RateCrossEntropy);
+    }
+}
+
+#[test]
+fn shd_pipeline_learns_above_rate_ceiling() {
+    // 4 classes in 2 rate-identical pairs: a pure rate model cannot
+    // exceed ~50 %; the adaptive-threshold SNN must.
+    let cfg = ShdConfig {
+        channels: 48,
+        steps: 40,
+        classes: 4,
+        samples_per_class: 20,
+        pair_mode: PairMode::Mirror,
+        ..ShdConfig::small()
+    };
+    let mut rng = Rng::seed_from(1);
+    let split = generate(&cfg, 1).split(0.25, &mut rng);
+
+    let mut net = Network::mlp(
+        &[48, 80, 4],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.3),
+        &mut rng,
+    );
+    train(&mut net, &split.train, 25, 1e-3);
+
+    let acc = evaluate_classification(&net, &split.test);
+    assert!(acc > 0.6, "adaptive model should beat the 0.5 rate ceiling, got {acc}");
+
+    let cm = confusion(&net, &split.test, 4);
+    assert!(
+        cm.within_pair_accuracy() > 0.6,
+        "within-pair accuracy should beat chance, got {}",
+        cm.within_pair_accuracy()
+    );
+}
+
+#[test]
+fn hard_reset_swap_degrades_temporal_task() {
+    // The Table II protocol: train adaptive, swap to the eq. 1 ODE model,
+    // accuracy must drop substantially on the timing-dominated data.
+    let cfg = ShdConfig {
+        channels: 48,
+        steps: 40,
+        classes: 4,
+        samples_per_class: 20,
+        pair_mode: PairMode::Mirror,
+        ..ShdConfig::small()
+    };
+    let mut rng = Rng::seed_from(2);
+    let split = generate(&cfg, 2).split(0.25, &mut rng);
+    let mut net = Network::mlp(
+        &[48, 80, 4],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.3),
+        &mut rng,
+    );
+    train(&mut net, &split.train, 25, 1e-3);
+    let adaptive_acc = evaluate_classification(&net, &split.test);
+
+    let mut hr = net.clone();
+    hr.set_neuron_kind(NeuronKind::HardReset);
+    let hr_acc = evaluate_classification(&hr, &split.test);
+
+    assert!(
+        adaptive_acc - hr_acc > 0.15,
+        "HR swap should collapse: adaptive {adaptive_acc} vs HR {hr_acc}"
+    );
+}
+
+#[test]
+fn nmnist_pipeline_reaches_high_accuracy() {
+    let cfg = nmnist::NmnistConfig {
+        samples_per_class: 10,
+        ..nmnist::NmnistConfig::small()
+    };
+    let mut rng = Rng::seed_from(3);
+    let split = nmnist::generate(&cfg, 3).split(0.2, &mut rng);
+    let mut net = Network::mlp(
+        &[cfg.channels(), 80, 10],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.3),
+        &mut rng,
+    );
+    train(&mut net, &split.train, 15, 1e-3);
+    let acc = evaluate_classification(&net, &split.test);
+    assert!(acc > 0.7, "N-MNIST-like accuracy too low: {acc}");
+}
+
+#[test]
+fn training_is_deterministic_given_seed() {
+    let cfg = ShdConfig {
+        channels: 32,
+        steps: 30,
+        classes: 4,
+        samples_per_class: 5,
+        ..ShdConfig::small()
+    };
+    let run = || {
+        let mut rng = Rng::seed_from(9);
+        let split = generate(&cfg, 9).split(0.25, &mut rng);
+        let mut net = Network::mlp(
+            &[32, 40, 4],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.3),
+            &mut rng,
+        );
+        train(&mut net, &split.train, 5, 1e-3);
+        net.layers()[0].weights().clone()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,111 @@
+//! Integration: the §V-B pattern-association pipeline — train with the
+//! van Rossum loss and verify the produced rasters identify their digit.
+
+use neurosnn::core::spike::{raster_distance, TraceKernel};
+use neurosnn::core::train::{Optimizer, Trainer, TrainerConfig, VanRossumLoss};
+use neurosnn::core::{Network, NeuronKind};
+use neurosnn::data::association::{digit_target, generate, nearest_target, AssociationConfig};
+use neurosnn::data::shd::ShdConfig;
+use neurosnn::neuron::NeuronParams;
+use neurosnn::tensor::Rng;
+
+fn small_config() -> AssociationConfig {
+    AssociationConfig {
+        shd: ShdConfig {
+            channels: 48,
+            steps: 40,
+            classes: 10,
+            samples_per_class: 2,
+            ..ShdConfig::small()
+        },
+        target_channels: 24,
+        samples_per_digit: 2,
+    }
+}
+
+#[test]
+fn association_training_reduces_distance_to_targets() {
+    let cfg = small_config();
+    let ds = generate(&cfg, 4);
+    let mut rng = Rng::seed_from(4);
+    let mut net = Network::mlp(
+        &[48, 96, 24],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.3),
+        &mut rng,
+    );
+    let kernel = TraceKernel::paper_defaults();
+    let mean_distance = |net: &Network| {
+        let total: f32 = ds
+            .pairs
+            .iter()
+            .map(|(input, target)| {
+                raster_distance(kernel, &net.forward(input).output_raster(), target)
+            })
+            .sum();
+        total / ds.pairs.len() as f32
+    };
+
+    let before = mean_distance(&net);
+    let mut trainer = Trainer::new(TrainerConfig {
+        batch_size: 10,
+        optimizer: Optimizer::adamw(5e-3, 0.0),
+        ..TrainerConfig::default()
+    });
+    let loss = VanRossumLoss::paper_default();
+    for _ in 0..60 {
+        trainer.epoch_pattern(&mut net, &ds.pairs, &loss);
+    }
+    let after = mean_distance(&net);
+    assert!(
+        after < before * 0.7,
+        "distance should shrink by >30%: {before} -> {after}"
+    );
+}
+
+#[test]
+fn digit_targets_are_mutually_identifiable() {
+    let kernel = TraceKernel::paper_defaults();
+    let targets: Vec<_> = (0..10).map(|d| digit_target(d, 30, 24)).collect();
+    for d in 0..10 {
+        assert_eq!(nearest_target(&targets[d], &targets, kernel), d);
+    }
+}
+
+#[test]
+fn trained_outputs_identify_their_digit_above_chance() {
+    let cfg = small_config();
+    let ds = generate(&cfg, 8);
+    let mut rng = Rng::seed_from(8);
+    let mut net = Network::mlp(
+        &[48, 96, 24],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.3),
+        &mut rng,
+    );
+    let mut trainer = Trainer::new(TrainerConfig {
+        batch_size: 10,
+        optimizer: Optimizer::adamw(5e-3, 0.0),
+        ..TrainerConfig::default()
+    });
+    let loss = VanRossumLoss::paper_default();
+    for _ in 0..80 {
+        trainer.epoch_pattern(&mut net, &ds.pairs, &loss);
+    }
+    let kernel = TraceKernel::paper_defaults();
+    let correct = ds
+        .pairs
+        .iter()
+        .enumerate()
+        .filter(|(i, (input, _))| {
+            nearest_target(&net.forward(input).output_raster(), &ds.targets, kernel)
+                == ds.labels[*i]
+        })
+        .count();
+    // Chance is 2/20 = 10%; require clearly above.
+    assert!(
+        correct as f32 / ds.pairs.len() as f32 > 0.3,
+        "only {correct}/{} identified",
+        ds.pairs.len()
+    );
+}

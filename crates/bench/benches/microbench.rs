@@ -1,17 +1,21 @@
-//! Criterion micro-benchmarks for the core computational kernels behind
-//! every experiment: forward rollout (both neuron models), BPTT, the van
+//! Micro-benchmarks for the core computational kernels behind every
+//! experiment: forward rollout (both neuron models), BPTT, the van
 //! Rossum loss, crossbar evaluation, dataset generation and the analog
 //! transient engine.
+//!
+//! Runs under `cargo bench` with the in-repo harness (`harness = false`);
+//! criterion is unavailable offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snn_core::train::{backward, RateCrossEntropy, ClassificationLoss};
-use snn_core::{Network, NeuronKind, SpikeRaster};
+use bench::timing::Report;
 use snn_core::spike::TraceKernel;
+use snn_core::train::{backward, ClassificationLoss, RateCrossEntropy};
+use snn_core::{Network, NeuronKind, SpikeRaster};
 use snn_data::{nmnist, shd};
 use snn_hardware::deploy::{deploy, DeployConfig};
 use snn_hardware::{transient, CircuitParams};
 use snn_neuron::{NeuronParams, Surrogate};
 use snn_tensor::Rng;
+use std::hint::black_box;
 
 fn demo_input(steps: usize, channels: usize, seed: u64) -> SpikeRaster {
     let mut rng = Rng::seed_from(seed);
@@ -26,22 +30,25 @@ fn demo_input(steps: usize, channels: usize, seed: u64) -> SpikeRaster {
     r
 }
 
-fn bench_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("forward_rollout");
+fn main() {
+    let mut report = Report::new();
+
+    // Forward rollout, both neuron models.
     let input = demo_input(80, 128, 1);
     for kind in [NeuronKind::Adaptive, NeuronKind::HardReset] {
         let mut rng = Rng::seed_from(2);
-        let net = Network::mlp(&[128, 128, 10], kind, NeuronParams::paper_defaults(), &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{kind:?}")),
-            &net,
-            |b, net| b.iter(|| net.forward(&input)),
+        let net = Network::mlp(
+            &[128, 128, 10],
+            kind,
+            NeuronParams::paper_defaults(),
+            &mut rng,
         );
+        report.run(&format!("forward_rollout/{kind:?}"), || {
+            black_box(net.forward(black_box(&input)));
+        });
     }
-    group.finish();
-}
 
-fn bench_bptt(c: &mut Criterion) {
+    // BPTT.
     let mut rng = Rng::seed_from(3);
     let net = Network::mlp(
         &[128, 128, 10],
@@ -52,58 +59,56 @@ fn bench_bptt(c: &mut Criterion) {
     let input = demo_input(80, 128, 4);
     let fwd = net.forward(&input);
     let (_, d_out) = RateCrossEntropy.loss_and_grad(fwd.output(), 3);
-    c.bench_function("bptt_backward_128x128x10_T80", |b| {
-        b.iter(|| backward(&net, &fwd, &d_out, Surrogate::paper_default()))
+    report.run("bptt_backward_128x128x10_T80", || {
+        black_box(backward(&net, &fwd, &d_out, Surrogate::paper_default()));
     });
-}
 
-fn bench_van_rossum(c: &mut Criterion) {
+    // Van Rossum distance.
     let a = demo_input(300, 300, 5);
     let b_r = demo_input(300, 300, 6);
     let kernel = TraceKernel::paper_defaults();
-    c.bench_function("van_rossum_300x300", |b| {
-        b.iter(|| snn_core::spike::raster_distance(kernel, &a, &b_r))
+    report.run("van_rossum_300x300", || {
+        black_box(snn_core::spike::raster_distance(kernel, &a, &b_r));
     });
-}
 
-fn bench_datasets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dataset_generation");
-    group.bench_function("nmnist_sample", |b| {
+    // Dataset generation.
+    {
         let cfg = nmnist::NmnistConfig::small();
         let mut rng = Rng::seed_from(7);
-        b.iter(|| nmnist::simulate_sample(3, &cfg, &mut rng))
-    });
-    group.bench_function("shd_sample", |b| {
+        report.run("dataset/nmnist_sample", || {
+            black_box(nmnist::simulate_sample(3, &cfg, &mut rng));
+        });
+    }
+    {
         let cfg = shd::ShdConfig::small();
         let mut rng = Rng::seed_from(8);
-        b.iter(|| shd::simulate_sample(0, &cfg, &mut rng))
-    });
-    group.finish();
-}
+        report.run("dataset/shd_sample", || {
+            black_box(shd::simulate_sample(0, &cfg, &mut rng));
+        });
+    }
 
-fn bench_hardware(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hardware");
+    // Hardware pipeline.
     let mut rng = Rng::seed_from(9);
-    let net = Network::mlp(&[64, 64, 10], NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
-    group.bench_function("deploy_4bit_sigma02", |b| {
-        b.iter(|| {
-            let mut dep_rng = Rng::seed_from(10);
-            deploy(&net, DeployConfig { bits: 4, deviation: 0.2, g_max: 1e-4 }, &mut dep_rng)
-        })
+    let net = Network::mlp(
+        &[64, 64, 10],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults(),
+        &mut rng,
+    );
+    report.run("hardware/deploy_4bit_sigma02", || {
+        let mut dep_rng = Rng::seed_from(10);
+        black_box(deploy(
+            &net,
+            DeployConfig {
+                bits: 4,
+                deviation: 0.2,
+                g_max: 1e-4,
+            },
+            &mut dep_rng,
+        ));
     });
     let params = CircuitParams::paper();
-    group.bench_function("transient_40steps", |b| {
-        b.iter(|| transient::simulate_neuron(&[4, 5, 6, 10], 40, &params))
+    report.run("hardware/transient_40steps", || {
+        black_box(transient::simulate_neuron(&[4, 5, 6, 10], 40, &params));
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_forward,
-    bench_bptt,
-    bench_van_rossum,
-    bench_datasets,
-    bench_hardware
-);
-criterion_main!(benches);

@@ -41,7 +41,12 @@ fn train_once(
 ) -> f32 {
     let channels = split.train[0].0.channels();
     let mut rng = Rng::seed_from(seed);
-    let mut net = Network::mlp(&[channels, 96, split.classes], NeuronKind::Adaptive, params, &mut rng);
+    let mut net = Network::mlp(
+        &[channels, 96, split.classes],
+        NeuronKind::Adaptive,
+        params,
+        &mut rng,
+    );
     let mut trainer = Trainer::new(TrainerConfig {
         batch_size: 16,
         surrogate,
@@ -101,7 +106,11 @@ fn main() {
         let paper_sigma = 1.0 / std::f32::consts::TAU.sqrt();
         for sigma in [0.05f32, 0.1, paper_sigma, 1.0, 2.0, 5.0] {
             let acc = train_once(&split, base, Surrogate::Erfc { sigma }, epochs, seed);
-            let marker = if (sigma - paper_sigma).abs() < 1e-6 { "  <- paper (1/sqrt(2pi))" } else { "" };
+            let marker = if (sigma - paper_sigma).abs() < 1e-6 {
+                "  <- paper (1/sqrt(2pi))"
+            } else {
+                ""
+            };
             println!("  sigma = {sigma:.4}: {:.1}%{marker}", acc * 100.0);
         }
     }

@@ -60,7 +60,9 @@ fn main() {
     }
 
     let spike_row = |train: &[usize]| -> String {
-        (0..steps).map(|t| if train.contains(&t) { '|' } else { '.' }).collect()
+        (0..steps)
+            .map(|t| if train.contains(&t) { '|' } else { '.' })
+            .collect()
     };
     let out_row: String = outputs.iter().map(|&f| if f { '|' } else { '.' }).collect();
     let max = summed
@@ -90,5 +92,8 @@ fn main() {
     }
 
     let n_out = outputs.iter().filter(|&&f| f).count();
-    println!("\n{n_out} output spikes; after each, the threshold jumps and decays (tau_r = {}).", params.tau_r);
+    println!(
+        "\n{n_out} output spikes; after each, the threshold jumps and decays (tau_r = {}).",
+        params.tau_r
+    );
 }

@@ -54,8 +54,6 @@ fn main() {
     let partner = shd::paired_class(shd_class);
     let mut rng = Rng::seed_from(seed ^ 0xA5);
     let sample2 = shd::simulate_sample(partner, &scfg, &mut rng);
-    println!(
-        "\n(b') partner class {partner} (same per-channel rates, different temporal order):"
-    );
+    println!("\n(b') partner class {partner} (same per-channel rates, different temporal order):");
     print!("{}", sample2.render_ascii(25));
 }

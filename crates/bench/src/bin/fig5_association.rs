@@ -27,7 +27,13 @@ fn main() {
     let (cfg, hidden, epochs, lr) = match scale {
         Scale::Small => (
             AssociationConfig {
-                shd: ShdConfig { channels: 64, steps: 48, classes: 10, samples_per_class: 2, ..ShdConfig::small() },
+                shd: ShdConfig {
+                    channels: 64,
+                    steps: 48,
+                    classes: 10,
+                    samples_per_class: 2,
+                    ..ShdConfig::small()
+                },
                 target_channels: 32,
                 samples_per_digit: 2,
             },
@@ -37,7 +43,13 @@ fn main() {
         ),
         Scale::Medium => (
             AssociationConfig {
-                shd: ShdConfig { channels: 128, steps: 80, classes: 10, samples_per_class: 6, ..ShdConfig::paper() },
+                shd: ShdConfig {
+                    channels: 128,
+                    steps: 80,
+                    classes: 10,
+                    samples_per_class: 6,
+                    ..ShdConfig::paper()
+                },
                 target_channels: 64,
                 samples_per_digit: 6,
             },
@@ -46,12 +58,7 @@ fn main() {
             2e-3,
         ),
         // The paper's 700-500-500-300 with 1000 samples of length 300.
-        Scale::Paper => (
-            AssociationConfig::paper(),
-            vec![500, 500],
-            100,
-            1e-3,
-        ),
+        Scale::Paper => (AssociationConfig::paper(), vec![500, 500], 100, 1e-3),
     };
     let epochs = args.get_usize("epochs", epochs);
 

@@ -12,7 +12,9 @@
 
 use bench::{banner, Args, Scale};
 use snn_core::config::Hyperparams;
-use snn_core::train::{evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
+use snn_core::train::{
+    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
+};
 use snn_core::{Network, NeuronKind};
 use snn_data::nmnist::{generate, NmnistConfig};
 use snn_hardware::deploy::{deploy, DeployConfig};
@@ -30,7 +32,10 @@ fn main() {
 
     let (cfg, hidden, epochs) = match scale {
         Scale::Small => (
-            NmnistConfig { samples_per_class: 8, ..NmnistConfig::small() },
+            NmnistConfig {
+                samples_per_class: 8,
+                ..NmnistConfig::small()
+            },
             vec![64],
             10,
         ),
@@ -71,7 +76,11 @@ fn main() {
     for epoch in 0..epochs {
         let s = trainer.epoch_classification(&mut net, &split.train, &RateCrossEntropy);
         if epoch % 5 == 0 || epoch + 1 == epochs {
-            println!("  training epoch {epoch}: loss {:.4}, acc {:.2}%", s.mean_loss, s.accuracy * 100.0);
+            println!(
+                "  training epoch {epoch}: loss {:.4}, acc {:.2}%",
+                s.mean_loss,
+                s.accuracy * 100.0
+            );
         }
     }
     let sw_acc = evaluate_classification(&net, &split.test);
@@ -86,10 +95,20 @@ fn main() {
         for bits in [4u8, 5] {
             let accs: Vec<f32> = (0..n_seeds)
                 .map(|s| {
-                    let mut dep_rng = Rng::seed_from(seed ^ 0xF18 ^ (s as u64) << 8 | bits as u64);
+                    // Parenthesized so the trial/bits tag is XORed as one
+                    // unit: `^` binds looser than `<<` but tighter than
+                    // `|`, and the old `.. ^ s << 8 | bits` OR-ed `bits`
+                    // into an already-odd seed, giving the 4- and 5-bit
+                    // sweeps identical variation draws.
+                    let mut dep_rng =
+                        Rng::seed_from(seed ^ 0xF18 ^ (((s as u64) << 8) | bits as u64));
                     let dep = deploy(
                         &net,
-                        DeployConfig { bits, deviation: sigma, g_max: 1e-4 },
+                        DeployConfig {
+                            bits,
+                            deviation: sigma,
+                            g_max: 1e-4,
+                        },
                         &mut dep_rng,
                     );
                     evaluate_classification(&dep.network, &split.test)
@@ -121,6 +140,7 @@ fn main() {
                         FaultModel::stuck_off(p).inject(xbar, &mut dep_rng);
                         *layer.weights_mut() = xbar.effective_weights();
                     }
+                    dep.network.sync_caches();
                     evaluate_classification(&dep.network, &split.test)
                 })
                 .collect();

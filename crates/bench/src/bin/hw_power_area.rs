@@ -15,13 +15,28 @@ fn main() {
 
     banner("Section V-C: power, energy and area estimates");
 
-    println!("\nreference workload: {steps} steps x {:.0} ns, {spikes} input spikes", params.step_seconds * 1e9);
+    println!(
+        "\nreference workload: {steps} steps x {:.0} ns, {spikes} input spikes",
+        params.step_seconds * 1e9
+    );
     let r = power::estimate(steps, spikes, &params);
     println!("single neuron + synapse circuit:");
-    println!("  minimum power  {:.3} mW   (paper: 1.067 mW)", r.min_w * 1e3);
-    println!("  maximum power  {:.3} mW   (paper: 1.965 mW)", r.max_w * 1e3);
-    println!("  average power  {:.3} mW   (paper: 1.110 mW)", r.avg_w * 1e3);
-    println!("  total energy   {:.3} nJ   (paper: 3.329 nJ)", r.energy_j * 1e9);
+    println!(
+        "  minimum power  {:.3} mW   (paper: 1.067 mW)",
+        r.min_w * 1e3
+    );
+    println!(
+        "  maximum power  {:.3} mW   (paper: 1.965 mW)",
+        r.max_w * 1e3
+    );
+    println!(
+        "  average power  {:.3} mW   (paper: 1.110 mW)",
+        r.avg_w * 1e3
+    );
+    println!(
+        "  total energy   {:.3} nJ   (paper: 3.329 nJ)",
+        r.energy_j * 1e9
+    );
 
     let area = power::AreaBreakdown::paper();
     println!("\narea breakdown (mm^2):");
@@ -30,7 +45,10 @@ fn main() {
     println!("  filter capacitors   {:.4}", area.filter_capacitors);
     println!("  resistors           {:.4}", area.resistors);
     println!("  inverters + misc    {:.4}", area.inverters_misc);
-    println!("  total               {:.4}   (paper: ~0.0125 mm^2)", area.total_mm2());
+    println!(
+        "  total               {:.4}   (paper: ~0.0125 mm^2)",
+        area.total_mm2()
+    );
 
     // Extrapolation to the paper's network layers (neuron + filter
     // circuitry only; RRAM arrays excluded, as in the paper).
@@ -53,6 +71,10 @@ fn main() {
     println!("\nenergy vs input activity (300-step sample):");
     for s in [0usize, 7, 14, 30, 60, 150, 300] {
         let r = power::estimate(300, s, &params);
-        println!("  {s:>3} spikes: avg {:.3} mW, energy {:.3} nJ", r.avg_w * 1e3, r.energy_j * 1e9);
+        println!(
+            "  {s:>3} spikes: avg {:.3} mW, energy {:.3} nJ",
+            r.avg_w * 1e3,
+            r.energy_j * 1e9
+        );
     }
 }

@@ -18,7 +18,9 @@
 use bench::{banner, Args, Scale};
 use snn_core::config::Hyperparams;
 use snn_core::metrics::confusion;
-use snn_core::train::{evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
+use snn_core::train::{
+    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
+};
 use snn_core::{baseline::RateClassifier, Network, NeuronKind};
 use snn_data::{nmnist, shd, Split};
 use snn_tensor::Rng;
@@ -62,10 +64,21 @@ fn build_nmnist(scale: Scale, seed: u64, epochs_override: Option<usize>) -> Data
     });
     let mut rng = Rng::seed_from(seed);
     let split = nmnist::generate(&cfg, seed).split(0.25, &mut rng);
-    DatasetSpec { name: "N-MNIST (synthetic)", split, hidden, epochs, lr: 1e-3 }
+    DatasetSpec {
+        name: "N-MNIST (synthetic)",
+        split,
+        hidden,
+        epochs,
+        lr: 1e-3,
+    }
 }
 
-fn build_shd(scale: Scale, seed: u64, epochs_override: Option<usize>, pair_mode: shd::PairMode) -> DatasetSpec {
+fn build_shd(
+    scale: Scale,
+    seed: u64,
+    epochs_override: Option<usize>,
+    pair_mode: shd::PairMode,
+) -> DatasetSpec {
     let cfg = match scale {
         Scale::Small => shd::ShdConfig {
             samples_per_class: 8,
@@ -80,7 +93,10 @@ fn build_shd(scale: Scale, seed: u64, epochs_override: Option<usize>, pair_mode:
             pair_mode,
             ..shd::ShdConfig::paper()
         },
-        Scale::Paper => shd::ShdConfig { pair_mode, ..shd::ShdConfig::paper() },
+        Scale::Paper => shd::ShdConfig {
+            pair_mode,
+            ..shd::ShdConfig::paper()
+        },
     };
     let hidden = match scale {
         Scale::Small => vec![64],
@@ -94,7 +110,13 @@ fn build_shd(scale: Scale, seed: u64, epochs_override: Option<usize>, pair_mode:
     });
     let mut rng = Rng::seed_from(seed ^ 0x5D);
     let split = shd::generate(&cfg, seed).split(0.25, &mut rng);
-    DatasetSpec { name: "SHD (synthetic)", split, hidden, epochs, lr: 1e-3 }
+    DatasetSpec {
+        name: "SHD (synthetic)",
+        split,
+        hidden,
+        epochs,
+        lr: 1e-3,
+    }
 }
 
 struct Row {
@@ -145,7 +167,10 @@ fn run_dataset(spec: &DatasetSpec, seed: u64, train_hr: bool, v_th: f32) -> Vec<
         }
     }
     let acc_adaptive = evaluate_classification(&net, &spec.split.test);
-    rows.push(Row { model: "This work (adaptive threshold)".into(), accuracy: acc_adaptive });
+    rows.push(Row {
+        model: "This work (adaptive threshold)".into(),
+        accuracy: acc_adaptive,
+    });
 
     // Pair-confusion diagnosis (classes 2k/2k+1 of the synthetic SHD are
     // rate-identical; within-pair accuracy isolates temporal sensitivity).
@@ -165,14 +190,20 @@ fn run_dataset(spec: &DatasetSpec, seed: u64, train_hr: bool, v_th: f32) -> Vec<
     let mut hr_net = net.clone();
     hr_net.set_neuron_kind(NeuronKind::HardReset);
     let acc_hr = evaluate_classification(&hr_net, &spec.split.test);
-    rows.push(Row { model: "This work (HR swap, eq. 1 ODE)".into(), accuracy: acc_hr });
+    rows.push(Row {
+        model: "This work (HR swap, eq. 1 ODE)".into(),
+        accuracy: acc_hr,
+    });
 
     // Diagnostic: hard reset with gain matched to the synapse kernel,
     // isolating reset-induced memory loss from the gain mismatch.
     let mut hr_matched = net.clone();
     hr_matched.set_neuron_kind(NeuronKind::HardResetMatched);
     let acc_hrm = evaluate_classification(&hr_matched, &spec.split.test);
-    rows.push(Row { model: "  (HR swap, gain-matched)".into(), accuracy: acc_hrm });
+    rows.push(Row {
+        model: "  (HR swap, gain-matched)".into(),
+        accuracy: acc_hrm,
+    });
 
     // --- Optionally train the HR model from scratch ---
     if train_hr {
@@ -189,7 +220,10 @@ fn run_dataset(spec: &DatasetSpec, seed: u64, train_hr: bool, v_th: f32) -> Vec<
             trainer.epoch_classification(&mut net_hr, &data, &RateCrossEntropy);
         }
         let acc = evaluate_classification(&net_hr, &spec.split.test);
-        rows.push(Row { model: "Hard-reset LIF (trained)".into(), accuracy: acc });
+        rows.push(Row {
+            model: "Hard-reset LIF (trained)".into(),
+            accuracy: acc,
+        });
     }
 
     // --- Rate-coding baseline (single window = pure rate) ---

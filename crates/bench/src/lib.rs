@@ -2,6 +2,8 @@
 //! argument parser and experiment-scale presets, so every table/figure
 //! binary offers the same `--scale`, `--seed`, `--epochs` interface.
 
+pub mod timing;
+
 use std::collections::HashMap;
 
 /// Experiment scale preset.
@@ -66,7 +68,8 @@ impl Args {
                     .map(|next| !next.starts_with("--"))
                     .unwrap_or(false);
                 if is_value {
-                    out.values.insert(name.to_string(), iter.next().unwrap_or_default());
+                    out.values
+                        .insert(name.to_string(), iter.next().unwrap_or_default());
                 } else {
                     out.flags.push(name.to_string());
                 }

@@ -1,0 +1,182 @@
+//! Minimal wall-clock benchmarking harness.
+//!
+//! The workspace builds offline, so criterion is unavailable; this module
+//! provides the subset the repo needs — auto-calibrated iteration counts,
+//! best-of-N timing to suppress scheduler noise, and a JSON report writer
+//! (`BENCH_*.json`) so every PR leaves a machine-readable perf record.
+
+use snn_json::Json;
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (stable key for trend tracking).
+    pub name: String,
+    /// Nanoseconds per iteration (best sample).
+    pub ns_per_iter: f64,
+    /// Iterations per timed sample.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the measurement.
+    pub fn per_second(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1e9 / self.ns_per_iter
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Runs `f` repeatedly and returns the best-sample time per iteration.
+///
+/// Calibrates the iteration count so one sample takes ≈`budget_ms`, then
+/// takes `samples` samples and keeps the minimum (the standard way to
+/// estimate the noise-free cost of a CPU-bound kernel).
+pub fn bench_with<F: FnMut()>(name: &str, budget_ms: f64, samples: u32, mut f: F) -> Measurement {
+    // Warm up and calibrate.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        if elapsed >= budget_ms.min(5.0) || iters >= 1 << 30 {
+            let target = (iters as f64 * budget_ms / elapsed.max(1e-3)).ceil();
+            iters = (target as u64).clamp(1, 1 << 30);
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        best = best.min(ns);
+    }
+    Measurement {
+        name: name.to_string(),
+        ns_per_iter: best,
+        iters,
+    }
+}
+
+/// [`bench_with`] with the default budget (50 ms/sample, 3 samples).
+pub fn bench<F: FnMut()>(name: &str, f: F) -> Measurement {
+    bench_with(name, 50.0, 3, f)
+}
+
+/// Collects measurements and extra scalar metrics into a `BENCH_*.json`
+/// report.
+#[derive(Debug, Default)]
+pub struct Report {
+    measurements: Vec<Measurement>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs a benchmark, prints a one-line summary, and records it.
+    pub fn run<F: FnMut()>(&mut self, name: &str, f: F) -> &Measurement {
+        let m = bench(name, f);
+        println!("{:<44} {:>12.0} ns/iter", m.name, m.ns_per_iter);
+        self.measurements.push(m);
+        self.measurements.last().expect("just pushed")
+    }
+
+    /// Records a derived scalar metric (speedups, scaling efficiencies…).
+    pub fn metric(&mut self, name: &str, value: f64) {
+        println!("{name:<44} {value:>12.3}");
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Looks up a recorded measurement by name.
+    pub fn get(&self, name: &str) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.name == name)
+    }
+
+    /// Renders the report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "benchmarks",
+                Json::Arr(
+                    self.measurements
+                        .iter()
+                        .map(|m| {
+                            Json::obj(vec![
+                                ("name", Json::from(m.name.as_str())),
+                                ("ns_per_iter", Json::from(m.ns_per_iter)),
+                                ("iters", Json::from(m.iters as usize)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the report to `path` as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().pretty() + "\n")?;
+        println!("wrote {path}");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let mut x = 0u64;
+        let m = bench_with("noop-ish", 1.0, 2, || {
+            x = x.wrapping_add(1);
+            std::hint::black_box(x);
+        });
+        assert!(m.ns_per_iter >= 0.0 && m.ns_per_iter.is_finite());
+        assert!(m.iters >= 1);
+        assert!(m.per_second() > 0.0);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let mut r = Report::new();
+        r.run("spin", || {
+            std::hint::black_box(42u64);
+        });
+        r.metric("speedup", 3.5);
+        let j = r.to_json();
+        assert!(j.get("benchmarks").unwrap().as_array().unwrap().len() == 1);
+        assert_eq!(
+            j.get("metrics").unwrap().get("speedup").unwrap().as_f64(),
+            Some(3.5)
+        );
+        assert!(r.get("spin").is_some());
+        assert!(r.get("missing").is_none());
+    }
+}

@@ -8,7 +8,6 @@
 //! much of each dataset is solvable *without* temporal dynamics.
 
 use crate::SpikeRaster;
-use serde::{Deserialize, Serialize};
 use snn_tensor::{stats, Matrix, Rng};
 
 /// Softmax regression over windowed spike-count features.
@@ -29,7 +28,7 @@ use snn_tensor::{stats, Matrix, Rng};
 /// let sample = SpikeRaster::zeros(10, 4);
 /// assert!(clf.predict(&sample) < 2);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RateClassifier {
     weights: Matrix,
     bias: Vec<f32>,

@@ -3,13 +3,20 @@
 //! The deployment pipeline (train in software → program crossbars) needs
 //! trained weights to outlive a process; JSON keeps checkpoints
 //! human-inspectable and diff-able, which matters for a reproduction
-//! repository.
+//! repository. Serialization is hand-rolled on top of [`snn_json`]
+//! (shortest-roundtrip float formatting), so weights survive
+//! save → load bit-exactly with no third-party dependencies.
 
-use crate::Network;
+use crate::{DenseLayer, Network, NeuronKind};
+use snn_json::Json;
+use snn_neuron::NeuronParams;
+use snn_tensor::Matrix;
 use std::fmt;
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::fs;
 use std::path::Path;
+
+/// Schema tag written into every checkpoint.
+const FORMAT: &str = "neurosnn-checkpoint-v1";
 
 /// Error loading or saving a checkpoint.
 #[derive(Debug)]
@@ -17,7 +24,7 @@ pub enum CheckpointError {
     /// Filesystem error.
     Io(std::io::Error),
     /// Malformed checkpoint contents.
-    Parse(serde_json::Error),
+    Parse(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -33,7 +40,7 @@ impl std::error::Error for CheckpointError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CheckpointError::Io(e) => Some(e),
-            CheckpointError::Parse(e) => Some(e),
+            CheckpointError::Parse(_) => None,
         }
     }
 }
@@ -44,9 +51,24 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-impl From<serde_json::Error> for CheckpointError {
-    fn from(e: serde_json::Error) -> Self {
-        CheckpointError::Parse(e)
+fn parse_err(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError::Parse(msg.into())
+}
+
+fn kind_name(kind: NeuronKind) -> &'static str {
+    match kind {
+        NeuronKind::Adaptive => "Adaptive",
+        NeuronKind::HardReset => "HardReset",
+        NeuronKind::HardResetMatched => "HardResetMatched",
+    }
+}
+
+fn kind_from_name(name: &str) -> Result<NeuronKind, CheckpointError> {
+    match name {
+        "Adaptive" => Ok(NeuronKind::Adaptive),
+        "HardReset" => Ok(NeuronKind::HardReset),
+        "HardResetMatched" => Ok(NeuronKind::HardResetMatched),
+        other => Err(parse_err(format!("unknown neuron kind {other:?}"))),
     }
 }
 
@@ -54,30 +76,144 @@ impl From<serde_json::Error> for CheckpointError {
 ///
 /// # Errors
 ///
-/// Returns [`CheckpointError::Parse`] if serialization fails (which only
-/// happens for non-finite weights under strict JSON).
+/// Infallible in practice (kept as a `Result` for API stability);
+/// non-finite weights serialize as `null` and fail on reload.
 pub fn to_json(net: &Network) -> Result<String, CheckpointError> {
-    Ok(serde_json::to_string(net)?)
+    let layers: Vec<Json> = net
+        .layers()
+        .iter()
+        .map(|layer| {
+            let p = layer.params();
+            Json::obj(vec![
+                ("kind", Json::from(kind_name(layer.kind()))),
+                (
+                    "params",
+                    Json::obj(vec![
+                        ("tau", Json::from(p.tau)),
+                        ("tau_r", Json::from(p.tau_r)),
+                        ("theta", Json::from(p.theta)),
+                        ("v_th", Json::from(p.v_th)),
+                    ]),
+                ),
+                ("rows", Json::from(layer.n_out())),
+                ("cols", Json::from(layer.n_in())),
+                ("weights", Json::f32_array(layer.weights().as_slice())),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("format", Json::from(FORMAT)),
+        ("layers", Json::Arr(layers)),
+    ]);
+    Ok(doc.to_string())
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, CheckpointError> {
+    obj.get(key)
+        .ok_or_else(|| parse_err(format!("missing field {key:?}")))
+}
+
+fn f32_field(obj: &Json, key: &str) -> Result<f32, CheckpointError> {
+    field(obj, key)?
+        .as_f32()
+        .ok_or_else(|| parse_err(format!("field {key:?} is not a number")))
 }
 
 /// Deserializes a network from a JSON string.
 ///
 /// # Errors
 ///
-/// Returns [`CheckpointError::Parse`] on malformed input.
+/// Returns [`CheckpointError::Parse`] on malformed input, an unknown
+/// format tag, inconsistent shapes, or non-finite weights.
 pub fn from_json(json: &str) -> Result<Network, CheckpointError> {
-    Ok(serde_json::from_str(json)?)
+    let doc = Json::parse(json).map_err(|e| parse_err(e.to_string()))?;
+    let format = field(&doc, "format")?
+        .as_str()
+        .ok_or_else(|| parse_err("format tag is not a string"))?;
+    if format != FORMAT {
+        return Err(parse_err(format!(
+            "unsupported checkpoint format {format:?}"
+        )));
+    }
+    let layers_json = field(&doc, "layers")?
+        .as_array()
+        .ok_or_else(|| parse_err("layers is not an array"))?;
+    let mut layers = Vec::with_capacity(layers_json.len());
+    for (i, lj) in layers_json.iter().enumerate() {
+        let kind = kind_from_name(
+            field(lj, "kind")?
+                .as_str()
+                .ok_or_else(|| parse_err("kind is not a string"))?,
+        )?;
+        let pj = field(lj, "params")?;
+        let params = NeuronParams {
+            tau: f32_field(pj, "tau")?,
+            tau_r: f32_field(pj, "tau_r")?,
+            theta: f32_field(pj, "theta")?,
+            v_th: f32_field(pj, "v_th")?,
+        };
+        let rows = field(lj, "rows")?
+            .as_usize()
+            .ok_or_else(|| parse_err("rows is not an integer"))?;
+        let cols = field(lj, "cols")?
+            .as_usize()
+            .ok_or_else(|| parse_err("cols is not an integer"))?;
+        let wj = field(lj, "weights")?
+            .as_array()
+            .ok_or_else(|| parse_err("weights is not an array"))?;
+        // checked_mul: absurd dims in a malformed file must be a parse
+        // error, not an overflow panic (or a wrapped-to-0 silent accept).
+        let expected = rows
+            .checked_mul(cols)
+            .ok_or_else(|| parse_err(format!("layer {i}: dimensions {rows}x{cols} overflow")))?;
+        if wj.len() != expected {
+            return Err(parse_err(format!(
+                "layer {i}: weight count {} does not match {rows}x{cols}",
+                wj.len()
+            )));
+        }
+        let mut data = Vec::with_capacity(wj.len());
+        for w in wj {
+            let x = w
+                .as_f32()
+                .ok_or_else(|| parse_err(format!("layer {i}: non-numeric weight")))?;
+            if !x.is_finite() {
+                return Err(parse_err(format!("layer {i}: non-finite weight")));
+            }
+            data.push(x);
+        }
+        layers.push(DenseLayer::from_weights(
+            Matrix::from_vec(rows, cols, data),
+            kind,
+            params,
+        ));
+    }
+    if layers.is_empty() {
+        return Err(parse_err("checkpoint has no layers"));
+    }
+    // Validate chaining here: `Network::from_layers` asserts on
+    // mismatched widths, but malformed *input* must surface as a parse
+    // error, not a panic.
+    for (i, pair) in layers.windows(2).enumerate() {
+        if pair[0].n_out() != pair[1].n_in() {
+            return Err(parse_err(format!(
+                "layer widths do not chain: layer {i} outputs {} but layer {} expects {}",
+                pair[0].n_out(),
+                i + 1,
+                pair[1].n_in()
+            )));
+        }
+    }
+    Ok(Network::from_layers(layers))
 }
 
 /// Saves a network to a file.
 ///
 /// # Errors
 ///
-/// Returns an error if the file cannot be written or the network cannot
-/// be serialized.
+/// Returns an error if the file cannot be written.
 pub fn save(net: &Network, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let file = File::create(path)?;
-    serde_json::to_writer(BufWriter::new(file), net)?;
+    fs::write(path, to_json(net)?)?;
     Ok(())
 }
 
@@ -87,20 +223,23 @@ pub fn save(net: &Network, path: impl AsRef<Path>) -> Result<(), CheckpointError
 ///
 /// Returns an error if the file cannot be read or parsed.
 pub fn load(path: impl AsRef<Path>) -> Result<Network, CheckpointError> {
-    let file = File::open(path)?;
-    Ok(serde_json::from_reader(BufReader::new(file))?)
+    from_json(&fs::read_to_string(path)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{NeuronKind, SpikeRaster};
-    use snn_neuron::NeuronParams;
+    use crate::SpikeRaster;
     use snn_tensor::Rng;
 
     fn sample_net() -> Network {
         let mut rng = Rng::seed_from(17);
-        Network::mlp(&[5, 8, 3], NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng)
+        Network::mlp(
+            &[5, 8, 3],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -130,13 +269,72 @@ mod tests {
         let mut net = sample_net();
         net.set_neuron_kind(NeuronKind::HardReset);
         let restored = from_json(&to_json(&net).unwrap()).unwrap();
-        assert!(restored.layers().iter().all(|l| l.kind() == NeuronKind::HardReset));
+        assert!(restored
+            .layers()
+            .iter()
+            .all(|l| l.kind() == NeuronKind::HardReset));
+    }
+
+    #[test]
+    fn roundtrip_preserves_custom_params() {
+        let mut rng = Rng::seed_from(3);
+        let params = NeuronParams::paper_defaults().with_v_th(0.35).with_tau(7.5);
+        let net = Network::mlp(&[3, 2], NeuronKind::HardResetMatched, params, &mut rng);
+        let restored = from_json(&to_json(&net).unwrap()).unwrap();
+        assert_eq!(restored.layers()[0].params(), params);
+        assert_eq!(restored.layers()[0].kind(), NeuronKind::HardResetMatched);
     }
 
     #[test]
     fn malformed_json_is_an_error() {
         let err = from_json("{not json").unwrap_err();
         assert!(err.to_string().contains("parse"));
+    }
+
+    #[test]
+    fn wrong_format_tag_is_an_error() {
+        let err = from_json(r#"{"format": "something-else", "layers": []}"#).unwrap_err();
+        assert!(err.to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn non_finite_weight_is_an_error() {
+        let mut net = sample_net();
+        net.layers_mut()[0].weights_mut()[(0, 0)] = f32::NAN;
+        let json = to_json(&net).unwrap();
+        let err = from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("non-"), "{err}");
+    }
+
+    #[test]
+    fn unchained_layer_widths_are_a_parse_error_not_a_panic() {
+        let json = r#"{"format": "neurosnn-checkpoint-v1", "layers": [
+            {"kind": "Adaptive",
+             "params": {"tau": 4, "tau_r": 4, "theta": 1, "v_th": 1},
+             "rows": 2, "cols": 3, "weights": [0, 0, 0, 0, 0, 0]},
+            {"kind": "Adaptive",
+             "params": {"tau": 4, "tau_r": 4, "theta": 1, "v_th": 1},
+             "rows": 1, "cols": 5, "weights": [0, 0, 0, 0, 0]}
+        ]}"#;
+        let err = from_json(json).unwrap_err();
+        assert!(err.to_string().contains("do not chain"), "{err}");
+    }
+
+    #[test]
+    fn overflowing_dimensions_are_a_parse_error() {
+        let json = format!(
+            r#"{{"format": "neurosnn-checkpoint-v1", "layers": [
+                {{"kind": "Adaptive",
+                  "params": {{"tau": 4, "tau_r": 4, "theta": 1, "v_th": 1}},
+                  "rows": {0}, "cols": {0}, "weights": []}}
+            ]}}"#,
+            1u64 << 33
+        );
+        let err = from_json(&json).unwrap_err();
+        assert!(
+            err.to_string().contains("overflow") || err.to_string().contains("not an integer"),
+            "{err}"
+        );
     }
 
     #[test]

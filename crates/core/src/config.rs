@@ -1,7 +1,6 @@
 //! The paper's Table I hyper-parameter set, in one place so every
 //! experiment harness prints exactly what it ran with.
 
-use serde::{Deserialize, Serialize};
 use snn_neuron::{NeuronParams, Surrogate};
 use std::fmt;
 
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(h.batch_size, 64);
 /// println!("{h}");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hyperparams {
     /// Mini-batch size.
     pub batch_size: usize,

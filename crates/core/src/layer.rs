@@ -1,8 +1,10 @@
 //! Dense spiking layer: synapse filter bank + weight matrix + neuron
 //! nonlinearity, with full state caching for BPTT.
 
-use serde::{Deserialize, Serialize};
+use crate::scratch::LayerScratch;
+use crate::spike::ActiveIndices;
 use snn_neuron::NeuronParams;
+use snn_tensor::kernels::{self, ColMajor};
 use snn_tensor::{Matrix, Rng};
 
 /// Which neuron dynamics a layer uses.
@@ -21,7 +23,7 @@ use snn_tensor::{Matrix, Rng};
 /// * [`NeuronKind::HardResetMatched`] — a diagnostic variant with unit
 ///   input gain, isolating the effect of the reset itself from the gain
 ///   mismatch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NeuronKind {
     /// Filter-based adaptive-threshold LIF (the paper's model).
     Adaptive,
@@ -57,9 +59,26 @@ pub struct LayerRecord {
 }
 
 impl LayerRecord {
+    /// An empty record, ready to be filled by a `forward_into` call.
+    pub fn empty() -> Self {
+        Self {
+            pre: Matrix::zeros(0, 0),
+            v: Matrix::zeros(0, 0),
+            o: Matrix::zeros(0, 0),
+        }
+    }
+
     /// Number of timesteps recorded.
     pub fn steps(&self) -> usize {
         self.v.rows()
+    }
+
+    /// Reshapes the cache for a `t_steps`-long rollout of an
+    /// `n_in → n_out` layer, zero-filled, reusing the buffers.
+    pub fn resize_zeroed(&mut self, t_steps: usize, n_in: usize, n_out: usize) {
+        self.pre.resize_zeroed(t_steps, n_in);
+        self.v.resize_zeroed(t_steps, n_out);
+        self.o.resize_zeroed(t_steps, n_out);
     }
 }
 
@@ -77,9 +96,18 @@ impl LayerRecord {
 ///                             NeuronParams::paper_defaults(), &mut rng);
 /// assert_eq!(layer.weights().shape(), (2, 3));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DenseLayer {
     weights: Matrix,
+    /// Column-major mirror of `weights` for event-driven products with
+    /// binary spike vectors (sum of active columns).
+    weights_t: ColMajor,
+    /// Whether `weights_t` reflects the current `weights`. Cleared by
+    /// [`weights_mut`](Self::weights_mut), restored by
+    /// [`refresh_cache`](Self::refresh_cache) (which the optimizer calls
+    /// after every step). A stale mirror is never *used*: the forward
+    /// pass falls back to dense products until the cache is refreshed.
+    cache_fresh: bool,
     kind: NeuronKind,
     params: NeuronParams,
 }
@@ -93,16 +121,19 @@ impl DenseLayer {
         params: NeuronParams,
         rng: &mut Rng,
     ) -> Self {
-        Self {
-            weights: Matrix::xavier_uniform(n_out, n_in, rng),
-            kind,
-            params,
-        }
+        Self::from_weights(Matrix::xavier_uniform(n_out, n_in, rng), kind, params)
     }
 
     /// Creates a layer from an explicit weight matrix.
     pub fn from_weights(weights: Matrix, kind: NeuronKind, params: NeuronParams) -> Self {
-        Self { weights, kind, params }
+        let weights_t = ColMajor::from_matrix(&weights);
+        Self {
+            weights,
+            weights_t,
+            cache_fresh: true,
+            kind,
+            params,
+        }
     }
 
     /// Input width.
@@ -122,8 +153,26 @@ impl DenseLayer {
 
     /// Mutable access to the weights (used by optimizers and by the
     /// hardware deployment pipeline's quantization).
+    ///
+    /// Marks the column-major kernel cache stale; call
+    /// [`refresh_cache`](Self::refresh_cache) (or
+    /// [`Network::sync_caches`](crate::Network::sync_caches)) afterwards
+    /// to restore the fast sparse forward path. Correctness never depends
+    /// on it — a stale cache only disables the event-driven shortcut.
     pub fn weights_mut(&mut self) -> &mut Matrix {
+        self.cache_fresh = false;
         &mut self.weights
+    }
+
+    /// Rebuilds the column-major mirror after a weight mutation.
+    pub fn refresh_cache(&mut self) {
+        self.weights_t.refresh_from(&self.weights);
+        self.cache_fresh = true;
+    }
+
+    /// Whether the event-driven kernel cache matches the weights.
+    pub fn cache_is_fresh(&self) -> bool {
+        self.cache_fresh
     }
 
     /// The neuron dynamics this layer uses.
@@ -150,7 +199,13 @@ impl DenseLayer {
     ///
     /// Panics if `input.cols() != n_in`.
     pub fn forward(&self, input: &Matrix) -> LayerRecord {
-        assert_eq!(input.cols(), self.n_in(), "layer expects {} inputs, got {}", self.n_in(), input.cols());
+        assert_eq!(
+            input.cols(),
+            self.n_in(),
+            "layer expects {} inputs, got {}",
+            self.n_in(),
+            input.cols()
+        );
         match self.kind {
             NeuronKind::Adaptive => self.forward_adaptive(input),
             NeuronKind::HardReset | NeuronKind::HardResetMatched => self.forward_hard_reset(input),
@@ -222,6 +277,149 @@ impl DenseLayer {
             }
         }
         LayerRecord { pre, v, o }
+    }
+
+    /// Event-driven rollout over per-step active-input lists — the hot
+    /// path of training and inference.
+    ///
+    /// Because layer inputs are **binary** spike vectors, the weighted
+    /// drive factors as `W·k[t] = α·(W·k[t−1]) + W·x[t]`, and `W·x[t]`
+    /// is just the sum of the weight columns selected by `x[t]`'s active
+    /// indices. Each timestep therefore costs
+    /// `O(n_in + n_out + n_out·nnz(x[t]))` instead of the dense
+    /// `O(n_out·n_in)`. The incremental recurrence is algebraically
+    /// identical to the dense rollout ([`forward`](Self::forward)); it
+    /// reassociates floating-point sums, so potentials may differ from
+    /// the dense reference by a few ULPs.
+    ///
+    /// `rec` and the buffers in `scratch` are resized and re-initialised
+    /// here; `active_out` receives the output spike lists (consumable as
+    /// the next layer's `active_in`). If the kernel cache is stale (see
+    /// [`weights_mut`](Self::weights_mut)) the drive falls back to dense
+    /// products — slower, never wrong.
+    pub fn forward_steps(
+        &self,
+        active_in: &ActiveIndices,
+        rec: &mut LayerRecord,
+        scratch: &mut LayerScratch,
+        active_out: &mut ActiveIndices,
+    ) {
+        let t_steps = active_in.steps();
+        let (n_in, n_out) = (self.n_in(), self.n_out());
+        rec.resize_zeroed(t_steps, n_in, n_out);
+        scratch.ensure(n_in, n_out);
+        active_out.clear();
+        match self.kind {
+            NeuronKind::Adaptive => {
+                self.forward_steps_adaptive(active_in, rec, scratch, active_out)
+            }
+            NeuronKind::HardReset | NeuronKind::HardResetMatched => {
+                self.forward_steps_hard_reset(active_in, rec, scratch, active_out)
+            }
+        }
+    }
+
+    fn forward_steps_adaptive(
+        &self,
+        active_in: &ActiveIndices,
+        rec: &mut LayerRecord,
+        scratch: &mut LayerScratch,
+        active_out: &mut ActiveIndices,
+    ) {
+        let t_steps = active_in.steps();
+        let n_out = self.n_out();
+        let alpha = self.params.synapse_decay();
+        let beta = self.params.reset_decay();
+        let (theta, v_th) = (self.params.theta, self.params.v_th);
+        let use_sparse = self.cache_fresh;
+        let LayerScratch {
+            trace_in: k,
+            trace_out: h,
+            drive: g,
+        } = scratch;
+
+        for t in 0..t_steps {
+            let active = active_in.step(t);
+            kernels::scale(alpha, k); // eq. 9 decay
+            for &j in active {
+                k[j] += 1.0; // eq. 9 event update
+            }
+            rec.pre.row_mut(t).copy_from_slice(k);
+            if use_sparse {
+                // g[t] = α·g[t−1] + Σ active columns  (eq. 7, factored)
+                kernels::scale(alpha, g);
+                self.weights_t.accumulate_columns(active, g);
+            } else {
+                self.weights.matvec_into(k, g); // eq. 7, dense fallback
+            }
+            kernels::scale(beta, h); // eq. 8 decay
+            if t > 0 {
+                for &i in active_out.step(t - 1) {
+                    h[i] += 1.0; // eq. 8: last step's spikes charge h
+                }
+            }
+            let vrow = rec.v.row_mut(t);
+            let orow = rec.o.row_mut(t);
+            for i in 0..n_out {
+                let vi = g[i] - theta * h[i]; // eq. 6
+                vrow[i] = vi;
+                if vi >= v_th {
+                    orow[i] = 1.0; // eq. 10
+                    active_out.push(i);
+                }
+            }
+            active_out.end_step();
+        }
+    }
+
+    fn forward_steps_hard_reset(
+        &self,
+        active_in: &ActiveIndices,
+        rec: &mut LayerRecord,
+        scratch: &mut LayerScratch,
+        active_out: &mut ActiveIndices,
+    ) {
+        let t_steps = active_in.steps();
+        let n_out = self.n_out();
+        let lambda = self.params.synapse_decay();
+        let gain = self.kind.input_gain(&self.params);
+        let v_th = self.params.v_th;
+        let use_sparse = self.cache_fresh;
+        let LayerScratch {
+            trace_out: vm,
+            drive: current,
+            ..
+        } = scratch;
+
+        for t in 0..t_steps {
+            let active = active_in.step(t);
+            {
+                let prow = rec.pre.row_mut(t);
+                for &j in active {
+                    prow[j] = 1.0;
+                }
+            }
+            current.fill(0.0);
+            if use_sparse {
+                self.weights_t.accumulate_columns(active, current);
+            } else {
+                self.weights.matvec_into(rec.pre.row(t), current);
+            }
+            let vrow = rec.v.row_mut(t);
+            let orow = rec.o.row_mut(t);
+            for i in 0..n_out {
+                let vi = lambda * vm[i] + gain * current[i];
+                vrow[i] = vi; // cache the pre-reset potential for BPTT
+                if vi >= v_th {
+                    orow[i] = 1.0;
+                    active_out.push(i);
+                    vm[i] = 0.0; // eq. 1b: hard reset
+                } else {
+                    vm[i] = vi;
+                }
+            }
+            active_out.end_step();
+        }
     }
 }
 
@@ -310,13 +508,22 @@ mod tests {
         let rec = layer.forward(&input);
         let total: f32 = (0..12).map(|t| rec.o.row(t)[0]).sum();
         assert!(total >= 1.0, "must fire at least once");
-        assert!(total <= 3.0, "adaptive threshold should suppress, fired {total}");
+        assert!(
+            total <= 3.0,
+            "adaptive threshold should suppress, fired {total}"
+        );
     }
 
     #[test]
     fn swap_kind_keeps_weights() {
         let mut rng = Rng::seed_from(3);
-        let mut layer = DenseLayer::new(5, 4, NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
+        let mut layer = DenseLayer::new(
+            5,
+            4,
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
         let w_before = layer.weights().clone();
         layer.set_kind(NeuronKind::HardReset);
         assert_eq!(layer.kind(), NeuronKind::HardReset);
@@ -326,7 +533,13 @@ mod tests {
     #[test]
     fn record_shapes() {
         let mut rng = Rng::seed_from(3);
-        let layer = DenseLayer::new(5, 4, NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
+        let layer = DenseLayer::new(
+            5,
+            4,
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
         let input = Matrix::zeros(7, 5);
         let rec = layer.forward(&input);
         assert_eq!(rec.pre.shape(), (7, 5));
@@ -356,7 +569,11 @@ mod tests {
     #[test]
     fn silent_input_produces_silent_output() {
         let mut rng = Rng::seed_from(5);
-        for kind in [NeuronKind::Adaptive, NeuronKind::HardReset, NeuronKind::HardResetMatched] {
+        for kind in [
+            NeuronKind::Adaptive,
+            NeuronKind::HardReset,
+            NeuronKind::HardResetMatched,
+        ] {
             let layer = DenseLayer::new(3, 3, kind, NeuronParams::paper_defaults(), &mut rng);
             let rec = layer.forward(&Matrix::zeros(10, 3));
             assert_eq!(rec.o.as_slice().iter().filter(|&&x| x != 0.0).count(), 0);
@@ -367,7 +584,13 @@ mod tests {
     #[should_panic(expected = "layer expects")]
     fn wrong_input_width_panics() {
         let mut rng = Rng::seed_from(5);
-        let layer = DenseLayer::new(3, 3, NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
+        let layer = DenseLayer::new(
+            3,
+            3,
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
         layer.forward(&Matrix::zeros(4, 2));
     }
 }

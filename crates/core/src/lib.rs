@@ -58,9 +58,11 @@ pub mod config;
 mod layer;
 pub mod metrics;
 mod network;
+mod scratch;
 pub mod spike;
 pub mod train;
 
 pub use layer::{DenseLayer, LayerRecord, NeuronKind};
 pub use network::{Forward, Network};
-pub use spike::SpikeRaster;
+pub use scratch::{LayerScratch, ScratchSpace};
+pub use spike::{ActiveIndices, SpikeRaster};

@@ -2,7 +2,6 @@
 //! pair-confusion analysis used to diagnose the SHD ablation.
 
 use crate::{Network, SpikeRaster};
-use serde::{Deserialize, Serialize};
 
 /// A confusion matrix over `n` classes (`rows = true label`,
 /// `cols = prediction`).
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cm.accuracy(), 2.0 / 3.0);
 /// assert_eq!(cm.count(0, 1), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     classes: usize,
     counts: Vec<u64>,
@@ -50,7 +49,11 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, label: usize, prediction: usize) {
-        assert!(label < self.classes && prediction < self.classes, "({label},{prediction}) out of range {}", self.classes);
+        assert!(
+            label < self.classes && prediction < self.classes,
+            "({label},{prediction}) out of range {}",
+            self.classes
+        );
         self.counts[label * self.classes + prediction] += 1;
     }
 

@@ -1,19 +1,27 @@
 //! Feedforward spiking network: a stack of [`DenseLayer`]s rolled over
 //! time (the "unfolded network" of paper Fig. 2).
 
+use crate::scratch::ScratchSpace;
 use crate::{DenseLayer, LayerRecord, NeuronKind, SpikeRaster};
-use serde::{Deserialize, Serialize};
 use snn_neuron::NeuronParams;
 use snn_tensor::{stats, Matrix, Rng};
 
 /// Forward pass result: one [`LayerRecord`] per layer, bottom to top.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Forward {
     /// Per-layer caches, `records[0]` is the first hidden layer.
     pub records: Vec<LayerRecord>,
 }
 
 impl Forward {
+    /// An empty pass, ready to be filled by
+    /// [`Network::forward_into`] (reusable across samples).
+    pub fn empty() -> Self {
+        Self {
+            records: Vec::new(),
+        }
+    }
+
     /// The output layer's spike matrix (`T × n_classes`/`T × n_out`).
     ///
     /// # Panics
@@ -70,7 +78,7 @@ impl Forward {
 /// let fwd = net.forward(&input);
 /// assert_eq!(fwd.output().shape(), (30, 4));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
     layers: Vec<DenseLayer>,
 }
@@ -148,11 +156,70 @@ impl Network {
     /// Full forward rollout over an input raster, caching every layer's
     /// state trajectory (needed for BPTT).
     ///
+    /// Runs the event-driven sparse kernels; allocates a fresh
+    /// [`ScratchSpace`] per call. Hot loops should hold their own scratch
+    /// and call [`forward_into`](Self::forward_into) instead.
+    ///
     /// # Panics
     ///
     /// Panics if `input.channels() != n_in`.
     pub fn forward(&self, input: &SpikeRaster) -> Forward {
-        assert_eq!(input.channels(), self.n_in(), "input has {} channels, network expects {}", input.channels(), self.n_in());
+        let mut fwd = Forward::empty();
+        let mut scratch = ScratchSpace::new();
+        self.forward_into(input, &mut fwd, &mut scratch);
+        fwd
+    }
+
+    /// Allocation-free forward rollout: fills `fwd` (reusing its record
+    /// matrices) using the worker-owned `scratch`. The per-layer active
+    /// spike lists recorded during the pass remain readable afterwards
+    /// via [`ScratchSpace::active_lists`] (the backward pass itself is
+    /// deliberately self-contained — it rebuilds index lists from the
+    /// records so it accepts a `Forward` from any source).
+    ///
+    /// See [`ScratchSpace`](crate::ScratchSpace) for the ownership rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.channels() != n_in`.
+    pub fn forward_into(&self, input: &SpikeRaster, fwd: &mut Forward, scratch: &mut ScratchSpace) {
+        assert_eq!(
+            input.channels(),
+            self.n_in(),
+            "input has {} channels, network expects {}",
+            input.channels(),
+            self.n_in()
+        );
+        scratch.ensure(self);
+        scratch.active[0].fill_from(input);
+        fwd.records
+            .resize_with(self.layers.len(), LayerRecord::empty);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = scratch.active.split_at_mut(l + 1);
+            layer.forward_steps(
+                &head[l],
+                &mut fwd.records[l],
+                &mut scratch.layers[l],
+                &mut tail[0],
+            );
+        }
+    }
+
+    /// Reference dense rollout (naive per-step matrix–vector products,
+    /// no event-driven shortcuts): the correctness yardstick for the
+    /// sparse kernels and the baseline for the kernel benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.channels() != n_in`.
+    pub fn forward_dense_reference(&self, input: &SpikeRaster) -> Forward {
+        assert_eq!(
+            input.channels(),
+            self.n_in(),
+            "input has {} channels, network expects {}",
+            input.channels(),
+            self.n_in()
+        );
         let mut x = Matrix::from_vec(input.steps(), input.channels(), input.as_slice().to_vec());
         let mut records = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
@@ -161,6 +228,14 @@ impl Network {
             records.push(rec);
         }
         Forward { records }
+    }
+
+    /// Rebuilds every layer's event-driven kernel cache after direct
+    /// weight mutation (the optimizer does this automatically).
+    pub fn sync_caches(&mut self) {
+        for layer in &mut self.layers {
+            layer.refresh_cache();
+        }
     }
 
     /// Classifies an input by the highest output spike count, returning
@@ -249,7 +324,10 @@ mod tests {
         let mut net = small_net(NeuronKind::Adaptive);
         let w0 = net.layers()[0].weights().clone();
         net.set_neuron_kind(NeuronKind::HardReset);
-        assert!(net.layers().iter().all(|l| l.kind() == NeuronKind::HardReset));
+        assert!(net
+            .layers()
+            .iter()
+            .all(|l| l.kind() == NeuronKind::HardReset));
         assert_eq!(net.layers()[0].weights(), &w0);
     }
 
@@ -270,8 +348,20 @@ mod tests {
     #[should_panic(expected = "widths do not chain")]
     fn mismatched_layers_panic() {
         let mut rng = Rng::seed_from(1);
-        let a = DenseLayer::new(4, 5, NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
-        let b = DenseLayer::new(6, 2, NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
+        let a = DenseLayer::new(
+            4,
+            5,
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
+        let b = DenseLayer::new(
+            6,
+            2,
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
         Network::from_layers(vec![a, b]);
     }
 }

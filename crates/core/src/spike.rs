@@ -7,7 +7,6 @@
 //! [`SpikeRaster`] container used throughout the workspace plus those
 //! kernel utilities.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense binary spike tensor: `steps` timesteps × `channels` spike trains.
@@ -26,7 +25,7 @@ use std::fmt;
 /// assert_eq!(r.spike_count(), 1);
 /// assert_eq!(r.step(2), &[0.0, 1.0, 0.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpikeRaster {
     steps: usize,
     channels: usize,
@@ -81,7 +80,10 @@ impl SpikeRaster {
     ///
     /// Panics if out of range.
     pub fn get(&self, t: usize, c: usize) -> bool {
-        assert!(t < self.steps && c < self.channels, "({t},{c}) out of range");
+        assert!(
+            t < self.steps && c < self.channels,
+            "({t},{c}) out of range"
+        );
         self.data[t * self.channels + c] != 0.0
     }
 
@@ -91,7 +93,10 @@ impl SpikeRaster {
     ///
     /// Panics if out of range.
     pub fn set(&mut self, t: usize, c: usize, spike: bool) {
-        assert!(t < self.steps && c < self.channels, "({t},{c}) out of range");
+        assert!(
+            t < self.steps && c < self.channels,
+            "({t},{c}) out of range"
+        );
         self.data[t * self.channels + c] = if spike { 1.0 } else { 0.0 };
     }
 
@@ -138,13 +143,29 @@ impl SpikeRaster {
     ///
     /// Panics if `c >= channels`.
     pub fn channel(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.channels, "channel {c} out of range {}", self.channels);
-        (0..self.steps).map(|t| self.data[t * self.channels + c]).collect()
+        assert!(
+            c < self.channels,
+            "channel {c} out of range {}",
+            self.channels
+        );
+        (0..self.steps)
+            .map(|t| self.data[t * self.channels + c])
+            .collect()
     }
 
     /// Flat row-major (by timestep) buffer.
     pub fn as_slice(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Builds the per-step active-channel index lists (CSR layout) for
+    /// this raster — the event-driven view the sparsity-aware kernels
+    /// consume. Allocates; hot paths reuse a list via
+    /// [`ActiveIndices::fill_from`].
+    pub fn active_indices(&self) -> ActiveIndices {
+        let mut out = ActiveIndices::new();
+        out.fill_from(self);
+        out
     }
 
     /// Renders a textual raster plot (`time →` on x, channels on y),
@@ -167,6 +188,89 @@ impl SpikeRaster {
     }
 }
 
+/// Per-timestep active-channel index lists in CSR layout: the
+/// event-driven representation of a binary spike tensor.
+///
+/// `step(t)` is the sorted list of channels that spike at time `t`. The
+/// sparsity-aware kernels ([`snn_tensor::kernels::ColMajor`] column
+/// accumulation, `Matrix::add_outer_indexed`) consume these lists so the
+/// cost of a timestep scales with the number of *events*, not the layer
+/// width. The two backing vectors are reused across refills, so a
+/// training loop that recycles one `ActiveIndices` per layer performs no
+/// per-sample allocation once warmed up.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActiveIndices {
+    /// `offsets[t]..offsets[t + 1]` indexes `indices` for step `t`.
+    offsets: Vec<usize>,
+    /// Concatenated active-channel lists.
+    indices: Vec<usize>,
+}
+
+impl ActiveIndices {
+    /// Creates an empty list (0 steps).
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            indices: Vec::new(),
+        }
+    }
+
+    /// Number of recorded steps.
+    pub fn steps(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of events across all steps.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Active channels at step `t` (sorted ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= steps()`.
+    pub fn step(&self, t: usize) -> &[usize] {
+        assert!(
+            t + 1 < self.offsets.len(),
+            "step {t} out of range {}",
+            self.steps()
+        );
+        &self.indices[self.offsets[t]..self.offsets[t + 1]]
+    }
+
+    /// Clears all recorded steps (buffers retain capacity).
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.indices.clear();
+    }
+
+    /// Appends one channel to the step currently being recorded.
+    pub fn push(&mut self, channel: usize) {
+        self.indices.push(channel);
+    }
+
+    /// Closes the step currently being recorded; subsequent
+    /// [`push`](Self::push) calls go to the next step.
+    pub fn end_step(&mut self) {
+        self.offsets.push(self.indices.len());
+    }
+
+    /// Refills from a raster, reusing the backing buffers.
+    pub fn fill_from(&mut self, raster: &SpikeRaster) {
+        self.clear();
+        for t in 0..raster.steps() {
+            for (c, &x) in raster.step(t).iter().enumerate() {
+                if x != 0.0 {
+                    self.push(c);
+                }
+            }
+            self.end_step();
+        }
+    }
+}
+
 impl fmt::Display for SpikeRaster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -184,7 +288,7 @@ impl fmt::Display for SpikeRaster {
 /// With Table I values `τm = 4`, `τs = 1` this is a smooth bump that
 /// rises on the fast time constant and decays on the slow one, giving a
 /// differentiable notion of "a spike happened around here".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceKernel {
     /// Slow (membrane) time constant `τm`.
     pub tau_m: f32,
@@ -195,7 +299,10 @@ pub struct TraceKernel {
 impl TraceKernel {
     /// Paper Table I values `τm = 4`, `τs = 1`.
     pub fn paper_defaults() -> Self {
-        Self { tau_m: 4.0, tau_s: 1.0 }
+        Self {
+            tau_m: 4.0,
+            tau_s: 1.0,
+        }
     }
 
     /// Kernel value at lag `t ≥ 0`.
@@ -258,7 +365,11 @@ pub fn van_rossum_distance(kernel: TraceKernel, a: &[f32], b: &[f32]) -> f32 {
 /// Panics if the rasters have different shapes.
 pub fn raster_distance(kernel: TraceKernel, a: &SpikeRaster, b: &SpikeRaster) -> f32 {
     assert_eq!(a.steps(), b.steps(), "rasters must have equal steps");
-    assert_eq!(a.channels(), b.channels(), "rasters must have equal channels");
+    assert_eq!(
+        a.channels(),
+        b.channels(),
+        "rasters must have equal channels"
+    );
     (0..a.channels())
         .map(|c| van_rossum_distance(kernel, &a.channel(c), &b.channel(c)))
         .sum()
@@ -269,7 +380,7 @@ pub fn raster_distance(kernel: TraceKernel, a: &SpikeRaster, b: &SpikeRaster) ->
 /// Inter-spike-interval (ISI) statistics are the standard way to
 /// characterise firing regularity: a coefficient of variation (CV) near
 /// 0 means clock-like firing, near 1 means Poisson-like.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainStats {
     /// Number of spikes.
     pub count: usize,
@@ -293,7 +404,11 @@ pub fn train_stats(train: &[f32]) -> TrainStats {
         .map(|(t, _)| t)
         .collect();
     let count = times.len();
-    let rate = if train.is_empty() { 0.0 } else { count as f32 / train.len() as f32 };
+    let rate = if train.is_empty() {
+        0.0
+    } else {
+        count as f32 / train.len() as f32
+    };
     let isis: Vec<f32> = times.windows(2).map(|w| (w[1] - w[0]) as f32).collect();
     let mean_isi = if isis.is_empty() {
         0.0
@@ -366,7 +481,11 @@ mod tests {
             train[t] = 1.0;
         }
         let s = train_stats(&train);
-        assert!(s.cv_isi > 0.5, "irregular ISIs should have high CV, got {}", s.cv_isi);
+        assert!(
+            s.cv_isi > 0.5,
+            "irregular ISIs should have high CV, got {}",
+            s.cv_isi
+        );
     }
 
     #[test]
@@ -457,7 +576,11 @@ mod tests {
             let direct: f32 = (0..=t)
                 .map(|s| (am.powi((t - s) as i32) - as_.powi((t - s) as i32)) * train[s])
                 .sum();
-            assert!((fast[t] - direct).abs() < 1e-5, "t={t}: {} vs {direct}", fast[t]);
+            assert!(
+                (fast[t] - direct).abs() < 1e-5,
+                "t={t}: {} vs {direct}",
+                fast[t]
+            );
         }
     }
 

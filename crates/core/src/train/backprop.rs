@@ -19,6 +19,7 @@
 //! The hard-reset model uses the standard stop-gradient-through-reset
 //! convention: `dv[t] = dOᵉˣᵗ[t]·ε[t] + λ(1−O[t])·dv[t+1]`.
 
+use crate::scratch::ScratchSpace;
 use crate::{Forward, Network, NeuronKind};
 use snn_neuron::Surrogate;
 use snn_tensor::Matrix;
@@ -42,13 +43,25 @@ impl Gradients {
         }
     }
 
+    /// Zeroes every gradient in place (reuse between batches without
+    /// reallocating).
+    pub fn reset(&mut self) {
+        for g in &mut self.per_layer {
+            g.fill_zero();
+        }
+    }
+
     /// Accumulates `other` into `self` (batch accumulation).
     ///
     /// # Panics
     ///
     /// Panics if the layer structures differ.
     pub fn accumulate(&mut self, other: &Gradients) {
-        assert_eq!(self.per_layer.len(), other.per_layer.len(), "layer count mismatch");
+        assert_eq!(
+            self.per_layer.len(),
+            other.per_layer.len(),
+            "layer count mismatch"
+        );
         for (a, b) in self.per_layer.iter_mut().zip(&other.per_layer) {
             a.add_scaled(1.0, b);
         }
@@ -83,7 +96,10 @@ impl Gradients {
 
     /// Largest absolute gradient entry across layers.
     pub fn max_abs(&self) -> f32 {
-        self.per_layer.iter().map(|g| g.max_abs()).fold(0.0, f32::max)
+        self.per_layer
+            .iter()
+            .map(|g| g.max_abs())
+            .fold(0.0, f32::max)
     }
 }
 
@@ -102,8 +118,47 @@ pub fn backward(
     d_output: &Matrix,
     surrogate: Surrogate,
 ) -> Gradients {
+    let mut grads = Gradients::zeros_like(net);
+    let mut scratch = ScratchSpace::new();
+    backward_into(net, fwd, d_output, surrogate, &mut grads, &mut scratch);
+    grads
+}
+
+/// Allocation-free BPTT: **accumulates** the sample's weight gradients
+/// into `grads` (callers zero it per batch with
+/// [`Gradients::reset`]) using the worker-owned `scratch` for every
+/// intermediate adjoint. See [`ScratchSpace`](crate::ScratchSpace) for
+/// the ownership rules.
+///
+/// Accumulating here (rather than returning fresh gradients that the
+/// caller adds up) is what removes the two per-sample matrix allocations
+/// the original trainer paid per sample, and it keeps the floating-point
+/// accumulation order a pure function of sample order — the property the
+/// deterministic parallel trainer relies on.
+///
+/// # Panics
+///
+/// Panics if `d_output`'s shape does not match the output layer record,
+/// or if `grads` does not match the network's layer shapes.
+pub fn backward_into(
+    net: &Network,
+    fwd: &Forward,
+    d_output: &Matrix,
+    surrogate: Surrogate,
+    grads: &mut Gradients,
+    scratch: &mut ScratchSpace,
+) {
     let layers = net.layers();
-    assert_eq!(fwd.records.len(), layers.len(), "forward/record layer mismatch");
+    assert_eq!(
+        fwd.records.len(),
+        layers.len(),
+        "forward/record layer mismatch"
+    );
+    assert_eq!(
+        grads.per_layer.len(),
+        layers.len(),
+        "gradient/layer count mismatch"
+    );
     let top = fwd.records.last().expect("empty network");
     assert_eq!(
         d_output.shape(),
@@ -112,9 +167,29 @@ pub fn backward(
         d_output.shape(),
         top.o.shape()
     );
+    for (g, layer) in grads.per_layer.iter().zip(layers) {
+        assert_eq!(
+            g.shape(),
+            (layer.n_out(), layer.n_in()),
+            "gradient shape mismatch"
+        );
+    }
+    scratch.ensure(net);
 
-    let mut grads = Gradients::zeros_like(net);
-    let mut d_o = d_output.clone();
+    let ScratchSpace {
+        d_o,
+        d_pre,
+        dv,
+        dv_next,
+        dh_next,
+        dk_next,
+        wt_dv,
+        active_tmp,
+        ..
+    } = scratch;
+
+    d_o.resize_zeroed(d_output.rows(), d_output.cols());
+    d_o.as_mut_slice().copy_from_slice(d_output.as_slice());
 
     for l in (0..layers.len()).rev() {
         let layer = &layers[l];
@@ -124,17 +199,19 @@ pub fn backward(
         let params = layer.params();
         let v_th = params.v_th;
         let dw = &mut grads.per_layer[l];
-        let mut d_pre = Matrix::zeros(t_steps, n_in);
+        d_pre.resize_zeroed(t_steps, n_in);
 
         match layer.kind() {
             NeuronKind::Adaptive => {
                 let alpha = params.synapse_decay();
                 let beta = params.reset_decay();
                 let theta = params.theta;
-                let mut dh_next = vec![0.0f32; n_out];
-                let mut dk_next = vec![0.0f32; n_in];
-                let mut dv = vec![0.0f32; n_out];
-                let mut wt_dv = vec![0.0f32; n_in];
+                let dh_next = &mut dh_next[..n_out];
+                let dk_next = &mut dk_next[..n_in];
+                let dv = &mut dv[..n_out];
+                let wt_dv = &mut wt_dv[..n_in];
+                dh_next.fill(0.0);
+                dk_next.fill(0.0);
 
                 for t in (0..t_steps).rev() {
                     let vrow = rec.v.row(t);
@@ -146,8 +223,8 @@ pub fn backward(
                     for i in 0..n_out {
                         dh_next[i] = -theta * dv[i] + beta * dh_next[i];
                     }
-                    dw.add_outer(1.0, &dv, rec.pre.row(t));
-                    layer.weights().matvec_t_into(&dv, &mut wt_dv);
+                    dw.add_outer(1.0, dv, rec.pre.row(t));
+                    layer.weights().matvec_t_into(dv, wt_dv);
                     let d_pre_row = d_pre.row_mut(t);
                     for j in 0..n_in {
                         dk_next[j] = wt_dv[j] + alpha * dk_next[j];
@@ -158,9 +235,10 @@ pub fn backward(
             NeuronKind::HardReset | NeuronKind::HardResetMatched => {
                 let lambda = params.synapse_decay();
                 let gain = layer.kind().input_gain(&params);
-                let mut dv_next = vec![0.0f32; n_out];
-                let mut dv = vec![0.0f32; n_out];
-                let mut wt_dv = vec![0.0f32; n_in];
+                let dv_next = &mut dv_next[..n_out];
+                let dv = &mut dv[..n_out];
+                let wt_dv = &mut wt_dv[..n_in];
+                dv_next.fill(0.0);
 
                 for t in (0..t_steps).rev() {
                     let vrow = rec.v.row(t);
@@ -170,19 +248,31 @@ pub fn backward(
                         dv[i] = ext[i] * surrogate.grad(vrow[i] - v_th)
                             + lambda * (1.0 - orow[i]) * dv_next[i];
                     }
-                    dw.add_outer(gain, &dv, rec.pre.row(t));
-                    layer.weights().matvec_t_into(&dv, &mut wt_dv);
+                    // The presynaptic trace of a hard-reset layer is the
+                    // raw binary spike raster: use the index-list rank-1
+                    // update. The list is rebuilt from the record (an
+                    // O(n_in) scan, minor next to the O(nnz·n_out)
+                    // update) rather than read from scratch.active, so a
+                    // `Forward` from any source — including the dense
+                    // reference path — differentiates correctly.
+                    active_tmp.clear();
+                    for (j, &x) in rec.pre.row(t).iter().enumerate() {
+                        if x != 0.0 {
+                            active_tmp.push(j);
+                        }
+                    }
+                    dw.add_outer_indexed(gain, dv, active_tmp);
+                    layer.weights().matvec_t_into(dv, wt_dv);
                     let d_pre_row = d_pre.row_mut(t);
                     for j in 0..n_in {
                         d_pre_row[j] = gain * wt_dv[j];
                     }
-                    dv_next.copy_from_slice(&dv);
+                    dv_next.copy_from_slice(dv);
                 }
             }
         }
-        d_o = d_pre;
+        std::mem::swap(d_o, d_pre);
     }
-    grads
 }
 
 #[cfg(test)]
@@ -453,13 +543,23 @@ mod tests {
     #[test]
     fn clip_global_norm_bounds_gradients() {
         let mut rng = Rng::seed_from(2);
-        let net = Network::mlp(&[3, 8, 2], NeuronKind::Adaptive, NeuronParams::paper_defaults().with_v_th(0.2), &mut rng);
+        let net = Network::mlp(
+            &[3, 8, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.2),
+            &mut rng,
+        );
         let mut input = SpikeRaster::zeros(8, 3);
         for t in 0..8 {
             input.set(t, t % 3, true);
         }
         let fwd = net.forward(&input);
-        let mut grads = backward(&net, &fwd, &Matrix::full(8, 2, 5.0), Surrogate::paper_default());
+        let mut grads = backward(
+            &net,
+            &fwd,
+            &Matrix::full(8, 2, 5.0),
+            Surrogate::paper_default(),
+        );
         let pre = grads.clip_global_norm(0.5);
         assert!(pre > 0.5, "test needs a large pre-clip norm, got {pre}");
         let post = grads
@@ -474,7 +574,12 @@ mod tests {
     #[test]
     fn accumulate_and_scale() {
         let mut rng = Rng::seed_from(2);
-        let net = Network::mlp(&[2, 3, 2], NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
+        let net = Network::mlp(
+            &[2, 3, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
         let mut a = Gradients::zeros_like(&net);
         let mut b = Gradients::zeros_like(&net);
         a.per_layer[0][(0, 0)] = 1.0;

@@ -10,14 +10,32 @@ use snn_tensor::{stats, Matrix};
 /// Implementors return the scalar loss and `∂E/∂O_L[t]` as a
 /// `T × n_out` matrix, ready for [`backward`](crate::train::backward).
 pub trait ClassificationLoss {
-    /// Computes `(loss, d_output)` for one sample.
-    fn loss_and_grad(&self, output: &Matrix, target: usize) -> (f32, Matrix);
+    /// Computes the loss and writes `∂E/∂O_L` into the caller's `d_out`
+    /// (resized as needed) — the allocation-free form the trainer uses.
+    fn loss_and_grad_into(&self, output: &Matrix, target: usize, d_out: &mut Matrix) -> f32;
+
+    /// Convenience wrapper returning `(loss, d_output)` freshly
+    /// allocated.
+    fn loss_and_grad(&self, output: &Matrix, target: usize) -> (f32, Matrix) {
+        let mut d = Matrix::zeros(0, 0);
+        let loss = self.loss_and_grad_into(output, target, &mut d);
+        (loss, d)
+    }
 }
 
 /// A pattern-association loss against a target spike raster.
 pub trait PatternLoss {
-    /// Computes `(loss, d_output)` for one sample.
-    fn loss_and_grad(&self, output: &Matrix, target: &SpikeRaster) -> (f32, Matrix);
+    /// Computes the loss and writes `∂E/∂O_L` into the caller's `d_out`
+    /// (resized as needed) — the allocation-free form the trainer uses.
+    fn loss_and_grad_into(&self, output: &Matrix, target: &SpikeRaster, d_out: &mut Matrix) -> f32;
+
+    /// Convenience wrapper returning `(loss, d_output)` freshly
+    /// allocated.
+    fn loss_and_grad(&self, output: &Matrix, target: &SpikeRaster) -> (f32, Matrix) {
+        let mut d = Matrix::zeros(0, 0);
+        let loss = self.loss_and_grad_into(output, target, &mut d);
+        (loss, d)
+    }
 }
 
 /// Softmax cross-entropy on output spike counts (the paper's
@@ -47,7 +65,7 @@ impl ClassificationLoss for RateCrossEntropy {
     /// # Panics
     ///
     /// Panics if `target >= output.cols()`.
-    fn loss_and_grad(&self, output: &Matrix, target: usize) -> (f32, Matrix) {
+    fn loss_and_grad_into(&self, output: &Matrix, target: usize, d_out: &mut Matrix) -> f32 {
         let (t_steps, classes) = output.shape();
         assert!(target < classes, "target {target} out of range {classes}");
         let mut counts = vec![0.0f32; classes];
@@ -58,15 +76,15 @@ impl ClassificationLoss for RateCrossEntropy {
         }
         let probs = stats::softmax(&counts);
         let loss = stats::cross_entropy(&probs, target);
-        let mut d = Matrix::zeros(t_steps, classes);
+        d_out.resize_zeroed(t_steps, classes);
         for t in 0..t_steps {
-            let row = d.row_mut(t);
+            let row = d_out.row_mut(t);
             for c in 0..classes {
                 let y = if c == target { 1.0 } else { 0.0 };
                 row[c] = probs[c] - y;
             }
         }
-        (loss, d)
+        loss
     }
 }
 
@@ -104,12 +122,13 @@ impl PatternLoss for VanRossumLoss {
     /// # Panics
     ///
     /// Panics if the output and target shapes differ.
-    fn loss_and_grad(&self, output: &Matrix, target: &SpikeRaster) -> (f32, Matrix) {
+    fn loss_and_grad_into(&self, output: &Matrix, target: &SpikeRaster, grad: &mut Matrix) -> f32 {
         let (t_steps, channels) = output.shape();
         assert_eq!(t_steps, target.steps(), "step count mismatch");
         assert_eq!(channels, target.channels(), "channel count mismatch");
+        grad.resize_zeroed(t_steps, channels);
         if t_steps == 0 {
-            return (0.0, Matrix::zeros(0, channels));
+            return 0.0;
         }
 
         let am = (-1.0 / self.kernel.tau_m).exp();
@@ -117,7 +136,6 @@ impl PatternLoss for VanRossumLoss {
         let inv_t = 1.0 / t_steps as f32;
 
         let mut loss = 0.0f32;
-        let mut grad = Matrix::zeros(t_steps, channels);
 
         // Per channel: forward pass for the trace difference d[t], then a
         // backward pass for G[s] = Σ_{t≥s} d[t](am^{t−s} − as^{t−s}).
@@ -141,7 +159,7 @@ impl PatternLoss for VanRossumLoss {
                 grad.row_mut(t)[c] = inv_t * (acc_m - acc_s);
             }
         }
-        (loss, grad)
+        loss
     }
 }
 
@@ -151,7 +169,11 @@ mod tests {
     use crate::spike::raster_distance;
 
     fn output_from(raster: &SpikeRaster) -> Matrix {
-        Matrix::from_vec(raster.steps(), raster.channels(), raster.as_slice().to_vec())
+        Matrix::from_vec(
+            raster.steps(),
+            raster.channels(),
+            raster.as_slice().to_vec(),
+        )
     }
 
     #[test]
@@ -246,15 +268,20 @@ mod tests {
         let t_steps = 25;
         let target = SpikeRaster::from_events(t_steps, 1, &[(10, 0)]);
         let produced = SpikeRaster::from_events(t_steps, 1, &[(20, 0)]);
-        let (_, grad) = VanRossumLoss::paper_default().loss_and_grad(&output_from(&produced), &target);
+        let (_, grad) =
+            VanRossumLoss::paper_default().loss_and_grad(&output_from(&produced), &target);
         assert!(grad.row(10)[0] < 0.0, "should encourage the missing spike");
-        assert!(grad.row(20)[0] > 0.0, "should discourage the spurious spike");
+        assert!(
+            grad.row(20)[0] > 0.0,
+            "should discourage the spurious spike"
+        );
     }
 
     #[test]
     fn van_rossum_empty_raster() {
         let target = SpikeRaster::zeros(0, 3);
-        let (loss, grad) = VanRossumLoss::paper_default().loss_and_grad(&Matrix::zeros(0, 3), &target);
+        let (loss, grad) =
+            VanRossumLoss::paper_default().loss_and_grad(&Matrix::zeros(0, 3), &target);
         assert_eq!(loss, 0.0);
         assert_eq!(grad.shape(), (0, 3));
     }

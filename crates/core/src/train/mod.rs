@@ -7,8 +7,11 @@ mod optimizer;
 mod schedule;
 mod trainer;
 
-pub use backprop::{backward, Gradients};
+pub use backprop::{backward, backward_into, Gradients};
 pub use loss::{ClassificationLoss, PatternLoss, RateCrossEntropy, VanRossumLoss};
 pub use optimizer::Optimizer;
 pub use schedule::LrSchedule;
-pub use trainer::{evaluate_classification, EpochStats, Trainer, TrainerConfig};
+pub use trainer::{
+    evaluate_classification, evaluate_classification_with_threads, EpochStats, Trainer,
+    TrainerConfig, GRAD_CHUNK,
+};

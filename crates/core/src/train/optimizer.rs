@@ -3,7 +3,6 @@
 
 use crate::train::Gradients;
 use crate::Network;
-use serde::{Deserialize, Serialize};
 use snn_tensor::Matrix;
 
 /// A stateful first-order optimizer over a network's weight matrices.
@@ -19,7 +18,7 @@ use snn_tensor::Matrix;
 /// let opt = Optimizer::adamw(1e-4, 0.01);
 /// assert!(format!("{opt:?}").contains("AdamW"));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Optimizer {
     /// Stochastic gradient descent with optional momentum.
     Sgd {
@@ -71,17 +70,33 @@ pub enum Optimizer {
 impl Optimizer {
     /// Plain SGD.
     pub fn sgd(lr: f32) -> Self {
-        Self::Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Self::Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn sgd_momentum(lr: f32, momentum: f32) -> Self {
-        Self::Sgd { lr, momentum, velocity: Vec::new() }
+        Self::Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Adam with the standard `β₁ = 0.9`, `β₂ = 0.999`.
     pub fn adam(lr: f32) -> Self {
-        Self::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// AdamW (paper Table I) with the given decoupled weight decay.
@@ -120,9 +135,17 @@ impl Optimizer {
     /// if the network's shape changed between steps.
     pub fn step(&mut self, net: &mut Network, grads: &Gradients) {
         let layers = net.layers_mut();
-        assert_eq!(layers.len(), grads.per_layer.len(), "gradient/layer count mismatch");
+        assert_eq!(
+            layers.len(),
+            grads.per_layer.len(),
+            "gradient/layer count mismatch"
+        );
         match self {
-            Self::Sgd { lr, momentum, velocity } => {
+            Self::Sgd {
+                lr,
+                momentum,
+                velocity,
+            } => {
                 ensure_state(velocity, layers.iter().map(|l| l.weights().shape()));
                 for ((layer, g), vel) in layers.iter_mut().zip(&grads.per_layer).zip(velocity) {
                     let w = layer.weights_mut();
@@ -135,17 +158,45 @@ impl Optimizer {
                     }
                 }
             }
-            Self::Adam { lr, beta1, beta2, eps, t, m, v } => {
+            Self::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+                m,
+                v,
+            } => {
                 ensure_state(m, layers.iter().map(|l| l.weights().shape()));
                 ensure_state(v, layers.iter().map(|l| l.weights().shape()));
                 *t += 1;
                 let bc1 = 1.0 - beta1.powi(*t as i32);
                 let bc2 = 1.0 - beta2.powi(*t as i32);
                 for (i, (layer, g)) in layers.iter_mut().zip(&grads.per_layer).enumerate() {
-                    adam_update(layer.weights_mut(), g, &mut m[i], &mut v[i], *lr, *beta1, *beta2, *eps, bc1, bc2);
+                    adam_update(
+                        layer.weights_mut(),
+                        g,
+                        &mut m[i],
+                        &mut v[i],
+                        *lr,
+                        *beta1,
+                        *beta2,
+                        *eps,
+                        bc1,
+                        bc2,
+                    );
                 }
             }
-            Self::AdamW { lr, beta1, beta2, eps, weight_decay, t, m, v } => {
+            Self::AdamW {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                weight_decay,
+                t,
+                m,
+                v,
+            } => {
                 ensure_state(m, layers.iter().map(|l| l.weights().shape()));
                 ensure_state(v, layers.iter().map(|l| l.weights().shape()));
                 *t += 1;
@@ -158,9 +209,17 @@ impl Optimizer {
                     if *weight_decay > 0.0 {
                         w.scale(1.0 - *lr * *weight_decay);
                     }
-                    adam_update(w, g, &mut m[i], &mut v[i], *lr, *beta1, *beta2, *eps, bc1, bc2);
+                    adam_update(
+                        w, g, &mut m[i], &mut v[i], *lr, *beta1, *beta2, *eps, bc1, bc2,
+                    );
                 }
             }
+        }
+        // Rebuild the event-driven kernel caches invalidated by the
+        // weight mutations above, keeping the forward pass on the sparse
+        // fast path between steps.
+        for layer in layers.iter_mut() {
+            layer.refresh_cache();
         }
     }
 }
@@ -171,7 +230,11 @@ fn ensure_state(buffers: &mut Vec<Matrix>, shapes: impl Iterator<Item = (usize, 
         *buffers = shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect();
     } else {
         for (b, &(r, c)) in buffers.iter().zip(&shapes) {
-            assert_eq!(b.shape(), (r, c), "network shape changed under the optimizer");
+            assert_eq!(
+                b.shape(),
+                (r, c),
+                "network shape changed under the optimizer"
+            );
         }
     }
 }
@@ -211,7 +274,12 @@ mod tests {
 
     fn net() -> Network {
         let mut rng = Rng::seed_from(4);
-        Network::mlp(&[2, 3, 2], NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng)
+        Network::mlp(
+            &[2, 3, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        )
     }
 
     fn unit_grads(net: &Network) -> Gradients {
@@ -245,7 +313,10 @@ mod tests {
         // After several identical steps momentum has moved further.
         let d1 = plain.layers()[0].weights()[(0, 0)];
         let d2 = with_mom.layers()[0].weights()[(0, 0)];
-        assert!(d2 < d1, "momentum should have travelled further: {d2} vs {d1}");
+        assert!(
+            d2 < d1,
+            "momentum should have travelled further: {d2} vs {d1}"
+        );
     }
 
     #[test]
@@ -311,7 +382,12 @@ mod tests {
         // Minimise 0.5·(w−3)² for a single-weight "network" stand-in:
         // run Adam on explicit gradients and check convergence.
         let mut rng = Rng::seed_from(8);
-        let mut n = Network::mlp(&[1, 1], NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
+        let mut n = Network::mlp(
+            &[1, 1],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
         let mut opt = Optimizer::adam(0.05);
         for _ in 0..2000 {
             let w = n.layers()[0].weights()[(0, 0)];

@@ -4,8 +4,6 @@
 //! are provided for the paper-scale runs where a decay measurably helps
 //! the last few accuracy points.
 
-use serde::{Deserialize, Serialize};
-
 /// A learning-rate schedule mapping epoch index to a multiplier of the
 /// base rate.
 ///
@@ -19,8 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.factor(10), 0.5);
 /// assert_eq!(s.factor(25), 0.25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LrSchedule {
     /// Constant rate (the paper's setting).
     #[default]
@@ -80,7 +77,6 @@ impl LrSchedule {
         base * self.factor(epoch)
     }
 }
-
 
 #[cfg(test)]
 mod tests {

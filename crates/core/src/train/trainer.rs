@@ -1,15 +1,34 @@
-//! Epoch-level training loop: batching, gradient accumulation, clipping
-//! and evaluation.
+//! Epoch-level training loop: batching, multi-core gradient computation,
+//! deterministic reduction, clipping and evaluation.
+//!
+//! # Parallel mini-batch engine
+//!
+//! Every mini-batch is split into **fixed-size chunks of [`GRAD_CHUNK`]
+//! samples** — a partition that depends only on the batch, never on the
+//! thread count. Worker threads claim chunks round-robin, accumulate each
+//! chunk's gradients sample-by-sample into a private [`Gradients`] (using
+//! a private [`ScratchSpace`], so the fan-out is lock-free), and the
+//! per-chunk results are combined by a pairwise tree reduction **in chunk
+//! order**. Floating-point addition is not associative, so this fixed
+//! partition + fixed reduction order is what makes epoch gradients — and
+//! therefore trained weights — **bitwise identical for any
+//! `num_threads`**, including 1.
 
-use crate::train::{backward, ClassificationLoss, Gradients, Optimizer, PatternLoss};
-use crate::{Network, SpikeRaster};
-use serde::{Deserialize, Serialize};
+use crate::scratch::ScratchSpace;
+use crate::train::{backward_into, ClassificationLoss, Gradients, Optimizer, PatternLoss};
+use crate::{Forward, Network, SpikeRaster};
 use snn_neuron::Surrogate;
 use snn_tensor::stats;
 
+/// Samples per gradient chunk: the unit of parallel work distribution.
+/// Fixed (never derived from the thread count) so that the reduction
+/// tree — and therefore every floating-point sum — is identical no
+/// matter how many workers run.
+pub const GRAD_CHUNK: usize = 8;
+
 /// Trainer configuration (paper Table I defaults: AdamW, batch 64,
 /// lr 1e-4 for classification).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainerConfig {
     /// Samples per gradient step.
     pub batch_size: usize,
@@ -19,6 +38,9 @@ pub struct TrainerConfig {
     pub surrogate: Surrogate,
     /// Optimizer (consumed into the trainer's state).
     pub optimizer: Optimizer,
+    /// Worker threads for the per-batch gradient fan-out; `0` means one
+    /// per available core. Results are bitwise identical for any value.
+    pub num_threads: usize,
 }
 
 impl Default for TrainerConfig {
@@ -28,6 +50,7 @@ impl Default for TrainerConfig {
             grad_clip: Some(5.0),
             surrogate: Surrogate::paper_default(),
             optimizer: Optimizer::adamw(1e-4, 0.0),
+            num_threads: 0,
         }
     }
 }
@@ -45,10 +68,16 @@ impl TrainerConfig {
             ..Self::default()
         }
     }
+
+    /// Returns a copy pinned to an explicit worker-thread count.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
 }
 
 /// Aggregate statistics for one pass over the data.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochStats {
     /// Mean per-sample loss.
     pub mean_loss: f32,
@@ -57,6 +86,31 @@ pub struct EpochStats {
     pub accuracy: f32,
     /// Number of samples seen.
     pub samples: usize,
+}
+
+/// Per-worker reusable buffers (one per thread; never shared — see the
+/// [`ScratchSpace`] ownership rules).
+#[derive(Default)]
+struct WorkerCtx {
+    scratch: ScratchSpace,
+    fwd: Forward,
+}
+
+impl WorkerCtx {
+    fn new() -> Self {
+        Self {
+            scratch: ScratchSpace::new(),
+            fwd: Forward::empty(),
+        }
+    }
+}
+
+/// One chunk's contribution, tagged with its position in the batch.
+struct ChunkOutcome {
+    index: usize,
+    grads: Gradients,
+    loss: f64,
+    preds: Vec<(usize, usize)>,
 }
 
 /// Drives training of a [`Network`].
@@ -93,94 +147,243 @@ impl Trainer {
         &mut self.optimizer
     }
 
+    fn resolved_threads(&self) -> usize {
+        match self.config.num_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+
     /// One full pass over labelled data with mini-batch updates.
     /// Returns mean loss and training accuracy.
-    pub fn epoch_classification<L: ClassificationLoss>(
+    pub fn epoch_classification<L: ClassificationLoss + Sync>(
         &mut self,
         net: &mut Network,
         data: &[(SpikeRaster, usize)],
         loss: &L,
     ) -> EpochStats {
-        let mut total_loss = 0.0f64;
-        let mut pairs = Vec::with_capacity(data.len());
-        let mut batch = Gradients::zeros_like(net);
-        let mut in_batch = 0usize;
-
-        for (input, target) in data {
-            let fwd = net.forward(input);
-            let (l, d_out) = loss.loss_and_grad(fwd.output(), *target);
-            total_loss += l as f64;
-            let counts = fwd.spike_counts();
-            pairs.push((stats::argmax(&counts).unwrap_or(0), *target));
-            let grads = backward(net, &fwd, &d_out, self.config.surrogate);
-            batch.accumulate(&grads);
-            in_batch += 1;
-            if in_batch == self.config.batch_size {
-                self.apply(net, &mut batch, in_batch);
-                batch = Gradients::zeros_like(net);
-                in_batch = 0;
-            }
-        }
-        if in_batch > 0 {
-            self.apply(net, &mut batch, in_batch);
-        }
-        EpochStats {
-            mean_loss: if data.is_empty() { 0.0 } else { (total_loss / data.len() as f64) as f32 },
-            accuracy: stats::accuracy(&pairs),
-            samples: data.len(),
-        }
+        let surrogate = self.config.surrogate;
+        self.epoch_generic(
+            net,
+            data,
+            &|sample: &(SpikeRaster, usize),
+              net: &Network,
+              ctx: &mut WorkerCtx,
+              grads: &mut Gradients| {
+                let (input, target) = sample;
+                net.forward_into(input, &mut ctx.fwd, &mut ctx.scratch);
+                let counts = ctx.fwd.spike_counts();
+                let pred = stats::argmax(&counts).unwrap_or(0);
+                let mut d_out = std::mem::take(&mut ctx.scratch.d_loss);
+                let l = loss.loss_and_grad_into(ctx.fwd.output(), *target, &mut d_out);
+                backward_into(net, &ctx.fwd, &d_out, surrogate, grads, &mut ctx.scratch);
+                ctx.scratch.d_loss = d_out;
+                (l, Some((pred, *target)))
+            },
+        )
     }
 
     /// One full pass over pattern-association data (input raster →
     /// target raster). Returns mean loss; accuracy is reported as 0.
-    pub fn epoch_pattern<L: PatternLoss>(
+    pub fn epoch_pattern<L: PatternLoss + Sync>(
         &mut self,
         net: &mut Network,
         data: &[(SpikeRaster, SpikeRaster)],
         loss: &L,
     ) -> EpochStats {
-        let mut total_loss = 0.0f64;
-        let mut batch = Gradients::zeros_like(net);
-        let mut in_batch = 0usize;
+        let surrogate = self.config.surrogate;
+        self.epoch_generic(
+            net,
+            data,
+            &|sample: &(SpikeRaster, SpikeRaster),
+              net: &Network,
+              ctx: &mut WorkerCtx,
+              grads: &mut Gradients| {
+                let (input, target) = sample;
+                net.forward_into(input, &mut ctx.fwd, &mut ctx.scratch);
+                let mut d_out = std::mem::take(&mut ctx.scratch.d_loss);
+                let l = loss.loss_and_grad_into(ctx.fwd.output(), target, &mut d_out);
+                backward_into(net, &ctx.fwd, &d_out, surrogate, grads, &mut ctx.scratch);
+                ctx.scratch.d_loss = d_out;
+                (l, None)
+            },
+        )
+    }
 
-        for (input, target) in data {
-            let fwd = net.forward(input);
-            let (l, d_out) = loss.loss_and_grad(fwd.output(), target);
-            total_loss += l as f64;
-            let grads = backward(net, &fwd, &d_out, self.config.surrogate);
-            batch.accumulate(&grads);
-            in_batch += 1;
-            if in_batch == self.config.batch_size {
-                self.apply(net, &mut batch, in_batch);
-                batch = Gradients::zeros_like(net);
-                in_batch = 0;
+    /// Shared epoch driver: batches the data, fans each batch's
+    /// forward + backward across workers, reduces deterministically,
+    /// applies the optimizer.
+    fn epoch_generic<S, F>(&mut self, net: &mut Network, data: &[S], per_sample: &F) -> EpochStats
+    where
+        S: Sync,
+        F: Fn(&S, &Network, &mut WorkerCtx, &mut Gradients) -> (f32, Option<(usize, usize)>) + Sync,
+    {
+        let threads = self.resolved_threads();
+        let mut total_loss = 0.0f64;
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(data.len());
+
+        for batch in data.chunks(self.config.batch_size.max(1)) {
+            let outcomes = run_batch(net, batch, threads, per_sample);
+            let mut chunk_grads = Vec::with_capacity(outcomes.len());
+            for outcome in outcomes {
+                total_loss += outcome.loss;
+                pairs.extend(outcome.preds);
+                chunk_grads.push(outcome.grads);
             }
-        }
-        if in_batch > 0 {
-            self.apply(net, &mut batch, in_batch);
+            let batch_grads = tree_reduce(chunk_grads).expect("non-empty batch");
+            self.apply(net, batch_grads, batch.len());
         }
         EpochStats {
-            mean_loss: if data.is_empty() { 0.0 } else { (total_loss / data.len() as f64) as f32 },
-            accuracy: 0.0,
+            mean_loss: if data.is_empty() {
+                0.0
+            } else {
+                (total_loss / data.len() as f64) as f32
+            },
+            accuracy: stats::accuracy(&pairs),
             samples: data.len(),
         }
     }
 
-    fn apply(&mut self, net: &mut Network, batch: &mut Gradients, count: usize) {
+    fn apply(&mut self, net: &mut Network, mut batch: Gradients, count: usize) {
         batch.scale(1.0 / count as f32);
         if let Some(max_norm) = self.config.grad_clip {
             batch.clip_global_norm(max_norm);
         }
-        self.optimizer.step(net, batch);
+        // `Optimizer::step` refreshes the layers' kernel caches, so the
+        // next batch's forward passes stay on the sparse fast path.
+        self.optimizer.step(net, &batch);
     }
 }
 
-/// Evaluates classification accuracy on held-out data (no updates).
+/// Computes every chunk of one batch, possibly in parallel.
+///
+/// Chunk boundaries are multiples of [`GRAD_CHUNK`]; worker `w` owns
+/// chunks `w, w + workers, w + 2·workers, …` (static round-robin — the
+/// per-sample cost is uniform, so stealing buys nothing and static
+/// ownership keeps every worker's buffers private). Each worker reuses
+/// one `WorkerCtx` across all its samples. Outcomes are returned sorted
+/// by chunk index.
+fn run_batch<S, F>(net: &Network, batch: &[S], threads: usize, per_sample: &F) -> Vec<ChunkOutcome>
+where
+    S: Sync,
+    F: Fn(&S, &Network, &mut WorkerCtx, &mut Gradients) -> (f32, Option<(usize, usize)>) + Sync,
+{
+    let n_chunks = batch.len().div_ceil(GRAD_CHUNK).max(1);
+    let workers = threads.clamp(1, n_chunks);
+
+    let run_worker = |w: usize| -> Vec<ChunkOutcome> {
+        let mut ctx = WorkerCtx::new();
+        let mut out = Vec::new();
+        let mut chunk = w;
+        while chunk * GRAD_CHUNK < batch.len() {
+            let lo = chunk * GRAD_CHUNK;
+            let hi = (lo + GRAD_CHUNK).min(batch.len());
+            // One Gradients per chunk is deliberate: each chunk's sum
+            // must be an independent object so the tree reduction is a
+            // pure function of chunk order. The allocation is per-chunk
+            // (amortized over GRAD_CHUNK samples' forward+BPTT, which
+            // dwarf it) — the zero-alloc guarantee is per-sample.
+            let mut grads = Gradients::zeros_like(net);
+            let mut loss = 0.0f64;
+            let mut preds = Vec::new();
+            for sample in &batch[lo..hi] {
+                let (l, pred) = per_sample(sample, net, &mut ctx, &mut grads);
+                loss += l as f64;
+                preds.extend(pred);
+            }
+            out.push(ChunkOutcome {
+                index: chunk,
+                grads,
+                loss,
+                preds,
+            });
+            chunk += workers;
+        }
+        out
+    };
+
+    let mut outcomes = if workers == 1 || batch.is_empty() {
+        run_worker(0)
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || run_worker(w)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("trainer worker panicked"))
+                .collect()
+        })
+    };
+    outcomes.sort_by_key(|o| o.index);
+    outcomes
+}
+
+/// Pairwise tree reduction in slice order: combines `(0,1)`, `(2,3)`, …
+/// then recurses, so the summation tree depends only on the chunk count.
+fn tree_reduce(mut grads: Vec<Gradients>) -> Option<Gradients> {
+    if grads.is_empty() {
+        return None;
+    }
+    while grads.len() > 1 {
+        let mut next = Vec::with_capacity(grads.len().div_ceil(2));
+        let mut iter = grads.into_iter();
+        while let Some(mut a) = iter.next() {
+            if let Some(b) = iter.next() {
+                a.accumulate(&b);
+            }
+            next.push(a);
+        }
+        grads = next;
+    }
+    grads.pop()
+}
+
+/// Evaluates classification accuracy on held-out data (no updates),
+/// fanning samples across one thread per available core.
 pub fn evaluate_classification(net: &Network, data: &[(SpikeRaster, usize)]) -> f32 {
-    let pairs: Vec<(usize, usize)> = data
-        .iter()
-        .map(|(input, target)| (net.classify(input).0, *target))
-        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    evaluate_classification_with_threads(net, data, threads)
+}
+
+/// [`evaluate_classification`] with an explicit thread count (results do
+/// not depend on it; evaluation is read-only and order-preserving).
+pub fn evaluate_classification_with_threads(
+    net: &Network,
+    data: &[(SpikeRaster, usize)],
+    threads: usize,
+) -> f32 {
+    let classify_range = |range: std::ops::Range<usize>| -> Vec<(usize, usize)> {
+        let mut ctx = WorkerCtx::new();
+        data[range]
+            .iter()
+            .map(|(input, target)| {
+                net.forward_into(input, &mut ctx.fwd, &mut ctx.scratch);
+                let counts = ctx.fwd.spike_counts();
+                (stats::argmax(&counts).unwrap_or(0), *target)
+            })
+            .collect()
+    };
+
+    let workers = threads.clamp(1, data.len().max(1));
+    let pairs: Vec<(usize, usize)> = if workers <= 1 || data.len() < 2 * GRAD_CHUNK {
+        classify_range(0..data.len())
+    } else {
+        let per = data.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = (w * per).min(data.len());
+                    let hi = ((w + 1) * per).min(data.len());
+                    scope.spawn(move || classify_range(lo..hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("eval worker panicked"))
+                .collect()
+        })
+    };
     stats::accuracy(&pairs)
 }
 
@@ -227,7 +430,12 @@ mod tests {
     #[test]
     fn learns_rate_separable_task() {
         let mut rng = Rng::seed_from(21);
-        let mut net = Network::mlp(&[4, 12, 2], NeuronKind::Adaptive, NeuronParams::paper_defaults().with_v_th(0.5), &mut rng);
+        let mut net = Network::mlp(
+            &[4, 12, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.5),
+            &mut rng,
+        );
         let data = toy_rate_data();
         let mut trainer = Trainer::new(TrainerConfig {
             batch_size: 2,
@@ -239,7 +447,12 @@ mod tests {
         for _ in 0..60 {
             last = trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
         }
-        assert!(last.mean_loss < first.mean_loss, "loss should fall: {} -> {}", first.mean_loss, last.mean_loss);
+        assert!(
+            last.mean_loss < first.mean_loss,
+            "loss should fall: {} -> {}",
+            first.mean_loss,
+            last.mean_loss
+        );
         assert_eq!(evaluate_classification(&net, &data), 1.0);
     }
 
@@ -247,7 +460,12 @@ mod tests {
     fn adaptive_model_learns_timing_only_task() {
         // The headline capability: patterns indistinguishable by rate.
         let mut rng = Rng::seed_from(33);
-        let mut net = Network::mlp(&[2, 24, 2], NeuronKind::Adaptive, NeuronParams::paper_defaults().with_v_th(0.3), &mut rng);
+        let mut net = Network::mlp(
+            &[2, 24, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.3),
+            &mut rng,
+        );
         let data = toy_temporal_data();
         let mut trainer = Trainer::new(TrainerConfig {
             batch_size: 2,
@@ -267,7 +485,12 @@ mod tests {
     #[test]
     fn pattern_association_reduces_van_rossum_loss() {
         let mut rng = Rng::seed_from(55);
-        let mut net = Network::mlp(&[3, 32, 2], NeuronKind::Adaptive, NeuronParams::paper_defaults().with_v_th(0.3), &mut rng);
+        let mut net = Network::mlp(
+            &[3, 32, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.3),
+            &mut rng,
+        );
         let t = 30;
         let mut input = SpikeRaster::zeros(t, 3);
         for s in (0..t).step_by(3) {
@@ -297,7 +520,12 @@ mod tests {
     #[test]
     fn empty_dataset_is_harmless() {
         let mut rng = Rng::seed_from(1);
-        let mut net = Network::mlp(&[2, 2], NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
+        let mut net = Network::mlp(
+            &[2, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
         let mut trainer = Trainer::new(TrainerConfig::default());
         let stats = trainer.epoch_classification(&mut net, &[], &RateCrossEntropy);
         assert_eq!(stats.samples, 0);
@@ -307,8 +535,15 @@ mod tests {
     #[test]
     fn batch_boundaries_do_not_crash_with_remainder() {
         let mut rng = Rng::seed_from(1);
-        let mut net = Network::mlp(&[4, 4, 2], NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng);
-        let data: Vec<_> = (0..5).map(|i| (toy_rate_data()[i % 2].0.clone(), i % 2)).collect();
+        let mut net = Network::mlp(
+            &[4, 4, 2],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
+        let data: Vec<_> = (0..5)
+            .map(|i| (toy_rate_data()[i % 2].0.clone(), i % 2))
+            .collect();
         let mut trainer = Trainer::new(TrainerConfig {
             batch_size: 2, // 5 samples → 2+2+1
             ..TrainerConfig::default()
@@ -319,8 +554,107 @@ mod tests {
 
     #[test]
     fn table1_configs() {
-        assert_eq!(TrainerConfig::classification().optimizer.learning_rate(), 1e-4);
-        assert_eq!(TrainerConfig::pattern_association().optimizer.learning_rate(), 1e-3);
+        assert_eq!(
+            TrainerConfig::classification().optimizer.learning_rate(),
+            1e-4
+        );
+        assert_eq!(
+            TrainerConfig::pattern_association()
+                .optimizer
+                .learning_rate(),
+            1e-3
+        );
         assert_eq!(TrainerConfig::classification().batch_size, 64);
+    }
+
+    /// A batch spanning several chunks with varied per-channel activity,
+    /// so the parallel fan-out genuinely exercises multiple workers.
+    fn chunky_data(samples: usize) -> Vec<(SpikeRaster, usize)> {
+        let mut rng = Rng::seed_from(77);
+        (0..samples)
+            .map(|i| {
+                let mut r = SpikeRaster::zeros(15, 6);
+                for t in 0..15 {
+                    for c in 0..6 {
+                        if rng.coin(if i % 2 == 0 { 0.15 } else { 0.05 }) {
+                            r.set(t, c, true);
+                        }
+                    }
+                }
+                (r, i % 3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn epoch_is_bitwise_identical_for_any_thread_count() {
+        let data = chunky_data(40);
+        let mut weights_by_threads = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut rng = Rng::seed_from(9);
+            let mut net = Network::mlp(
+                &[6, 16, 3],
+                NeuronKind::Adaptive,
+                NeuronParams::paper_defaults().with_v_th(0.4),
+                &mut rng,
+            );
+            let mut trainer = Trainer::new(
+                TrainerConfig {
+                    batch_size: 20,
+                    optimizer: Optimizer::adam(0.01),
+                    ..TrainerConfig::default()
+                }
+                .with_threads(threads),
+            );
+            let mut stats_log = Vec::new();
+            for _ in 0..3 {
+                stats_log.push(trainer.epoch_classification(&mut net, &data, &RateCrossEntropy));
+            }
+            let weights: Vec<Vec<f32>> = net
+                .layers()
+                .iter()
+                .map(|l| l.weights().as_slice().to_vec())
+                .collect();
+            weights_by_threads.push((threads, weights, stats_log));
+        }
+        let (_, ref_weights, ref_stats) = &weights_by_threads[0];
+        for (threads, weights, stats_log) in &weights_by_threads[1..] {
+            assert_eq!(
+                weights, ref_weights,
+                "weights diverged between 1 and {threads} threads"
+            );
+            for (a, b) in stats_log.iter().zip(ref_stats) {
+                assert_eq!(
+                    a.accuracy, b.accuracy,
+                    "accuracy diverged at {threads} threads"
+                );
+                assert_eq!(a.samples, b.samples);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_thread_count_does_not_change_accuracy() {
+        let data = chunky_data(30);
+        let mut rng = Rng::seed_from(4);
+        let net = Network::mlp(
+            &[6, 10, 3],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.4),
+            &mut rng,
+        );
+        let base = evaluate_classification_with_threads(&net, &data, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                base,
+                evaluate_classification_with_threads(&net, &data, threads)
+            );
+        }
+    }
+
+    #[test]
+    fn with_threads_builder() {
+        let cfg = TrainerConfig::classification().with_threads(3);
+        assert_eq!(cfg.num_threads, 3);
     }
 }

@@ -152,3 +152,149 @@ proptest! {
         prop_assert!(o.output().as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
     }
 }
+
+/// Sparse/event-driven vs. dense-reference forward equivalence, and
+/// parallel vs. sequential training determinism.
+mod kernel_equivalence {
+    use super::*;
+    use snn_core::train::{Optimizer, Trainer, TrainerConfig};
+    use snn_core::{Forward, ScratchSpace};
+
+    fn density_raster(steps: usize, channels: usize, density: f32, seed: u64) -> SpikeRaster {
+        let mut rng = Rng::seed_from(seed);
+        let mut r = SpikeRaster::zeros(steps, channels);
+        for t in 0..steps {
+            for c in 0..channels {
+                if rng.coin(density) {
+                    r.set(t, c, true);
+                }
+            }
+        }
+        r
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn sparse_forward_matches_dense_reference(
+            seed in 0u64..500,
+            steps in 0usize..24,
+            channels in 1usize..10,
+            hidden in 1usize..12,
+            density in prop_oneof![Just(0.0f32), Just(1.0f32), 0.02f32..0.5],
+            kind_sel in 0usize..3,
+        ) {
+            let kind = [NeuronKind::Adaptive, NeuronKind::HardReset, NeuronKind::HardResetMatched][kind_sel];
+            let mut rng = Rng::seed_from(seed);
+            let net = Network::mlp(
+                &[channels, hidden, 3],
+                kind,
+                NeuronParams::paper_defaults().with_v_th(0.5),
+                &mut rng,
+            );
+            let input = density_raster(steps, channels, density, seed ^ 0xA5A5);
+            let fast = net.forward(&input);
+            let reference = net.forward_dense_reference(&input);
+            prop_assert_eq!(fast.records.len(), reference.records.len());
+            for (l, (f, r)) in fast.records.iter().zip(&reference.records).enumerate() {
+                prop_assert_eq!(f.o.shape(), r.o.shape(), "layer {} o shape", l);
+                // The event-driven drive reassociates float sums, so
+                // potentials agree to tolerance...
+                for (a, b) in f.v.as_slice().iter().zip(r.v.as_slice()) {
+                    prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                        "layer {}: v {} vs {}", l, a, b);
+                }
+                for (a, b) in f.pre.as_slice().iter().zip(r.pre.as_slice()) {
+                    prop_assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                        "layer {}: pre {} vs {}", l, a, b);
+                }
+                // ...and the spike trains themselves match exactly.
+                prop_assert_eq!(f.o.as_slice(), r.o.as_slice(), "layer {} spikes", l);
+            }
+        }
+
+        #[test]
+        fn forward_into_reuse_is_bit_stable(
+            seed in 0u64..200, density in 0.0f32..0.6
+        ) {
+            // Reusing one Forward + ScratchSpace across different samples
+            // must give exactly the same outputs as fresh ones.
+            let mut rng = Rng::seed_from(seed);
+            let net = Network::mlp(
+                &[6, 9, 2],
+                NeuronKind::Adaptive,
+                NeuronParams::paper_defaults().with_v_th(0.4),
+                &mut rng,
+            );
+            let mut fwd = Forward::empty();
+            let mut scratch = ScratchSpace::new();
+            for i in 0..4 {
+                let steps = 5 + 3 * i; // shape changes between samples
+                let input = density_raster(steps, 6, density, seed + i as u64);
+                net.forward_into(&input, &mut fwd, &mut scratch);
+                let fresh = net.forward(&input);
+                prop_assert_eq!(fwd.output().as_slice(), fresh.output().as_slice());
+                prop_assert_eq!(
+                    fwd.records[0].v.as_slice(),
+                    fresh.records[0].v.as_slice()
+                );
+            }
+        }
+
+        #[test]
+        fn active_indices_roundtrip(r in raster_strategy(14, 5)) {
+            let idx = r.active_indices();
+            prop_assert_eq!(idx.steps(), r.steps());
+            prop_assert_eq!(idx.nnz(), r.spike_count());
+            let mut events = Vec::new();
+            for t in 0..idx.steps() {
+                for &c in idx.step(t) {
+                    events.push((t, c));
+                }
+            }
+            prop_assert_eq!(events, r.events());
+        }
+    }
+
+    proptest! {
+        // Training runs several epochs per case; keep the count modest.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn parallel_epoch_gradients_match_sequential_bitwise(
+            seed in 0u64..100,
+            samples in 9usize..40,
+            batch in 1usize..40,
+            lr_sel in 0usize..2,
+        ) {
+            let data: Vec<(SpikeRaster, usize)> = (0..samples)
+                .map(|i| (density_raster(10, 5, 0.2, seed * 1000 + i as u64), i % 3))
+                .collect();
+            let optimizer = [Optimizer::adam(0.01), Optimizer::sgd_momentum(0.05, 0.9)][lr_sel].clone();
+            let mut final_weights: Vec<Vec<Vec<f32>>> = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let mut rng = Rng::seed_from(seed);
+                let mut net = Network::mlp(
+                    &[5, 8, 3],
+                    NeuronKind::Adaptive,
+                    NeuronParams::paper_defaults().with_v_th(0.4),
+                    &mut rng,
+                );
+                let mut trainer = Trainer::new(TrainerConfig {
+                    batch_size: batch,
+                    optimizer: optimizer.clone(),
+                    ..TrainerConfig::default()
+                }.with_threads(threads));
+                for _ in 0..2 {
+                    trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
+                }
+                final_weights.push(
+                    net.layers().iter().map(|l| l.weights().as_slice().to_vec()).collect(),
+                );
+            }
+            prop_assert_eq!(&final_weights[0], &final_weights[1], "1 vs 2 threads");
+            prop_assert_eq!(&final_weights[0], &final_weights[2], "1 vs 4 threads");
+        }
+    }
+}

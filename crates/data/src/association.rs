@@ -92,7 +92,10 @@ pub struct AssociationDataset {
 ///
 /// Panics if the SHD configuration has fewer than 10 classes.
 pub fn generate(cfg: &AssociationConfig, seed: u64) -> AssociationDataset {
-    assert!(cfg.shd.classes >= 10, "need >= 10 SHD classes for 10 digits");
+    assert!(
+        cfg.shd.classes >= 10,
+        "need >= 10 SHD classes for 10 digits"
+    );
     let mut rng = Rng::seed_from(seed);
     let targets: Vec<SpikeRaster> = (0..10)
         .map(|d| digit_target(d, cfg.shd.steps, cfg.target_channels))
@@ -106,7 +109,11 @@ pub fn generate(cfg: &AssociationConfig, seed: u64) -> AssociationDataset {
             labels.push(d);
         }
     }
-    AssociationDataset { pairs, labels, targets }
+    AssociationDataset {
+        pairs,
+        labels,
+        targets,
+    }
 }
 
 /// Classifies a produced output raster by nearest canonical target under

@@ -12,28 +12,96 @@ type Strokes = &'static [&'static [(f32, f32)]];
 
 const DIGIT_STROKES: [Strokes; 10] = [
     // 0: rounded box
-    &[&[(0.3, 0.12), (0.7, 0.12), (0.82, 0.35), (0.82, 0.65), (0.7, 0.88), (0.3, 0.88), (0.18, 0.65), (0.18, 0.35), (0.3, 0.12)]],
+    &[&[
+        (0.3, 0.12),
+        (0.7, 0.12),
+        (0.82, 0.35),
+        (0.82, 0.65),
+        (0.7, 0.88),
+        (0.3, 0.88),
+        (0.18, 0.65),
+        (0.18, 0.35),
+        (0.3, 0.12),
+    ]],
     // 1: vertical bar with flag
-    &[&[(0.35, 0.28), (0.55, 0.12), (0.55, 0.88)], &[(0.35, 0.88), (0.75, 0.88)]],
+    &[
+        &[(0.35, 0.28), (0.55, 0.12), (0.55, 0.88)],
+        &[(0.35, 0.88), (0.75, 0.88)],
+    ],
     // 2
-    &[&[(0.22, 0.28), (0.38, 0.12), (0.65, 0.12), (0.78, 0.3), (0.55, 0.55), (0.22, 0.88), (0.8, 0.88)]],
+    &[&[
+        (0.22, 0.28),
+        (0.38, 0.12),
+        (0.65, 0.12),
+        (0.78, 0.3),
+        (0.55, 0.55),
+        (0.22, 0.88),
+        (0.8, 0.88),
+    ]],
     // 3
-    &[&[(0.22, 0.15), (0.72, 0.12), (0.45, 0.45), (0.75, 0.62), (0.68, 0.85), (0.25, 0.88)]],
+    &[&[
+        (0.22, 0.15),
+        (0.72, 0.12),
+        (0.45, 0.45),
+        (0.75, 0.62),
+        (0.68, 0.85),
+        (0.25, 0.88),
+    ]],
     // 4
     &[&[(0.68, 0.88), (0.68, 0.12), (0.2, 0.62), (0.85, 0.62)]],
     // 5
-    &[&[(0.78, 0.12), (0.25, 0.12), (0.25, 0.5), (0.65, 0.45), (0.8, 0.65), (0.65, 0.88), (0.22, 0.85)]],
+    &[&[
+        (0.78, 0.12),
+        (0.25, 0.12),
+        (0.25, 0.5),
+        (0.65, 0.45),
+        (0.8, 0.65),
+        (0.65, 0.88),
+        (0.22, 0.85),
+    ]],
     // 6
-    &[&[(0.7, 0.12), (0.38, 0.35), (0.22, 0.65), (0.4, 0.88), (0.68, 0.85), (0.78, 0.65), (0.55, 0.5), (0.25, 0.62)]],
+    &[&[
+        (0.7, 0.12),
+        (0.38, 0.35),
+        (0.22, 0.65),
+        (0.4, 0.88),
+        (0.68, 0.85),
+        (0.78, 0.65),
+        (0.55, 0.5),
+        (0.25, 0.62),
+    ]],
     // 7
-    &[&[(0.2, 0.12), (0.8, 0.12), (0.45, 0.88)], &[(0.35, 0.5), (0.68, 0.5)]],
+    &[
+        &[(0.2, 0.12), (0.8, 0.12), (0.45, 0.88)],
+        &[(0.35, 0.5), (0.68, 0.5)],
+    ],
     // 8
     &[
-        &[(0.5, 0.12), (0.3, 0.25), (0.5, 0.46), (0.7, 0.25), (0.5, 0.12)],
-        &[(0.5, 0.46), (0.25, 0.68), (0.5, 0.88), (0.75, 0.68), (0.5, 0.46)],
+        &[
+            (0.5, 0.12),
+            (0.3, 0.25),
+            (0.5, 0.46),
+            (0.7, 0.25),
+            (0.5, 0.12),
+        ],
+        &[
+            (0.5, 0.46),
+            (0.25, 0.68),
+            (0.5, 0.88),
+            (0.75, 0.68),
+            (0.5, 0.46),
+        ],
     ],
     // 9
-    &[&[(0.75, 0.35), (0.5, 0.5), (0.25, 0.32), (0.45, 0.12), (0.72, 0.18), (0.75, 0.35), (0.68, 0.88)]],
+    &[&[
+        (0.75, 0.35),
+        (0.5, 0.5),
+        (0.25, 0.32),
+        (0.45, 0.12),
+        (0.72, 0.18),
+        (0.75, 0.35),
+        (0.68, 0.88),
+    ]],
 ];
 
 /// A grayscale bitmap (row-major, values in `[0, 1]`).
@@ -91,7 +159,10 @@ impl Bitmap {
         let v10 = self.get(x0 + 1, y0);
         let v01 = self.get(x0, y0 + 1);
         let v11 = self.get(x0 + 1, y0 + 1);
-        v00 * (1.0 - fx) * (1.0 - fy) + v10 * fx * (1.0 - fy) + v01 * (1.0 - fx) * fy + v11 * fx * fy
+        v00 * (1.0 - fx) * (1.0 - fy)
+            + v10 * fx * (1.0 - fy)
+            + v01 * (1.0 - fx) * fy
+            + v11 * fx * fy
     }
 
     /// Fraction of pixels above 0.5.

@@ -163,7 +163,11 @@ mod tests {
         let cfg = NmnistConfig::small();
         let mut rng = Rng::seed_from(1);
         let r = simulate_sample(3, &cfg, &mut rng);
-        assert!(r.spike_count() > 10, "expected events, got {}", r.spike_count());
+        assert!(
+            r.spike_count() > 10,
+            "expected events, got {}",
+            r.spike_count()
+        );
         assert_eq!(r.channels(), cfg.channels());
         assert_eq!(r.steps(), cfg.steps);
     }
@@ -205,12 +209,19 @@ mod tests {
         let b = simulate_sample(0, &cfg, &mut rng).channel_counts();
         let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
         let total: f32 = a.iter().sum::<f32>() + b.iter().sum::<f32>();
-        assert!(diff / total > 0.2, "digit signatures too similar: {}", diff / total);
+        assert!(
+            diff / total > 0.2,
+            "digit signatures too similar: {}",
+            diff / total
+        );
     }
 
     #[test]
     fn generate_is_deterministic_and_balanced() {
-        let cfg = NmnistConfig { samples_per_class: 3, ..NmnistConfig::small() };
+        let cfg = NmnistConfig {
+            samples_per_class: 3,
+            ..NmnistConfig::small()
+        };
         let a = generate(&cfg, 9);
         let b = generate(&cfg, 9);
         assert_eq!(a.samples.len(), 30);
@@ -223,10 +234,17 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let cfg = NmnistConfig { samples_per_class: 1, ..NmnistConfig::small() };
+        let cfg = NmnistConfig {
+            samples_per_class: 1,
+            ..NmnistConfig::small()
+        };
         let a = generate(&cfg, 1);
         let b = generate(&cfg, 2);
-        assert!(a.samples.iter().zip(&b.samples).any(|((ra, _), (rb, _))| ra != rb));
+        assert!(a
+            .samples
+            .iter()
+            .zip(&b.samples)
+            .any(|((ra, _), (rb, _))| ra != rb));
     }
 
     #[test]

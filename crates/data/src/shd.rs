@@ -116,7 +116,11 @@ impl Default for ShdConfig {
 /// Builds the segment list for every class. Classes `2k` and `2k+1`
 /// share segments; the odd class's windows are mirrored in time.
 fn class_signatures(cfg: &ShdConfig) -> Vec<Vec<Segment>> {
-    assert!(cfg.classes >= 2 && cfg.classes.is_multiple_of(2), "classes must be even and >= 2, got {}", cfg.classes);
+    assert!(
+        cfg.classes >= 2 && cfg.classes.is_multiple_of(2),
+        "classes must be even and >= 2, got {}",
+        cfg.classes
+    );
     assert!(cfg.classes <= 20, "at most 20 classes, got {}", cfg.classes);
     let mut rng = Rng::seed_from(cfg.class_seed);
     let words = cfg.classes / 2;
@@ -189,7 +193,11 @@ pub fn paired_class(label: usize) -> usize {
 /// Panics if `label >= cfg.classes`.
 pub fn simulate_sample(label: usize, cfg: &ShdConfig, rng: &mut Rng) -> SpikeRaster {
     let signatures = class_signatures(cfg);
-    assert!(label < signatures.len(), "label {label} out of range {}", signatures.len());
+    assert!(
+        label < signatures.len(),
+        "label {label} out of range {}",
+        signatures.len()
+    );
     sample_from_signature(&signatures[label], cfg, rng)
 }
 
@@ -269,7 +277,13 @@ mod tests {
     fn paired_classes_share_rate_profile() {
         // The defining property: classes 2k and 2k+1 must have nearly
         // identical expected per-channel counts.
-        let cfg = ShdConfig { samples_per_class: 1, time_jitter: 0.0, dropout: 0.0, noise_rate: 0.0, ..ShdConfig::small() };
+        let cfg = ShdConfig {
+            samples_per_class: 1,
+            time_jitter: 0.0,
+            dropout: 0.0,
+            noise_rate: 0.0,
+            ..ShdConfig::small()
+        };
         let mut fwd_counts = vec![0.0f32; cfg.channels];
         let mut rev_counts = vec![0.0f32; cfg.channels];
         // Average over many stochastic draws of the same signatures.
@@ -286,7 +300,11 @@ mod tests {
             }
         }
         let total: f32 = fwd_counts.iter().sum::<f32>() + rev_counts.iter().sum::<f32>();
-        let diff: f32 = fwd_counts.iter().zip(&rev_counts).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f32 = fwd_counts
+            .iter()
+            .zip(&rev_counts)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(
             diff / total < 0.25,
             "paired classes should be rate-similar; relative diff {}",
@@ -298,7 +316,12 @@ mod tests {
     fn paired_classes_differ_in_time() {
         // Temporal centroid (mean spike time) must differ between the
         // forward and reversed member for at least some channels.
-        let cfg = ShdConfig { time_jitter: 0.0, dropout: 0.0, noise_rate: 0.0, ..ShdConfig::small() };
+        let cfg = ShdConfig {
+            time_jitter: 0.0,
+            dropout: 0.0,
+            noise_rate: 0.0,
+            ..ShdConfig::small()
+        };
         let mut rng = Rng::seed_from(5);
         let f = simulate_sample(0, &cfg, &mut rng);
         let r = simulate_sample(1, &cfg, &mut rng);
@@ -311,7 +334,9 @@ mod tests {
         // channel-resolved timing differs; test with a coarse statistic:
         // per-channel first-spike times.
         let first_spike = |raster: &SpikeRaster, c: usize| {
-            (0..raster.steps()).find(|&t| raster.get(t, c)).map(|t| t as f32)
+            (0..raster.steps())
+                .find(|&t| raster.get(t, c))
+                .map(|t| t as f32)
         };
         let mut diffs = 0;
         let mut compared = 0;
@@ -341,7 +366,10 @@ mod tests {
 
     #[test]
     fn generate_is_balanced_and_deterministic() {
-        let cfg = ShdConfig { samples_per_class: 2, ..ShdConfig::small() };
+        let cfg = ShdConfig {
+            samples_per_class: 2,
+            ..ShdConfig::small()
+        };
         let a = generate(&cfg, 3);
         let b = generate(&cfg, 3);
         assert_eq!(a.samples.len(), 2 * cfg.classes);
@@ -371,7 +399,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "classes must be even")]
     fn odd_class_count_panics() {
-        let cfg = ShdConfig { classes: 5, ..ShdConfig::small() };
+        let cfg = ShdConfig {
+            classes: 5,
+            ..ShdConfig::small()
+        };
         class_signatures(&cfg);
     }
 

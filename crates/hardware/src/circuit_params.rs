@@ -1,7 +1,5 @@
 //! Shared circuit component values (paper §V-C).
 
-use serde::{Deserialize, Serialize};
-
 /// Component values of the neurosynaptic circuit.
 ///
 /// Defaults are the paper's: TSMC 65 nm, `VDD = 1 V`, a 10 ns physical
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((p.rc_seconds() - 46.24e-9).abs() < 1e-10);
 /// assert!(p.tau_steps() > 4.0 && p.tau_steps() < 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CircuitParams {
     /// Supply voltage (V).
     pub vdd: f32,

@@ -2,7 +2,6 @@
 //! current summation and sense-resistor readout (paper Fig. 6).
 
 use crate::{Quantizer, VariationModel};
-use serde::{Deserialize, Serialize};
 use snn_tensor::{Matrix, Rng};
 
 /// An RRAM crossbar programmed with a signed weight matrix.
@@ -31,7 +30,7 @@ use snn_tensor::{Matrix, Rng};
 /// // I = (w₀ + w₁) · g_max / scale, up to 8-bit quantization error.
 /// assert!((i[0] - 0.5e-4).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Crossbar {
     g_pos: Matrix,
     g_neg: Matrix,
@@ -69,7 +68,13 @@ impl Crossbar {
                 }
             }
         }
-        Self { g_pos, g_neg, scale, g_max, quantizer }
+        Self {
+            g_pos,
+            g_neg,
+            scale,
+            g_max,
+            quantizer,
+        }
     }
 
     /// Applies independent multiplicative process variation to every

@@ -27,12 +27,20 @@ pub struct DeployConfig {
 impl DeployConfig {
     /// Fig. 8's default operating point: 4-bit cells, no deviation.
     pub fn four_bit() -> Self {
-        Self { bits: 4, deviation: 0.0, g_max: 1e-4 }
+        Self {
+            bits: 4,
+            deviation: 0.0,
+            g_max: 1e-4,
+        }
     }
 
     /// 5-bit cells, no deviation.
     pub fn five_bit() -> Self {
-        Self { bits: 5, deviation: 0.0, g_max: 1e-4 }
+        Self {
+            bits: 5,
+            deviation: 0.0,
+            g_max: 1e-4,
+        }
     }
 
     /// Returns a copy with the given deviation.
@@ -109,8 +117,16 @@ pub fn deploy(net: &Network, cfg: DeployConfig, rng: &mut Rng) -> Deployment {
         *layer.weights_mut() = effective;
         crossbars.push(xbar);
     }
+    // The weight swap above invalidated the layers' event-driven kernel
+    // caches; rebuild them so deployed networks keep the sparse fast
+    // path (no optimizer ever runs on a deployment to do it for us).
+    hw_net.sync_caches();
 
-    Deployment { network: hw_net, crossbars, reports }
+    Deployment {
+        network: hw_net,
+        crossbars,
+        reports,
+    }
 }
 
 #[cfg(test)]
@@ -121,14 +137,23 @@ mod tests {
 
     fn trained_like_net(seed: u64) -> Network {
         let mut rng = Rng::seed_from(seed);
-        Network::mlp(&[6, 10, 4], NeuronKind::Adaptive, NeuronParams::paper_defaults(), &mut rng)
+        Network::mlp(
+            &[6, 10, 4],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        )
     }
 
     #[test]
     fn ideal_deployment_preserves_behaviour_at_high_precision() {
         let net = trained_like_net(1);
         let mut rng = Rng::seed_from(2);
-        let cfg = DeployConfig { bits: 12, deviation: 0.0, g_max: 1e-4 };
+        let cfg = DeployConfig {
+            bits: 12,
+            deviation: 0.0,
+            g_max: 1e-4,
+        };
         let dep = deploy(&net, cfg, &mut rng);
         let input = SpikeRaster::from_events(15, 6, &[(0, 0), (2, 1), (3, 3), (7, 5), (9, 2)]);
         let a = net.forward(&input).output_raster();
@@ -151,7 +176,8 @@ mod tests {
         let mut rng = Rng::seed_from(6);
         let clean = deploy(&net, DeployConfig::four_bit(), &mut rng).reports[0].mean_abs_error;
         let mut rng = Rng::seed_from(6);
-        let noisy = deploy(&net, DeployConfig::four_bit().with_deviation(0.4), &mut rng).reports[0].mean_abs_error;
+        let noisy = deploy(&net, DeployConfig::four_bit().with_deviation(0.4), &mut rng).reports[0]
+            .mean_abs_error;
         assert!(noisy > clean);
     }
 
@@ -161,7 +187,11 @@ mod tests {
         net.set_neuron_kind(NeuronKind::HardReset);
         let mut rng = Rng::seed_from(8);
         let dep = deploy(&net, DeployConfig::four_bit(), &mut rng);
-        assert!(dep.network.layers().iter().all(|l| l.kind() == NeuronKind::HardReset));
+        assert!(dep
+            .network
+            .layers()
+            .iter()
+            .all(|l| l.kind() == NeuronKind::HardReset));
         assert_eq!(dep.network.n_in(), 6);
         assert_eq!(dep.network.n_out(), 4);
         assert_eq!(dep.crossbars.len(), 2);

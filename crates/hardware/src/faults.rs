@@ -8,13 +8,12 @@
 //! "future work" dimension a deployment study would need.
 
 use crate::Crossbar;
-use serde::{Deserialize, Serialize};
 use snn_tensor::Rng;
 
 /// Stuck-at-fault model: each device independently becomes stuck-off
 /// (conductance 0) with probability `p_stuck_off`, or stuck-on (full
 /// `g_max`) with probability `p_stuck_on`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultModel {
     /// Probability a device is stuck in the high-resistance (off) state.
     pub p_stuck_off: f32,
@@ -27,12 +26,20 @@ pub struct FaultModel {
 impl FaultModel {
     /// A model with only stuck-off faults (the common RRAM failure).
     pub fn stuck_off(p: f32) -> Self {
-        Self { p_stuck_off: p, p_stuck_on: 0.0, g_on: 1e-4 }
+        Self {
+            p_stuck_off: p,
+            p_stuck_on: 0.0,
+            g_on: 1e-4,
+        }
     }
 
     /// A model with both polarities.
     pub fn new(p_stuck_off: f32, p_stuck_on: f32, g_on: f32) -> Self {
-        Self { p_stuck_off, p_stuck_on, g_on }
+        Self {
+            p_stuck_off,
+            p_stuck_on,
+            g_on,
+        }
     }
 
     /// Injects faults into both conductance arrays of a crossbar.
@@ -107,7 +114,10 @@ mod tests {
         let mut rng = Rng::seed_from(3);
         FaultModel::new(0.0, 0.5, 1e-4).inject(&mut xbar, &mut rng);
         let w = xbar.effective_weights();
-        assert!(w.as_slice().iter().any(|&x| x < 0.5), "expected corrupted weights");
+        assert!(
+            w.as_slice().iter().any(|&x| x < 0.5),
+            "expected corrupted weights"
+        );
     }
 
     #[test]

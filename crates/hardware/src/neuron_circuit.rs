@@ -2,7 +2,6 @@
 //! feedback RC filter + threshold bias + output inverter pair.
 
 use crate::{CircuitParams, Inverter, OpAmp, RcFilter};
-use serde::{Deserialize, Serialize};
 
 /// One neuron circuit instance.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert!(fired);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NeuronCircuit {
     comparator: OpAmp,
     feedback: RcFilter,
@@ -65,7 +64,11 @@ impl NeuronCircuit {
         // Schmitt-trigger action: while the comparator is high its own
         // effective threshold is lowered, so the output pulse completes
         // cleanly instead of chattering as the feedback rises.
-        let hyst = if self.comparator_high { self.hysteresis } else { 0.0 };
+        let hyst = if self.comparator_high {
+            self.hysteresis
+        } else {
+            0.0
+        };
         let threshold = self.v_bias + self.feedback.output() - hyst;
         let comp_out = self.comparator.step(psp, threshold, dt);
         self.comparator_high = comp_out > 0.5 * self.vdd;
@@ -143,7 +146,10 @@ mod tests {
             n.step(0.9, p.dt_sim);
         }
         let raised = n.threshold();
-        assert!(raised > p.v_bias + 0.05, "threshold should rise, got {raised}");
+        assert!(
+            raised > p.v_bias + 0.05,
+            "threshold should rise, got {raised}"
+        );
         // Remove the drive; the threshold decays back toward the bias.
         for _ in 0..p.substeps() * 40 {
             n.step(0.0, p.dt_sim);
@@ -158,7 +164,11 @@ mod tests {
         let p = CircuitParams::paper();
         let total = p.substeps() * 60;
         let (_, spikes) = run(|_| 0.75, total);
-        assert!(spikes.len() >= 2, "should spike repeatedly, got {}", spikes.len());
+        assert!(
+            spikes.len() >= 2,
+            "should spike repeatedly, got {}",
+            spikes.len()
+        );
         assert!(
             spikes.len() < total / p.substeps(),
             "must not spike every step: {} spikes",
@@ -166,7 +176,10 @@ mod tests {
         );
         // Spikes are separated by a refractory-like interval.
         for pair in spikes.windows(2) {
-            assert!(pair[1] - pair[0] >= p.substeps() / 2, "interval too short: {pair:?}");
+            assert!(
+                pair[1] - pair[0] >= p.substeps() / 2,
+                "interval too short: {pair:?}"
+            );
         }
     }
 
@@ -186,9 +199,16 @@ mod tests {
             }
         };
         let (_, spikes) = run(bump, p.substeps() * 10);
-        assert_eq!(spikes.len(), 1, "second bump should be suppressed: {spikes:?}");
+        assert_eq!(
+            spikes.len(),
+            1,
+            "second bump should be suppressed: {spikes:?}"
+        );
         // Control: the weak bump alone fires a fresh neuron.
-        let (_, control) = run(|s| if s / p.substeps() < 2 { 0.65 } else { 0.0 }, p.substeps() * 10);
+        let (_, control) = run(
+            |s| if s / p.substeps() < 2 { 0.65 } else { 0.0 },
+            p.substeps() * 10,
+        );
         assert_eq!(control.len(), 1, "control bump should fire: {control:?}");
     }
 
@@ -201,6 +221,9 @@ mod tests {
             n.step(0.9, p.dt_sim);
             max_out = max_out.max(n.buffered_output());
         }
-        assert!(max_out > 0.99 * p.vdd, "buffered spike should reach VDD, got {max_out}");
+        assert!(
+            max_out > 0.99 * p.vdd,
+            "buffered spike should reach VDD, got {max_out}"
+        );
     }
 }

@@ -6,8 +6,6 @@
 //! (dashed green trace). These models reproduce exactly that behaviour
 //! without transistor-level detail.
 
-use serde::{Deserialize, Serialize};
-
 /// Finite-gain, slew-limited operational amplifier used as a comparator.
 ///
 /// The target output is `gain · (v⁺ − v⁻)` clipped to `[0, VDD]`; the
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// for _ in 0..100 { amp.step(0.7, 0.55, 0.5e-9); }
 /// assert!(amp.output() > 0.95); // comparator saturated high
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpAmp {
     gain: f32,
     slew: f32,
@@ -40,8 +38,16 @@ impl OpAmp {
     ///
     /// Panics if any argument is not positive.
     pub fn new(gain: f32, slew: f32, vdd: f32) -> Self {
-        assert!(gain > 0.0 && slew > 0.0 && vdd > 0.0, "op-amp parameters must be positive");
-        Self { gain, slew, vdd, v_out: 0.0 }
+        assert!(
+            gain > 0.0 && slew > 0.0 && vdd > 0.0,
+            "op-amp parameters must be positive"
+        );
+        Self {
+            gain,
+            slew,
+            vdd,
+            v_out: 0.0,
+        }
     }
 
     /// Advances by `dt` seconds with inputs `v_plus`, `v_minus`,
@@ -68,7 +74,7 @@ impl OpAmp {
 /// A CMOS inverter modelled as a sharp threshold at `VDD/2` with a small
 /// RC-like output transition; two in series restore full-swing spikes
 /// with ideal shape (paper Fig. 7b).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Inverter {
     vdd: f32,
     v_out: f32,
@@ -84,7 +90,11 @@ impl Inverter {
     /// Panics if `vdd` is not positive.
     pub fn new(vdd: f32) -> Self {
         assert!(vdd > 0.0, "vdd must be positive");
-        Self { vdd, v_out: vdd, rate: 20e9 }
+        Self {
+            vdd,
+            v_out: vdd,
+            rate: 20e9,
+        }
     }
 
     /// Advances by `dt` with input voltage `v_in`.
@@ -150,7 +160,11 @@ mod tests {
         for _ in 0..100 {
             amp.step(0.5502, 0.55, 1e-9);
         }
-        assert!(amp.output() > 0.05 && amp.output() < 0.95, "got {}", amp.output());
+        assert!(
+            amp.output() > 0.05 && amp.output() < 0.95,
+            "got {}",
+            amp.output()
+        );
     }
 
     #[test]

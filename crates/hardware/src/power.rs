@@ -19,7 +19,6 @@
 //! devices of Fig. 6 with budgets that sum to the paper's total.
 
 use crate::CircuitParams;
-use serde::{Deserialize, Serialize};
 
 /// Calibrated static power of one neuron+synapse circuit (W): op-amp
 /// bias currents and leakage present regardless of activity.
@@ -34,7 +33,7 @@ pub const REFERENCE_STEPS: usize = 300;
 pub const REFERENCE_SPIKES: usize = 14;
 
 /// Per-device area budget (mm²), summing to the paper's ≈0.0125 mm².
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaBreakdown {
     /// Comparator op-amp with its strong second stage.
     pub comparator_opamp: f64,
@@ -71,7 +70,7 @@ impl AreaBreakdown {
 }
 
 /// Power/energy estimate for one neuron+synapse circuit over a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerReport {
     /// Minimum instantaneous power (W) — the static floor.
     pub min_w: f64,
@@ -98,11 +97,19 @@ pub fn estimate(steps: usize, input_spikes: usize, params: &CircuitParams) -> Po
         "at most one input spike per step ({input_spikes} > {steps})"
     );
     let duration = steps as f64 * params.step_seconds as f64;
-    let duty = if steps == 0 { 0.0 } else { input_spikes as f64 / steps as f64 };
+    let duty = if steps == 0 {
+        0.0
+    } else {
+        input_spikes as f64 / steps as f64
+    };
     let avg = P_STATIC_W + duty * P_ACTIVE_W;
     PowerReport {
         min_w: P_STATIC_W,
-        max_w: if input_spikes > 0 { P_STATIC_W + P_ACTIVE_W } else { P_STATIC_W },
+        max_w: if input_spikes > 0 {
+            P_STATIC_W + P_ACTIVE_W
+        } else {
+            P_STATIC_W
+        },
         avg_w: avg,
         energy_j: avg * duration,
         duration_s: duration,
@@ -145,7 +152,11 @@ mod tests {
         assert!((r.min_w - 1.067e-3).abs() < 1e-6, "min {}", r.min_w);
         assert!((r.max_w - 1.965e-3).abs() < 0.05e-3, "max {}", r.max_w);
         assert!((r.avg_w - 1.11e-3).abs() < 0.01e-3, "avg {}", r.avg_w);
-        assert!((r.energy_j - 3.329e-9).abs() < 0.05e-9, "energy {}", r.energy_j);
+        assert!(
+            (r.energy_j - 3.329e-9).abs() < 0.05e-9,
+            "energy {}",
+            r.energy_j
+        );
     }
 
     #[test]
@@ -179,7 +190,11 @@ mod tests {
     #[test]
     fn area_breakdown_sums_to_paper_total() {
         let a = AreaBreakdown::paper();
-        assert!((a.total_mm2() - 0.0125).abs() < 1e-6, "total {}", a.total_mm2());
+        assert!(
+            (a.total_mm2() - 0.0125).abs() < 1e-6,
+            "total {}",
+            a.total_mm2()
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Symmetric uniform weight quantization for crossbar deployment.
 
-use serde::{Deserialize, Serialize};
 use snn_tensor::Matrix;
 
 /// Symmetric uniform quantizer mapping signed weights onto `bits`-bit
@@ -21,7 +20,7 @@ use snn_tensor::Matrix;
 /// let wq = q.quantize_matrix(&w);
 /// assert!((wq[(0, 0)] - 1.0).abs() < 1e-6); // max maps to max level
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Quantizer {
     bits: u8,
 }
@@ -33,7 +32,10 @@ impl Quantizer {
     ///
     /// Panics unless `2 <= bits <= 16`.
     pub fn new(bits: u8) -> Self {
-        assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+        assert!(
+            (2..=16).contains(&bits),
+            "bits must be in 2..=16, got {bits}"
+        );
         Self { bits }
     }
 
@@ -103,7 +105,11 @@ mod tests {
             let wq = q.quantize_matrix(&w);
             let bound = q.max_error(w.max_abs()) + 1e-6;
             for (a, b) in w.as_slice().iter().zip(wq.as_slice()) {
-                assert!((a - b).abs() <= bound, "{bits}-bit error {} > {bound}", (a - b).abs());
+                assert!(
+                    (a - b).abs() <= bound,
+                    "{bits}-bit error {} > {bound}",
+                    (a - b).abs()
+                );
             }
         }
     }

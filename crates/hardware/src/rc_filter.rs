@@ -7,8 +7,6 @@
 //! the exact exponential update for a piecewise-constant input, so the
 //! simulation is unconditionally stable at any substep size.
 
-use serde::{Deserialize, Serialize};
-
 /// A single RC low-pass filter stage.
 ///
 /// # Examples
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// for _ in 0..1000 { f.step(1.0, rc / 1000.0); }
 /// assert!((f.output() - (1.0 - (-1.0f32).exp())).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RcFilter {
     r: f32,
     c: f32,
@@ -37,7 +35,10 @@ impl RcFilter {
     ///
     /// Panics if `r` or `c` is not positive.
     pub fn new(r: f32, c: f32) -> Self {
-        assert!(r > 0.0 && c > 0.0, "R and C must be positive (r={r}, c={c})");
+        assert!(
+            r > 0.0 && c > 0.0,
+            "R and C must be positive (r={r}, c={c})"
+        );
         Self { r, c, v: 0.0 }
     }
 

@@ -78,7 +78,11 @@ impl TransientTrace {
 /// (`g · R_sense = 1`), matching the paper's initial experiment where a
 /// 550 mV bias ensures one isolated spike stays sub-threshold while a
 /// short burst fires the neuron.
-pub fn simulate_neuron(spike_steps: &[usize], n_steps: usize, params: &CircuitParams) -> TransientTrace {
+pub fn simulate_neuron(
+    spike_steps: &[usize],
+    n_steps: usize,
+    params: &CircuitParams,
+) -> TransientTrace {
     simulate_neuron_weighted(spike_steps, n_steps, params, 1.0)
 }
 
@@ -109,7 +113,11 @@ pub fn simulate_neuron_weighted(
 
     for step in 0..n_steps {
         let spiking_in = spike_steps.contains(&step);
-        let v_in = if spiking_in { params.spike_amplitude } else { 0.0 };
+        let v_in = if spiking_in {
+            params.spike_amplitude
+        } else {
+            0.0
+        };
         for sub in 0..substeps {
             let t = (step * substeps + sub) as f32 * params.dt_sim;
             let k = synapse.step(v_in, params.dt_sim);
@@ -139,7 +147,10 @@ mod tests {
         // would not spike with every input spike".
         let p = CircuitParams::paper();
         let trace = simulate_neuron(&[5], 30, &p);
-        assert!(trace.output_spike_times().is_empty(), "one spike must not fire the neuron");
+        assert!(
+            trace.output_spike_times().is_empty(),
+            "one spike must not fire the neuron"
+        );
         assert!(trace.peak_psp() > 0.1, "PSP should be visible");
         assert!(trace.peak_psp() < p.v_bias, "PSP must stay below bias");
     }
@@ -153,7 +164,10 @@ mod tests {
         let trace = simulate_neuron(&[4, 5, 6, 8], 40, &p);
         let spikes = trace.output_spike_times();
         assert_eq!(spikes.len(), 1, "follow-up spike suppressed: {spikes:?}");
-        assert!(spikes[0] >= 4 && spikes[0] <= 8, "spike near the burst: {spikes:?}");
+        assert!(
+            spikes[0] >= 4 && spikes[0] <= 8,
+            "spike near the burst: {spikes:?}"
+        );
         // Control: without the burst, the same residual-plus-one-spike
         // level would have crossed the *bias* (so only the adaptive
         // threshold explains the suppression).
@@ -174,7 +188,10 @@ mod tests {
         assert!(trace.peak_threshold() > p.v_bias + 0.1);
         // ...and decays back by the end of the run.
         let final_threshold = *trace.threshold.last().unwrap();
-        assert!((final_threshold - p.v_bias).abs() < 0.05, "got {final_threshold}");
+        assert!(
+            (final_threshold - p.v_bias).abs() < 0.05,
+            "got {final_threshold}"
+        );
     }
 
     #[test]
@@ -189,7 +206,12 @@ mod tests {
         let charge = p.spike_amplitude * (1.0 - a);
         let mut k = 0.0f32;
         for (t, &sample) in per_step.iter().enumerate() {
-            k = a * k + if spike_steps.contains(&t) { charge } else { 0.0 };
+            k = a * k
+                + if spike_steps.contains(&t) {
+                    charge
+                } else {
+                    0.0
+                };
             assert!((sample - k).abs() < 2e-3, "step {t}: {sample} vs {k}");
         }
     }
@@ -200,7 +222,15 @@ mod tests {
         let trace = simulate_neuron(&[1], 10, &p);
         let n = trace.time.len();
         assert_eq!(n, 10 * p.substeps());
-        for w in [&trace.input, &trace.wordline, &trace.psp, &trace.threshold, &trace.comparator, &trace.feedback, &trace.output] {
+        for w in [
+            &trace.input,
+            &trace.wordline,
+            &trace.psp,
+            &trace.threshold,
+            &trace.comparator,
+            &trace.feedback,
+            &trace.output,
+        ] {
             assert_eq!(w.len(), n);
         }
     }
@@ -214,7 +244,10 @@ mod tests {
         let ts = strong.output_spike_times();
         assert!(!ts.is_empty());
         if let (Some(&w0), Some(&s0)) = (tw.first(), ts.first()) {
-            assert!(s0 <= w0, "stronger synapse should fire no later ({s0} vs {w0})");
+            assert!(
+                s0 <= w0,
+                "stronger synapse should fire no later ({s0} vs {w0})"
+            );
         }
     }
 

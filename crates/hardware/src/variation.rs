@@ -1,6 +1,5 @@
 //! RRAM process-variation model (Fig. 8's x-axis).
 
-use serde::{Deserialize, Serialize};
 use snn_tensor::{Matrix, Rng};
 
 /// Multiplicative resistance deviation applied to every programmed
@@ -24,7 +23,7 @@ use snn_tensor::{Matrix, Rng};
 /// let perturbed = model.apply(&g, &mut rng);
 /// assert_ne!(perturbed, g);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {
     sigma: f32,
 }
@@ -36,7 +35,10 @@ impl VariationModel {
     ///
     /// Panics if `sigma` is negative or not finite.
     pub fn new(sigma: f32) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative, got {sigma}");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative, got {sigma}"
+        );
         Self { sigma }
     }
 

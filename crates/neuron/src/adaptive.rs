@@ -1,7 +1,6 @@
 //! Adaptive-threshold LIF neuron (the paper's hardware-friendly model).
 
 use crate::{ExpFilter, NeuronParams};
-use serde::{Deserialize, Serialize};
 
 /// A population of adaptive-threshold LIF neurons (paper eqs. 6–12).
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(n.step(&[2.0])[0]);          // fires: 2.0 > 1.0 + 0
 /// assert!(!n.step(&[1.5])[0]);         // suppressed: threshold rose to ~1.78
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveThresholdNeuron {
     params: NeuronParams,
     /// Reset trace h[t], one per neuron.
@@ -58,7 +57,13 @@ impl AdaptiveThresholdNeuron {
     ///
     /// Panics if `psp.len()` differs from the population size.
     pub fn step(&mut self, psp: &[f32]) -> &[bool] {
-        assert_eq!(psp.len(), self.len(), "psp width {} != population {}", psp.len(), self.len());
+        assert_eq!(
+            psp.len(),
+            self.len(),
+            "psp width {} != population {}",
+            psp.len(),
+            self.len()
+        );
         self.reset_trace.step(&self.last_spikes);
         let h = self.reset_trace.state();
         for i in 0..psp.len() {
@@ -146,7 +151,10 @@ mod tests {
             assert!(now <= prev + 1e-6);
             prev = now;
         }
-        assert!((prev - 1.0).abs() < 0.01, "threshold should decay to Vth, got {prev}");
+        assert!(
+            (prev - 1.0).abs() < 0.01,
+            "threshold should decay to Vth, got {prev}"
+        );
     }
 
     #[test]
@@ -177,10 +185,8 @@ mod tests {
     #[test]
     fn larger_theta_suppresses_harder() {
         let count_with = |theta: f32| {
-            let mut n = AdaptiveThresholdNeuron::new(
-                1,
-                NeuronParams::paper_defaults().with_theta(theta),
-            );
+            let mut n =
+                AdaptiveThresholdNeuron::new(1, NeuronParams::paper_defaults().with_theta(theta));
             (0..100).filter(|_| n.step(&[1.5])[0]).count()
         };
         assert!(count_with(0.1) > count_with(5.0));

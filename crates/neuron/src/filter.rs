@@ -1,7 +1,5 @@
 //! First-order exponential low-pass filter bank (paper eq. 5).
 
-use serde::{Deserialize, Serialize};
-
 /// A bank of first-order low-pass filters, one per channel.
 ///
 /// Implements the discrete-time kernel `k[t] = a·k[t−1] + x[t]` obtained
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// f.step(&[0.0, 1.0]);
 /// assert_eq!(f.state(), &[0.5, 1.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExpFilter {
     decay: f32,
     state: Vec<f32>,

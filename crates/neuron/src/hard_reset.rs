@@ -2,7 +2,6 @@
 //! that Table II's "HR" rows swap in.
 
 use crate::NeuronParams;
-use serde::{Deserialize, Serialize};
 
 /// A population of hard-reset leaky integrate-and-fire neurons.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(n.step(&[1.5])[0]);
 /// assert_eq!(n.potential()[0], 0.0); // history wiped by the reset
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardResetNeuron {
     params: NeuronParams,
     decay: f32,
@@ -57,7 +56,13 @@ impl HardResetNeuron {
     ///
     /// Panics if `input.len()` differs from the population size.
     pub fn step(&mut self, input: &[f32]) -> &[bool] {
-        assert_eq!(input.len(), self.len(), "input width {} != population {}", input.len(), self.len());
+        assert_eq!(
+            input.len(),
+            self.len(),
+            "input width {} != population {}",
+            input.len(),
+            self.len()
+        );
         for i in 0..input.len() {
             let mut v = self.decay * self.v[i] + input[i];
             let fired = v >= self.params.v_th;

@@ -1,7 +1,5 @@
 //! Shared neuron hyper-parameters (paper Table I).
 
-use serde::{Deserialize, Serialize};
-
 /// Hyper-parameters of the neurosynaptic model.
 ///
 /// The defaults follow Table I of the paper: membrane/synapse time
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let p = snn_neuron::NeuronParams::paper_defaults();
 /// assert!((p.synapse_decay() - (-0.25f32).exp()).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NeuronParams {
     /// Synapse filter time constant `τ` (steps).
     pub tau: f32,
@@ -56,7 +54,11 @@ impl NeuronParams {
     ///
     /// Panics if `τr <= 0`.
     pub fn reset_decay(&self) -> f32 {
-        assert!(self.tau_r > 0.0, "tau_r must be positive, got {}", self.tau_r);
+        assert!(
+            self.tau_r > 0.0,
+            "tau_r must be positive, got {}",
+            self.tau_r
+        );
         (-1.0 / self.tau_r).exp()
     }
 

@@ -1,7 +1,5 @@
 //! Pseudo-gradients for the Heaviside spike nonlinearity (paper eq. 14).
 
-use serde::{Deserialize, Serialize};
-
 /// Surrogate derivative of the Heaviside step `U(v − Vth)`.
 ///
 /// The true derivative is a Dirac delta, which blocks backpropagation;
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.grad(0.0) - 1.0).abs() < 1e-6);  // peak at the threshold
 /// assert!(s.grad(3.0) < s.grad(0.1));          // decays away from it
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Surrogate {
     /// Gaussian pseudo-derivative of erfc (the paper's choice); `sigma`
     /// controls sharpness.

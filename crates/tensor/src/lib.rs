@@ -20,6 +20,7 @@
 //! assert_eq!(y.len(), 3);
 //! ```
 
+pub mod kernels;
 mod matrix;
 mod rng;
 pub mod stats;

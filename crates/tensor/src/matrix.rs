@@ -1,7 +1,7 @@
 //! Row-major dense matrix with the products needed by BPTT.
 
+use crate::kernels;
 use crate::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -35,7 +35,7 @@ impl std::error::Error for ShapeError {}
 /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
 /// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -89,7 +89,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -168,7 +172,13 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "matvec: x has {} entries, need {}", x.len(), self.cols);
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec: x has {} entries, need {}",
+            x.len(),
+            self.cols
+        );
         let mut y = vec![0.0; self.rows];
         self.matvec_into(x, &mut y);
         y
@@ -183,6 +193,21 @@ impl Matrix {
     pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec_into: bad x");
         assert_eq!(y.len(), self.rows, "matvec_into: bad y");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *yr = kernels::dot(row, x);
+        }
+    }
+
+    /// Reference (naive, un-unrolled) matrix–vector product, kept as the
+    /// yardstick for property tests and the kernel benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn matvec_into_naive(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec_into_naive: bad x");
+        assert_eq!(y.len(), self.rows, "matvec_into_naive: bad y");
         for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0f32;
@@ -200,7 +225,13 @@ impl Matrix {
     ///
     /// Panics if `x.len() != rows`.
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.rows, "matvec_t: x has {} entries, need {}", x.len(), self.rows);
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "matvec_t: x has {} entries, need {}",
+            x.len(),
+            self.rows
+        );
         let mut y = vec![0.0; self.cols];
         self.matvec_t_into(x, &mut y);
         y
@@ -220,9 +251,34 @@ impl Matrix {
                 continue;
             }
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (yc, &w) in y.iter_mut().zip(row) {
-                *yc += w * xr;
-            }
+            kernels::axpy(xr, row, y);
+        }
+    }
+
+    /// Transposed product `y = Aᵀ x` where only the rows listed in
+    /// `active` carry nonzero `x` entries (a precomputed active-index
+    /// list, e.g. the spiking channels of a timestep). `O(cols · nnz)`.
+    ///
+    /// The in-tree BPTT keeps its adjoints dense (surrogate gradients
+    /// are rarely exactly zero), so this variant is provided for
+    /// event-driven consumers — spike-vector projections, pruned
+    /// adjoints — and is pinned to [`matvec_t_into`](Self::matvec_t_into)
+    /// by property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or an index is out of range.
+    pub fn matvec_t_into_indexed(&self, x: &[f32], active: &[usize], y: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "matvec_t_into_indexed: bad x");
+        assert_eq!(y.len(), self.cols, "matvec_t_into_indexed: bad y");
+        y.fill(0.0);
+        for &r in active {
+            assert!(
+                r < self.rows,
+                "matvec_t_into_indexed: row {r} out of bounds"
+            );
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            kernels::axpy(x[r], row, y);
         }
     }
 
@@ -240,10 +296,47 @@ impl Matrix {
             }
             let scale = alpha * ur;
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (w, &vc) in row.iter_mut().zip(v) {
-                *w += scale * vc;
+            kernels::axpy(scale, v, row);
+        }
+    }
+
+    /// Rank-1 update `A += alpha · u · vᵀ` where `v` is **binary** and
+    /// given by its active-index list: `A[r, c] += alpha·u[r]` for every
+    /// `c` in `active`. `O(nnz(u) · nnz(v))` instead of
+    /// `O(nnz(u) · cols)` — the BPTT weight-gradient update for layers
+    /// whose presynaptic trace is a raw spike raster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != rows` or an index is out of range.
+    pub fn add_outer_indexed(&mut self, alpha: f32, u: &[f32], active: &[usize]) {
+        assert_eq!(u.len(), self.rows, "add_outer_indexed: bad u");
+        if let Some(&max) = active.iter().max() {
+            assert!(
+                max < self.cols,
+                "add_outer_indexed: column {max} out of bounds"
+            );
+        }
+        for (r, &ur) in u.iter().enumerate() {
+            if ur == 0.0 {
+                continue;
+            }
+            let scale = alpha * ur;
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for &c in active {
+                row[c] += scale;
             }
         }
+    }
+
+    /// Reshapes in place to `rows × cols`, zero-filling the contents.
+    /// Reuses the existing buffer when capacity allows, so scratch
+    /// matrices resized to recurring shapes never reallocate.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Matrix–matrix product `C = A B`.
@@ -335,18 +428,35 @@ impl Matrix {
     }
 }
 
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix (scratch buffers before first use).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -1,12 +1,12 @@
 //! Seedable random number generation for reproducible experiments.
-
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+//!
+//! Implemented in-tree (xoshiro256++ seeded through SplitMix64) so the
+//! workspace has no third-party dependencies and every stream is
+//! bit-reproducible across platforms and toolchain versions.
 
 /// A seedable random-number generator used throughout the workspace.
 ///
-/// Wraps [`rand::rngs::StdRng`] so that every dataset generator, weight
+/// Wraps a xoshiro256++ core so that every dataset generator, weight
 /// initializer and process-variation model can be driven from a single
 /// `u64` seed, which keeps entire experiments bit-reproducible.
 ///
@@ -21,21 +21,59 @@ use rand::{Rng as _, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Rng {
     /// Creates a generator from an explicit seed.
     pub fn seed_from(seed: u64) -> Self {
+        // Expand the 64-bit seed into 256 bits of state with SplitMix64,
+        // the standard recommendation of the xoshiro authors. The state
+        // is never all-zero because SplitMix64 is a bijection sequence.
+        let mut s = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
     /// Derives an independent child generator; useful for splitting one
     /// experiment seed into per-component streams.
     pub fn split(&mut self) -> Self {
-        Self::seed_from(self.inner.gen())
+        Self::seed_from(self.next_u64())
+    }
+
+    /// Raw `u64` sample (xoshiro256++), for deriving sub-seeds.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)` using the top 24 bits of a draw.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -45,24 +83,38 @@ impl Rng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         assert!(lo < hi, "uniform range must be non-empty: [{lo}, {hi})");
-        Uniform::new(lo, hi).sample(&mut self.inner)
+        let x = lo + (hi - lo) * self.next_f32();
+        // Floating-point rounding can land exactly on `hi` when the range
+        // is tiny; clamp to keep the documented half-open contract.
+        if x >= hi {
+            lo
+        } else {
+            x
+        }
     }
 
-    /// Uniform integer sample in `[0, n)`.
+    /// Uniform integer sample in `[0, n)` (unbiased via Lemire rejection).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let hi = ((x as u128 * n as u128) >> 64) as u64;
+            let lo = x.wrapping_mul(n);
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi as usize;
+            }
+        }
     }
 
     /// Standard normal sample (Box–Muller; mean 0, std 1).
     pub fn normal(&mut self) -> f32 {
-        // Box–Muller keeps us independent of rand_distr.
-        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        let u1: f32 = self.next_f32().max(f32::EPSILON);
+        let u2: f32 = self.next_f32();
         (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
     }
 
@@ -74,18 +126,13 @@ impl Rng {
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
     pub fn coin(&mut self, p: f32) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_range(0.0..1.0f32) < p
-    }
-
-    /// Raw `u64` sample, for deriving sub-seeds.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        self.next_f32() < p
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             items.swap(i, j);
         }
     }
@@ -97,11 +144,11 @@ impl Rng {
             return 0;
         }
         let limit = (-lambda).exp();
-        let mut product: f32 = self.inner.gen_range(0.0..1.0);
+        let mut product: f32 = self.next_f32();
         let mut count = 0u32;
         while product > limit && count < 10_000 {
             count += 1;
-            product *= self.inner.gen_range(0.0..1.0f32);
+            product *= self.next_f32();
         }
         count
     }
@@ -134,6 +181,18 @@ mod tests {
         for _ in 0..1000 {
             let x = rng.uniform(-2.0, 3.0);
             assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Rng::seed_from(31);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[rng.below(5)] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..2400).contains(&c), "bucket count {c}");
         }
     }
 

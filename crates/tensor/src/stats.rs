@@ -63,7 +63,11 @@ pub fn std_dev(values: &[f32]) -> f32 {
 ///
 /// Panics if `target >= probs.len()`.
 pub fn cross_entropy(probs: &[f32], target: usize) -> f32 {
-    assert!(target < probs.len(), "target {target} out of range {}", probs.len());
+    assert!(
+        target < probs.len(),
+        "target {target} out of range {}",
+        probs.len()
+    );
     -probs[target].max(1e-12).ln()
 }
 

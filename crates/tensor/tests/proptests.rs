@@ -1,6 +1,8 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Property-based tests for the linear-algebra substrate, including the
+//! sparsity-aware kernels against their naive reference implementations.
 
 use proptest::prelude::*;
+use snn_tensor::kernels::{self, ColMajor};
 use snn_tensor::{stats, Matrix, Rng};
 
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -98,5 +100,140 @@ proptest! {
         let right = m.matmul(&Matrix::identity(m.cols())).unwrap();
         prop_assert_eq!(&left, &m);
         prop_assert_eq!(&right, &m);
+    }
+}
+
+/// A binary vector at a given density, including the degenerate 0% and
+/// 100% cases, plus its active-index list.
+fn binary_vector(len: usize, density: f32, seed: u64) -> (Vec<f32>, Vec<usize>) {
+    let mut rng = Rng::seed_from(seed);
+    let mut x = vec![0.0f32; len];
+    let mut active = Vec::new();
+    for (i, xi) in x.iter_mut().enumerate() {
+        if rng.coin(density) {
+            *xi = 1.0;
+            active.push(i);
+        }
+    }
+    (x, active)
+}
+
+fn density_strategy() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(0.0f32), Just(1.0f32), 0.01f32..0.99]
+}
+
+proptest! {
+    #[test]
+    fn unrolled_dot_matches_naive(v in vector_strategy(37), split in 0usize..37) {
+        // Exercise every tail length by splitting one buffer two ways.
+        let (a, b) = (&v[..split], &v[v.len() - split..]);
+        let fast = kernels::dot(a, b);
+        let naive: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        prop_assert!((fast - naive).abs() < 1e-3 * (1.0 + naive.abs()),
+            "{fast} vs {naive}");
+    }
+
+    #[test]
+    fn unrolled_matvec_matches_naive(m in matrix_strategy(12)) {
+        let x: Vec<f32> = (0..m.cols()).map(|i| (i as f32 * 0.9).sin()).collect();
+        let mut fast = vec![0.0f32; m.rows()];
+        let mut naive = vec![0.0f32; m.rows()];
+        m.matvec_into(&x, &mut fast);
+        m.matvec_into_naive(&x, &mut naive);
+        for (a, b) in fast.iter().zip(&naive) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn column_accumulation_matches_dense_matvec(
+        m in matrix_strategy(16), density in density_strategy(), seed in 0u64..1000
+    ) {
+        let (x, active) = binary_vector(m.cols(), density, seed);
+        let mirror = ColMajor::from_matrix(&m);
+        let mut sparse = vec![0.0f32; m.rows()];
+        mirror.accumulate_columns(&active, &mut sparse);
+        let mut dense = vec![0.0f32; m.rows()];
+        m.matvec_into_naive(&x, &mut dense);
+        for (a, b) in sparse.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scaled_column_accumulation_matches_dense_matvec(
+        m in matrix_strategy(12), density in density_strategy(), seed in 0u64..1000
+    ) {
+        let (mut x, active) = binary_vector(m.cols(), density, seed);
+        let mut rng = Rng::seed_from(seed ^ 0xBEEF);
+        for &c in &active {
+            x[c] = rng.uniform(-2.0, 2.0);
+        }
+        let mirror = ColMajor::from_matrix(&m);
+        let mut sparse = vec![0.0f32; m.rows()];
+        mirror.accumulate_columns_scaled(&active, &x, &mut sparse);
+        let mut dense = vec![0.0f32; m.rows()];
+        m.matvec_into_naive(&x, &mut dense);
+        for (a, b) in sparse.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn indexed_matvec_t_matches_dense(
+        m in matrix_strategy(12), density in density_strategy(), seed in 0u64..1000
+    ) {
+        let (mut x, active) = binary_vector(m.rows(), density, seed);
+        let mut rng = Rng::seed_from(seed ^ 0xF00D);
+        for &r in &active {
+            x[r] = rng.uniform(-2.0, 2.0);
+        }
+        let mut fast = vec![0.0f32; m.cols()];
+        m.matvec_t_into_indexed(&x, &active, &mut fast);
+        let mut dense = vec![0.0f32; m.cols()];
+        m.matvec_t_into(&x, &mut dense);
+        for (a, b) in fast.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn indexed_add_outer_matches_dense(
+        m in matrix_strategy(12), density in density_strategy(), seed in 0u64..1000
+    ) {
+        let (v, active) = binary_vector(m.cols(), density, seed);
+        let u: Vec<f32> = (0..m.rows()).map(|i| 0.5 - (i as f32 * 1.7).cos()).collect();
+        let mut fast = m.clone();
+        let mut dense = m.clone();
+        fast.add_outer_indexed(0.7, &u, &active);
+        dense.add_outer(0.7, &u, &v);
+        for (a, b) in fast.as_slice().iter().zip(dense.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn colmajor_refresh_tracks_any_mutation(
+        m in matrix_strategy(10), r in 0usize..10, c in 0usize..10, w in -5.0f32..5.0
+    ) {
+        let mut m = m;
+        let mut mirror = ColMajor::from_matrix(&m);
+        let (r, c) = (r % m.rows(), c % m.cols());
+        m[(r, c)] = w;
+        mirror.refresh_from(&m);
+        prop_assert_eq!(mirror.column(c)[r], w);
+        for rr in 0..m.rows() {
+            for cc in 0..m.cols() {
+                prop_assert_eq!(mirror.column(cc)[rr], m[(rr, cc)]);
+            }
+        }
+    }
+
+    #[test]
+    fn resize_zeroed_gives_clean_buffer(rows in 0usize..8, cols in 0usize..8) {
+        let mut m = Matrix::full(5, 5, 3.0);
+        m.resize_zeroed(rows, cols);
+        prop_assert_eq!(m.shape(), (rows, cols));
+        prop_assert!(m.as_slice().iter().all(|&x| x == 0.0));
     }
 }

@@ -48,7 +48,11 @@ fn main() {
         let mut dep_rng = Rng::seed_from(99);
         let dep = deploy(
             &net,
-            DeployConfig { bits, deviation: sigma, g_max: 1e-4 },
+            DeployConfig {
+                bits,
+                deviation: sigma,
+                g_max: 1e-4,
+            },
             &mut dep_rng,
         );
         let hw_acc = evaluate_classification(&dep.network, &split.test);

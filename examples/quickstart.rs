@@ -47,7 +47,10 @@ fn main() {
         NeuronParams::paper_defaults().with_v_th(0.3),
         &mut rng,
     );
-    println!("network: 2-24-2 adaptive-threshold LIF, {} parameters", net.parameter_count());
+    println!(
+        "network: 2-24-2 adaptive-threshold LIF, {} parameters",
+        net.parameter_count()
+    );
 
     let mut trainer = Trainer::new(TrainerConfig {
         batch_size: 8,
@@ -75,6 +78,9 @@ fn main() {
         let (pred, probs) = net.classify(&sample);
         println!("\nclass {class} sample (channels over time):");
         print!("{}", sample.render_ascii(2));
-        println!("prediction: {pred}  probabilities: [{:.3}, {:.3}]", probs[0], probs[1]);
+        println!(
+            "prediction: {pred}  probabilities: [{:.3}, {:.3}]",
+            probs[0], probs[1]
+        );
     }
 }

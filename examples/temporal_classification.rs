@@ -55,7 +55,10 @@ fn main() {
     }
 
     let adaptive_acc = evaluate_classification(&net, &split.test);
-    println!("\nadaptive-threshold test accuracy: {:.1}%", adaptive_acc * 100.0);
+    println!(
+        "\nadaptive-threshold test accuracy: {:.1}%",
+        adaptive_acc * 100.0
+    );
 
     // The Table II "HR" ablation: same weights, hard-reset neuron.
     let mut hr = net.clone();

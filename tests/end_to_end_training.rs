@@ -7,17 +7,12 @@ use neurosnn::core::train::{
     evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
 };
 use neurosnn::core::{Network, NeuronKind};
-use neurosnn::data::shd::{generate, PairMode, ShdConfig};
 use neurosnn::data::nmnist;
+use neurosnn::data::shd::{generate, PairMode, ShdConfig};
 use neurosnn::neuron::NeuronParams;
 use neurosnn::tensor::Rng;
 
-fn train(
-    net: &mut Network,
-    data: &[(neurosnn::core::SpikeRaster, usize)],
-    epochs: usize,
-    lr: f32,
-) {
+fn train(net: &mut Network, data: &[(neurosnn::core::SpikeRaster, usize)], epochs: usize, lr: f32) {
     let mut trainer = Trainer::new(TrainerConfig {
         batch_size: 16,
         optimizer: Optimizer::adamw(lr, 0.0),
@@ -52,7 +47,10 @@ fn shd_pipeline_learns_above_rate_ceiling() {
     train(&mut net, &split.train, 25, 1e-3);
 
     let acc = evaluate_classification(&net, &split.test);
-    assert!(acc > 0.6, "adaptive model should beat the 0.5 rate ceiling, got {acc}");
+    assert!(
+        acc > 0.6,
+        "adaptive model should beat the 0.5 rate ceiling, got {acc}"
+    );
 
     let cm = confusion(&net, &split.test, 4);
     assert!(

@@ -46,7 +46,10 @@ fn fig8_pipeline_quantization_and_variation_degrade_gracefully() {
     let mut rng = Rng::seed_from(1);
     let five = deploy(&net, DeployConfig::five_bit(), &mut rng);
     let acc5 = evaluate_classification(&five.network, &test);
-    assert!(sw - acc5 < 0.15, "5-bit clean drop too large: {sw} -> {acc5}");
+    assert!(
+        sw - acc5 < 0.15,
+        "5-bit clean drop too large: {sw} -> {acc5}"
+    );
 
     // Heavy variation must hurt at least as much as none (averaged over
     // seeds to avoid flaky single draws).
@@ -54,7 +57,11 @@ fn fig8_pipeline_quantization_and_variation_degrade_gracefully() {
         let accs: Vec<f32> = (0..4)
             .map(|s| {
                 let mut rng = Rng::seed_from(100 + s);
-                let dep = deploy(&net, DeployConfig::four_bit().with_deviation(sigma), &mut rng);
+                let dep = deploy(
+                    &net,
+                    DeployConfig::four_bit().with_deviation(sigma),
+                    &mut rng,
+                );
                 evaluate_classification(&dep.network, &test)
             })
             .collect();
@@ -62,7 +69,10 @@ fn fig8_pipeline_quantization_and_variation_degrade_gracefully() {
     };
     let clean = mean_acc(0.0);
     let noisy = mean_acc(0.5);
-    assert!(noisy <= clean + 0.05, "0.5 deviation should not beat clean: {clean} vs {noisy}");
+    assert!(
+        noisy <= clean + 0.05,
+        "0.5 deviation should not beat clean: {clean} vs {noisy}"
+    );
 }
 
 #[test]
@@ -83,7 +93,10 @@ fn stuck_at_faults_reduce_accuracy_monotonically_in_expectation() {
     };
     let healthy = acc_with_faults(0.0);
     let broken = acc_with_faults(0.6);
-    assert!(broken < healthy, "60% dead devices must hurt: {healthy} vs {broken}");
+    assert!(
+        broken < healthy,
+        "60% dead devices must hurt: {healthy} vs {broken}"
+    );
 }
 
 #[test]
@@ -99,8 +112,16 @@ fn software_and_circuit_synapse_filters_agree() {
     let charge = params.spike_amplitude * (1.0 - alpha);
     let mut k = 0.0f32;
     for (t, &sample) in per_step.iter().enumerate() {
-        k = alpha * k + if spike_steps.contains(&t) { charge } else { 0.0 };
-        assert!((sample - k).abs() < 5e-3, "step {t}: circuit {sample} vs model {k}");
+        k = alpha * k
+            + if spike_steps.contains(&t) {
+                charge
+            } else {
+                0.0
+            };
+        assert!(
+            (sample - k).abs() < 5e-3,
+            "step {t}: circuit {sample} vs model {k}"
+        );
     }
 }
 

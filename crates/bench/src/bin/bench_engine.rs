@@ -1,0 +1,163 @@
+//! Engine serving bench: batched inference throughput (samples/sec) per
+//! backend, recorded in `BENCH_engine.json`.
+//!
+//! Runs the same 256-256-10 network through all three
+//! `InferenceBackend`s — event-driven sparse, dense reference, and an
+//! 8-bit zero-deviation RRAM deployment — over a fixed batch at several
+//! spike densities, using the in-repo best-of-N harness (fast enough for
+//! CI). The headline metric is batched **sparse ≥ 3× dense** throughput
+//! at 5% density; the binary itself asserts a configurable floor
+//! (`--min-speedup`, default 3).
+//!
+//! Also records single-session latency (µs/sample) and thread-count
+//! determinism metadata (`available_cores`).
+//!
+//! Usage: `cargo run --release --bin bench_engine
+//! [-- --out PATH] [--min-speedup X] [--batch N]`
+
+use bench::timing::Report;
+use bench::Args;
+use snn_core::{Network, NeuronKind, SpikeRaster};
+use snn_engine::{hardware, Backend, DeployConfig, Engine};
+use snn_neuron::NeuronParams;
+use snn_tensor::Rng;
+use std::hint::black_box;
+
+fn random_raster(steps: usize, channels: usize, density: f32, seed: u64) -> SpikeRaster {
+    let mut rng = Rng::seed_from(seed);
+    let mut r = SpikeRaster::zeros(steps, channels);
+    for t in 0..steps {
+        for c in 0..channels {
+            if rng.coin(density) {
+                r.set(t, c, true);
+            }
+        }
+    }
+    r
+}
+
+fn main() {
+    let args = Args::parse();
+    let out_path = args.get("out", "BENCH_engine.json").to_string();
+    let min_speedup = args.get_f32("min-speedup", 3.0) as f64;
+    let batch_size = args.get_usize("batch", 64);
+    let mut report = Report::new();
+
+    bench::banner("neurosnn engine serving bench");
+
+    let net = {
+        let mut rng = Rng::seed_from(2);
+        Network::mlp(
+            &[256, 256, 10],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        )
+    };
+    let t_steps = 100;
+
+    // One engine per backend, all serving the same trained weights. The
+    // hardware engine deploys at 8 bits with zero deviation, so its
+    // throughput is comparable and its predictions near-identical.
+    let engines: Vec<Engine> = vec![
+        Engine::from_network(net.clone())
+            .backend(Backend::Sparse)
+            .threads(1)
+            .build(),
+        Engine::from_network(net.clone())
+            .backend(Backend::Dense)
+            .threads(1)
+            .build(),
+        Engine::from_network(net.clone())
+            .backend(hardware(
+                DeployConfig {
+                    bits: 8,
+                    deviation: 0.0,
+                    g_max: 1e-4,
+                },
+                42,
+            ))
+            .threads(1)
+            .build(),
+    ];
+
+    let mut speedup_at_5pct = 0.0f64;
+    for density_pct in [1usize, 5, 20] {
+        let inputs: Vec<SpikeRaster> = (0..batch_size)
+            .map(|i| {
+                random_raster(
+                    t_steps,
+                    256,
+                    density_pct as f32 / 100.0,
+                    1000 + density_pct as u64 * 100 + i as u64,
+                )
+            })
+            .collect();
+        let mut ns_by_label = Vec::new();
+        for engine in &engines {
+            let label = engine.backend().label().to_string();
+            let m = report.run(
+                &format!("engine_batch{batch_size}_256x256x10_T100/{label}_{density_pct}pct"),
+                || {
+                    black_box(engine.classify_batch(black_box(&inputs)));
+                },
+            );
+            let ns = m.ns_per_iter;
+            report.metric(
+                &format!("batched_samples_per_sec/{label}_{density_pct}pct"),
+                batch_size as f64 * 1e9 / ns,
+            );
+            ns_by_label.push((label, ns));
+        }
+        let dense_ns = ns_by_label
+            .iter()
+            .find(|(l, _)| l == "dense")
+            .expect("dense measured")
+            .1;
+        let sparse_ns = ns_by_label
+            .iter()
+            .find(|(l, _)| l == "sparse")
+            .expect("sparse measured")
+            .1;
+        let speedup = dense_ns / sparse_ns;
+        report.metric(
+            &format!("batched_sparse_over_dense_speedup_{density_pct}pct"),
+            speedup,
+        );
+        if density_pct == 5 {
+            speedup_at_5pct = speedup;
+        }
+    }
+
+    // Single-session latency at the headline density (sparse backend).
+    let input = random_raster(t_steps, 256, 0.05, 7);
+    let mut session = engines[0].session();
+    session.classify(&input); // warm the buffers
+    let session_ns = report
+        .run(
+            "engine_session_classify_256x256x10_T100/sparse_5pct",
+            || {
+                black_box(session.classify(black_box(&input)));
+            },
+        )
+        .ns_per_iter;
+    report.metric("session_latency_us_sparse_5pct", session_ns / 1e3);
+
+    // Determinism context: batched results are bitwise identical for any
+    // thread count (property-tested); record the cores this ran on.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    report.metric("available_cores", cores as f64);
+    report.metric("batch_size", batch_size as f64);
+
+    report
+        .write(&out_path)
+        .expect("failed to write bench report");
+
+    assert!(
+        speedup_at_5pct >= min_speedup,
+        "batched sparse serving must be >={min_speedup:.1}x dense at 5% density, measured {speedup_at_5pct:.2}x"
+    );
+    println!(
+        "OK: batched sparse/dense speedup at 5% density = {speedup_at_5pct:.2}x (target >={min_speedup:.1}x)"
+    );
+}

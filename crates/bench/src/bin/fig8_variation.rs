@@ -12,12 +12,10 @@
 
 use bench::{banner, Args, Scale};
 use snn_core::config::Hyperparams;
-use snn_core::train::{
-    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
-};
+use snn_core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
 use snn_core::{Network, NeuronKind};
 use snn_data::nmnist::{generate, NmnistConfig};
-use snn_hardware::deploy::{deploy, DeployConfig};
+use snn_engine::{deploy, evaluate_with, hardware, Backend, DeployConfig, Engine};
 use snn_hardware::faults::FaultModel;
 use snn_tensor::{stats, Rng};
 
@@ -83,10 +81,15 @@ fn main() {
             );
         }
     }
-    let sw_acc = evaluate_classification(&net, &split.test);
+    let sw_engine = Engine::from_network(net.clone())
+        .backend(Backend::Sparse)
+        .build();
+    let sw_acc = sw_engine.evaluate(&split.test);
     println!("software test accuracy: {:.2}%\n", sw_acc * 100.0);
 
-    // --- Sweep quantization x variation ---
+    // --- Sweep quantization x variation: each operating point is one
+    // hardware-backend engine (deploy happens at build time, evaluation
+    // is the shared batched path) ---
     println!("deviation |   4-bit acc (mean +/- std)   |   5-bit acc (mean +/- std)");
     let deviations: Vec<f32> = (0..=10).map(|i| i as f32 * 0.05).collect();
     let mut rows = Vec::new();
@@ -100,18 +103,18 @@ fn main() {
                     // `|`, and the old `.. ^ s << 8 | bits` OR-ed `bits`
                     // into an already-odd seed, giving the 4- and 5-bit
                     // sweeps identical variation draws.
-                    let mut dep_rng =
-                        Rng::seed_from(seed ^ 0xF18 ^ (((s as u64) << 8) | bits as u64));
-                    let dep = deploy(
-                        &net,
-                        DeployConfig {
-                            bits,
-                            deviation: sigma,
-                            g_max: 1e-4,
-                        },
-                        &mut dep_rng,
-                    );
-                    evaluate_classification(&dep.network, &split.test)
+                    let dep_seed = seed ^ 0xF18 ^ (((s as u64) << 8) | bits as u64);
+                    let engine = Engine::from_network(net.clone())
+                        .backend(hardware(
+                            DeployConfig {
+                                bits,
+                                deviation: sigma,
+                                g_max: 1e-4,
+                            },
+                            dep_seed,
+                        ))
+                        .build();
+                    engine.evaluate(&split.test)
                 })
                 .collect();
             cols.push((stats::mean(&accs), stats::std_dev(&accs)));
@@ -140,8 +143,12 @@ fn main() {
                         FaultModel::stuck_off(p).inject(xbar, &mut dep_rng);
                         *layer.weights_mut() = xbar.effective_weights();
                     }
-                    dep.network.sync_caches();
-                    evaluate_classification(&dep.network, &split.test)
+                    // No cache sync needed: the weight swap bumped the
+                    // layers' cache epochs and the first forward pass
+                    // rebuilds lazily. The mutated deployment is itself
+                    // an InferenceBackend, so evaluation stays on the
+                    // one shared batched path.
+                    evaluate_with(&dep, &split.test, 0)
                 })
                 .collect();
             println!(

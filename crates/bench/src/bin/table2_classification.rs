@@ -18,11 +18,10 @@
 use bench::{banner, Args, Scale};
 use snn_core::config::Hyperparams;
 use snn_core::metrics::confusion;
-use snn_core::train::{
-    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
-};
+use snn_core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
 use snn_core::{baseline::RateClassifier, Network, NeuronKind};
 use snn_data::{nmnist, shd, Split};
+use snn_engine::{hardware, Backend, DeployConfig, Engine};
 use snn_tensor::Rng;
 
 struct DatasetSpec {
@@ -166,11 +165,32 @@ fn run_dataset(spec: &DatasetSpec, seed: u64, train_hr: bool, v_th: f32) -> Vec<
             );
         }
     }
-    let acc_adaptive = evaluate_classification(&net, &spec.split.test);
-    rows.push(Row {
-        model: "This work (adaptive threshold)".into(),
-        accuracy: acc_adaptive,
-    });
+    // Serve the unmodified trained network through every inference
+    // backend: event-driven sparse, dense reference, and an 8-bit
+    // zero-deviation RRAM deployment. Sparse and dense must agree; the
+    // hardware row shows what quantization alone costs.
+    let backends = [
+        ("This work (adaptive threshold)", Backend::Sparse),
+        ("  (dense reference backend)", Backend::Dense),
+        (
+            "  (RRAM 8-bit backend, sigma=0)",
+            hardware(
+                DeployConfig {
+                    bits: 8,
+                    deviation: 0.0,
+                    g_max: 1e-4,
+                },
+                seed,
+            ),
+        ),
+    ];
+    for (label, backend) in backends {
+        let engine = Engine::from_network(net.clone()).backend(backend).build();
+        rows.push(Row {
+            model: label.into(),
+            accuracy: engine.evaluate(&spec.split.test),
+        });
+    }
 
     // Pair-confusion diagnosis (classes 2k/2k+1 of the synthetic SHD are
     // rate-identical; within-pair accuracy isolates temporal sensitivity).
@@ -189,7 +209,9 @@ fn run_dataset(spec: &DatasetSpec, seed: u64, train_hr: bool, v_th: f32) -> Vec<
     // than the SRM kernel the weights were trained against. ---
     let mut hr_net = net.clone();
     hr_net.set_neuron_kind(NeuronKind::HardReset);
-    let acc_hr = evaluate_classification(&hr_net, &spec.split.test);
+    let acc_hr = Engine::from_network(hr_net)
+        .build()
+        .evaluate(&spec.split.test);
     rows.push(Row {
         model: "This work (HR swap, eq. 1 ODE)".into(),
         accuracy: acc_hr,
@@ -199,7 +221,9 @@ fn run_dataset(spec: &DatasetSpec, seed: u64, train_hr: bool, v_th: f32) -> Vec<
     // isolating reset-induced memory loss from the gain mismatch.
     let mut hr_matched = net.clone();
     hr_matched.set_neuron_kind(NeuronKind::HardResetMatched);
-    let acc_hrm = evaluate_classification(&hr_matched, &spec.split.test);
+    let acc_hrm = Engine::from_network(hr_matched)
+        .build()
+        .evaluate(&spec.split.test);
     rows.push(Row {
         model: "  (HR swap, gain-matched)".into(),
         accuracy: acc_hrm,
@@ -219,7 +243,9 @@ fn run_dataset(spec: &DatasetSpec, seed: u64, train_hr: bool, v_th: f32) -> Vec<
             let data: Vec<_> = order.iter().map(|&i| spec.split.train[i].clone()).collect();
             trainer.epoch_classification(&mut net_hr, &data, &RateCrossEntropy);
         }
-        let acc = evaluate_classification(&net_hr, &spec.split.test);
+        let acc = Engine::from_network(net_hr)
+            .build()
+            .evaluate(&spec.split.test);
         rows.push(Row {
             model: "Hard-reset LIF (trained)".into(),
             accuracy: acc,

@@ -6,6 +6,7 @@ use crate::spike::ActiveIndices;
 use snn_neuron::NeuronParams;
 use snn_tensor::kernels::{self, ColMajor};
 use snn_tensor::{Matrix, Rng};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard};
 
 /// Which neuron dynamics a layer uses.
 ///
@@ -96,20 +97,40 @@ impl LayerRecord {
 ///                             NeuronParams::paper_defaults(), &mut rng);
 /// assert_eq!(layer.weights().shape(), (2, 3));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DenseLayer {
     weights: Matrix,
+    /// Epoch counter bumped by every [`weights_mut`](Self::weights_mut)
+    /// call. The kernel mirror records which epoch it was built from, so
+    /// staleness is a cheap integer comparison — no caller ever has to
+    /// remember a manual `sync_caches()` call.
+    weights_epoch: u64,
     /// Column-major mirror of `weights` for event-driven products with
-    /// binary spike vectors (sum of active columns).
-    weights_t: ColMajor,
-    /// Whether `weights_t` reflects the current `weights`. Cleared by
-    /// [`weights_mut`](Self::weights_mut), restored by
-    /// [`refresh_cache`](Self::refresh_cache) (which the optimizer calls
-    /// after every step). A stale mirror is never *used*: the forward
-    /// pass falls back to dense products until the cache is refreshed.
-    cache_fresh: bool,
+    /// binary spike vectors (sum of active columns), tagged with the
+    /// weight epoch it was built from. Rebuilt **lazily** under a write
+    /// lock by the next forward pass that finds it stale; shared-read
+    /// afterwards, so concurrent evaluation threads never block each
+    /// other on the hot path.
+    mirror: RwLock<Mirror>,
     kind: NeuronKind,
     params: NeuronParams,
+}
+
+/// The lazily-maintained kernel cache: a column-major weight mirror plus
+/// the weight epoch it reflects.
+#[derive(Debug)]
+struct Mirror {
+    epoch: u64,
+    cols: ColMajor,
+}
+
+impl Clone for DenseLayer {
+    fn clone(&self) -> Self {
+        // The clone rebuilds a fresh mirror from the current weights and
+        // restarts at epoch 0 (RwLock is not Clone, and copying a
+        // possibly-stale mirror would buy nothing).
+        Self::from_weights(self.weights.clone(), self.kind, self.params)
+    }
 }
 
 impl DenseLayer {
@@ -126,11 +147,11 @@ impl DenseLayer {
 
     /// Creates a layer from an explicit weight matrix.
     pub fn from_weights(weights: Matrix, kind: NeuronKind, params: NeuronParams) -> Self {
-        let weights_t = ColMajor::from_matrix(&weights);
+        let cols = ColMajor::from_matrix(&weights);
         Self {
             weights,
-            weights_t,
-            cache_fresh: true,
+            weights_epoch: 0,
+            mirror: RwLock::new(Mirror { epoch: 0, cols }),
             kind,
             params,
         }
@@ -154,25 +175,57 @@ impl DenseLayer {
     /// Mutable access to the weights (used by optimizers and by the
     /// hardware deployment pipeline's quantization).
     ///
-    /// Marks the column-major kernel cache stale; call
-    /// [`refresh_cache`](Self::refresh_cache) (or
-    /// [`Network::sync_caches`](crate::Network::sync_caches)) afterwards
-    /// to restore the fast sparse forward path. Correctness never depends
-    /// on it — a stale cache only disables the event-driven shortcut.
+    /// Bumps the weight epoch, invalidating the column-major kernel
+    /// cache. No follow-up call is required: the next forward pass
+    /// notices the stale epoch and rebuilds the mirror lazily, so direct
+    /// weight mutation can never silently degrade the event-driven fast
+    /// path.
     pub fn weights_mut(&mut self) -> &mut Matrix {
-        self.cache_fresh = false;
+        self.weights_epoch = self.weights_epoch.wrapping_add(1);
         &mut self.weights
     }
 
-    /// Rebuilds the column-major mirror after a weight mutation.
-    pub fn refresh_cache(&mut self) {
-        self.weights_t.refresh_from(&self.weights);
-        self.cache_fresh = true;
+    /// Eagerly rebuilds the column-major mirror if it is stale.
+    ///
+    /// Never required for correctness or speed — the forward pass
+    /// rebuilds lazily — but useful to move the (one-off) rebuild cost
+    /// out of a timed or latency-sensitive region.
+    pub fn refresh_cache(&self) {
+        drop(self.fresh_mirror());
     }
 
-    /// Whether the event-driven kernel cache matches the weights.
+    /// Whether the event-driven kernel cache currently matches the
+    /// weights (diagnostic only; a stale cache is rebuilt on next use).
     pub fn cache_is_fresh(&self) -> bool {
-        self.cache_fresh
+        self.read_mirror().epoch == self.weights_epoch
+    }
+
+    fn read_mirror(&self) -> RwLockReadGuard<'_, Mirror> {
+        self.mirror.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns a read guard over an up-to-date mirror, rebuilding it
+    /// first (under the write lock) if a weight mutation outdated it.
+    ///
+    /// `weights_epoch` only changes through `&mut self`, so while any
+    /// `&self` borrow exists the target epoch is pinned and the
+    /// double-checked locking below cannot race with a mutation.
+    fn fresh_mirror(&self) -> RwLockReadGuard<'_, Mirror> {
+        let epoch = self.weights_epoch;
+        {
+            let guard = self.read_mirror();
+            if guard.epoch == epoch {
+                return guard;
+            }
+        }
+        {
+            let mut guard = self.mirror.write().unwrap_or_else(PoisonError::into_inner);
+            if guard.epoch != epoch {
+                guard.cols.refresh_from(&self.weights);
+                guard.epoch = epoch;
+            }
+        }
+        self.read_mirror()
     }
 
     /// The neuron dynamics this layer uses.
@@ -195,88 +248,18 @@ impl DenseLayer {
     /// cache. State starts from zero (independent sample) and is never
     /// cleared mid-sequence.
     ///
+    /// Allocating wrapper over
+    /// [`forward_dense_into`](Self::forward_dense_into) — there is one
+    /// dense implementation of each neuron kind's dynamics, not two.
+    ///
     /// # Panics
     ///
     /// Panics if `input.cols() != n_in`.
     pub fn forward(&self, input: &Matrix) -> LayerRecord {
-        assert_eq!(
-            input.cols(),
-            self.n_in(),
-            "layer expects {} inputs, got {}",
-            self.n_in(),
-            input.cols()
-        );
-        match self.kind {
-            NeuronKind::Adaptive => self.forward_adaptive(input),
-            NeuronKind::HardReset | NeuronKind::HardResetMatched => self.forward_hard_reset(input),
-        }
-    }
-
-    fn forward_adaptive(&self, input: &Matrix) -> LayerRecord {
-        let t_steps = input.rows();
-        let (n_in, n_out) = (self.n_in(), self.n_out());
-        let alpha = self.params.synapse_decay();
-        let beta = self.params.reset_decay();
-        let (theta, v_th) = (self.params.theta, self.params.v_th);
-
-        let mut pre = Matrix::zeros(t_steps, n_in);
-        let mut v = Matrix::zeros(t_steps, n_out);
-        let mut o = Matrix::zeros(t_steps, n_out);
-
-        let mut k = vec![0.0f32; n_in];
-        let mut h = vec![0.0f32; n_out];
-        let mut prev_o = vec![0.0f32; n_out];
-        let mut g = vec![0.0f32; n_out];
-
-        for t in 0..t_steps {
-            let x = input.row(t);
-            for (ki, &xi) in k.iter_mut().zip(x) {
-                *ki = alpha * *ki + xi; // eq. 9
-            }
-            pre.row_mut(t).copy_from_slice(&k);
-            self.weights.matvec_into(&k, &mut g); // eq. 7
-            let vrow = v.row_mut(t);
-            for i in 0..n_out {
-                h[i] = beta * h[i] + prev_o[i]; // eq. 8
-                vrow[i] = g[i] - theta * h[i]; // eq. 6
-            }
-            let orow = o.row_mut(t);
-            for i in 0..n_out {
-                let fired = vrow[i] >= v_th; // eq. 10
-                orow[i] = if fired { 1.0 } else { 0.0 };
-                prev_o[i] = orow[i];
-            }
-        }
-        LayerRecord { pre, v, o }
-    }
-
-    fn forward_hard_reset(&self, input: &Matrix) -> LayerRecord {
-        let t_steps = input.rows();
-        let n_out = self.n_out();
-        let lambda = self.params.synapse_decay();
-        let gain = self.kind.input_gain(&self.params);
-        let v_th = self.params.v_th;
-
-        let pre = input.clone();
-        let mut v = Matrix::zeros(t_steps, n_out);
-        let mut o = Matrix::zeros(t_steps, n_out);
-
-        let mut vm = vec![0.0f32; n_out];
-        let mut current = vec![0.0f32; n_out];
-
-        for t in 0..t_steps {
-            self.weights.matvec_into(input.row(t), &mut current);
-            let vrow = v.row_mut(t);
-            let orow = o.row_mut(t);
-            for i in 0..n_out {
-                let vi = lambda * vm[i] + gain * current[i];
-                vrow[i] = vi; // cache the pre-reset potential for BPTT
-                let fired = vi >= v_th;
-                orow[i] = if fired { 1.0 } else { 0.0 };
-                vm[i] = if fired { 0.0 } else { vi }; // eq. 1b: hard reset
-            }
-        }
-        LayerRecord { pre, v, o }
+        let mut rec = LayerRecord::empty();
+        let mut scratch = LayerScratch::default();
+        self.forward_dense_into(input, &mut rec, &mut scratch);
+        rec
     }
 
     /// Event-driven rollout over per-step active-input lists — the hot
@@ -294,9 +277,9 @@ impl DenseLayer {
     ///
     /// `rec` and the buffers in `scratch` are resized and re-initialised
     /// here; `active_out` receives the output spike lists (consumable as
-    /// the next layer's `active_in`). If the kernel cache is stale (see
-    /// [`weights_mut`](Self::weights_mut)) the drive falls back to dense
-    /// products — slower, never wrong.
+    /// the next layer's `active_in`). If a weight mutation left the
+    /// kernel cache stale (see [`weights_mut`](Self::weights_mut)) it is
+    /// rebuilt here, once, before the rollout starts.
     pub fn forward_steps(
         &self,
         active_in: &ActiveIndices,
@@ -331,7 +314,7 @@ impl DenseLayer {
         let alpha = self.params.synapse_decay();
         let beta = self.params.reset_decay();
         let (theta, v_th) = (self.params.theta, self.params.v_th);
-        let use_sparse = self.cache_fresh;
+        let mirror = self.fresh_mirror();
         let LayerScratch {
             trace_in: k,
             trace_out: h,
@@ -345,13 +328,9 @@ impl DenseLayer {
                 k[j] += 1.0; // eq. 9 event update
             }
             rec.pre.row_mut(t).copy_from_slice(k);
-            if use_sparse {
-                // g[t] = α·g[t−1] + Σ active columns  (eq. 7, factored)
-                kernels::scale(alpha, g);
-                self.weights_t.accumulate_columns(active, g);
-            } else {
-                self.weights.matvec_into(k, g); // eq. 7, dense fallback
-            }
+            // g[t] = α·g[t−1] + Σ active columns  (eq. 7, factored)
+            kernels::scale(alpha, g);
+            mirror.cols.accumulate_columns(active, g);
             kernels::scale(beta, h); // eq. 8 decay
             if t > 0 {
                 for &i in active_out.step(t - 1) {
@@ -384,7 +363,7 @@ impl DenseLayer {
         let lambda = self.params.synapse_decay();
         let gain = self.kind.input_gain(&self.params);
         let v_th = self.params.v_th;
-        let use_sparse = self.cache_fresh;
+        let mirror = self.fresh_mirror();
         let LayerScratch {
             trace_out: vm,
             drive: current,
@@ -400,11 +379,7 @@ impl DenseLayer {
                 }
             }
             current.fill(0.0);
-            if use_sparse {
-                self.weights_t.accumulate_columns(active, current);
-            } else {
-                self.weights.matvec_into(rec.pre.row(t), current);
-            }
+            mirror.cols.accumulate_columns(active, current);
             let vrow = rec.v.row_mut(t);
             let orow = rec.o.row_mut(t);
             for i in 0..n_out {
@@ -419,6 +394,110 @@ impl DenseLayer {
                 }
             }
             active_out.end_step();
+        }
+    }
+
+    /// Dense rollout into reusable buffers: per-step matrix–vector
+    /// products with no event-driven shortcuts, writing the same
+    /// [`LayerRecord`] layout as [`forward_steps`](Self::forward_steps).
+    /// This is the allocation-free form of [`forward`](Self::forward)
+    /// (bit-identical results) and the compute path of the engine's
+    /// `DenseBackend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != n_in`.
+    pub fn forward_dense_into(
+        &self,
+        input: &Matrix,
+        rec: &mut LayerRecord,
+        scratch: &mut LayerScratch,
+    ) {
+        assert_eq!(
+            input.cols(),
+            self.n_in(),
+            "layer expects {} inputs, got {}",
+            self.n_in(),
+            input.cols()
+        );
+        rec.resize_zeroed(input.rows(), self.n_in(), self.n_out());
+        scratch.ensure(self.n_in(), self.n_out());
+        match self.kind {
+            NeuronKind::Adaptive => self.forward_dense_adaptive_into(input, rec, scratch),
+            NeuronKind::HardReset | NeuronKind::HardResetMatched => {
+                self.forward_dense_hard_reset_into(input, rec, scratch)
+            }
+        }
+    }
+
+    fn forward_dense_adaptive_into(
+        &self,
+        input: &Matrix,
+        rec: &mut LayerRecord,
+        scratch: &mut LayerScratch,
+    ) {
+        let t_steps = input.rows();
+        let n_out = self.n_out();
+        let alpha = self.params.synapse_decay();
+        let beta = self.params.reset_decay();
+        let (theta, v_th) = (self.params.theta, self.params.v_th);
+        let LayerScratch {
+            trace_in: k,
+            trace_out: h,
+            drive: g,
+        } = scratch;
+
+        for t in 0..t_steps {
+            for (ki, &xi) in k.iter_mut().zip(input.row(t)) {
+                *ki = alpha * *ki + xi; // eq. 9
+            }
+            rec.pre.row_mut(t).copy_from_slice(k);
+            self.weights.matvec_into(k, g); // eq. 7, dense product
+            kernels::scale(beta, h); // eq. 8 decay
+            if t > 0 {
+                for (hi, &o) in h.iter_mut().zip(rec.o.row(t - 1)) {
+                    *hi += o; // eq. 8: last step's spikes charge h
+                }
+            }
+            let vrow = rec.v.row_mut(t);
+            let orow = rec.o.row_mut(t);
+            for i in 0..n_out {
+                let vi = g[i] - theta * h[i]; // eq. 6
+                vrow[i] = vi;
+                orow[i] = if vi >= v_th { 1.0 } else { 0.0 }; // eq. 10
+            }
+        }
+    }
+
+    fn forward_dense_hard_reset_into(
+        &self,
+        input: &Matrix,
+        rec: &mut LayerRecord,
+        scratch: &mut LayerScratch,
+    ) {
+        let t_steps = input.rows();
+        let n_out = self.n_out();
+        let lambda = self.params.synapse_decay();
+        let gain = self.kind.input_gain(&self.params);
+        let v_th = self.params.v_th;
+        let LayerScratch {
+            trace_out: vm,
+            drive: current,
+            ..
+        } = scratch;
+
+        for t in 0..t_steps {
+            rec.pre.row_mut(t).copy_from_slice(input.row(t));
+            self.weights.matvec_into(input.row(t), current);
+            let vrow = rec.v.row_mut(t);
+            let orow = rec.o.row_mut(t);
+            for i in 0..n_out {
+                let vi = lambda * vm[i] + gain * current[i];
+                vrow[i] = vi; // cache the pre-reset potential for BPTT
+                let fired = vi >= v_th;
+                orow[i] = if fired { 1.0 } else { 0.0 };
+                vm[i] = if fired { 0.0 } else { vi }; // eq. 1b: hard reset
+            }
         }
     }
 }
@@ -578,6 +657,81 @@ mod tests {
             let rec = layer.forward(&Matrix::zeros(10, 3));
             assert_eq!(rec.o.as_slice().iter().filter(|&&x| x != 0.0).count(), 0);
         }
+    }
+
+    #[test]
+    fn dense_into_matches_allocating_forward() {
+        let mut rng = Rng::seed_from(9);
+        let mut pattern = Rng::seed_from(31);
+        for kind in [
+            NeuronKind::Adaptive,
+            NeuronKind::HardReset,
+            NeuronKind::HardResetMatched,
+        ] {
+            let layer = DenseLayer::new(5, 4, kind, NeuronParams::paper_defaults(), &mut rng);
+            let mut input = Matrix::zeros(9, 5);
+            for t in 0..9 {
+                for c in 0..5 {
+                    if pattern.coin(0.3) {
+                        input.row_mut(t)[c] = 1.0;
+                    }
+                }
+            }
+            let reference = layer.forward(&input);
+            let mut rec = LayerRecord::empty();
+            let mut scratch = LayerScratch::default();
+            layer.forward_dense_into(&input, &mut rec, &mut scratch);
+            assert_eq!(reference.pre.as_slice(), rec.pre.as_slice(), "{kind:?}");
+            assert_eq!(reference.v.as_slice(), rec.v.as_slice(), "{kind:?}");
+            assert_eq!(reference.o.as_slice(), rec.o.as_slice(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn weights_mut_bumps_epoch_and_forward_rebuilds_lazily() {
+        let mut rng = Rng::seed_from(13);
+        let mut layer = DenseLayer::new(
+            4,
+            3,
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
+        assert!(layer.cache_is_fresh());
+        // Scale the weights so stale-mirror output would be wrong.
+        layer.weights_mut().scale(5.0);
+        assert!(!layer.cache_is_fresh());
+
+        let raster = crate::SpikeRaster::from_events(6, 4, &[(0, 0), (1, 2), (3, 3), (4, 1)]);
+        let mut active_in = ActiveIndices::new();
+        active_in.fill_from(&raster);
+        let mut rec = LayerRecord::empty();
+        let mut scratch = LayerScratch::default();
+        let mut active_out = ActiveIndices::new();
+        layer.forward_steps(&active_in, &mut rec, &mut scratch, &mut active_out);
+        assert!(layer.cache_is_fresh(), "forward must rebuild the mirror");
+
+        // The event-driven pass must agree with the dense rollout over
+        // the *mutated* weights (spikes are exact; a stale mirror would
+        // produce the pre-mutation spike train).
+        let dense = layer.forward(&Matrix::from_vec(6, 4, raster.as_slice().to_vec()));
+        assert_eq!(rec.o.as_slice(), dense.o.as_slice());
+    }
+
+    #[test]
+    fn clone_carries_weights_and_fresh_cache() {
+        let mut rng = Rng::seed_from(14);
+        let mut layer = DenseLayer::new(
+            3,
+            2,
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults(),
+            &mut rng,
+        );
+        layer.weights_mut()[(0, 0)] = 2.5;
+        let clone = layer.clone();
+        assert_eq!(clone.weights(), layer.weights());
+        assert!(clone.cache_is_fresh());
     }
 
     #[test]

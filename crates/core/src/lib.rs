@@ -18,15 +18,21 @@
 //!   surrogate gradients (paper eqs. 13–14), the two loss functions of
 //!   Section III (rate/softmax cross-entropy and the van Rossum kernel
 //!   distance of eqs. 15–16), and SGD/Adam/AdamW optimizers.
+//! * [`engine`] — the serving surface: the [`engine::InferenceBackend`]
+//!   trait unifying the sparse, dense and (via `snn-engine`) RRAM
+//!   hardware run paths, plus the batched, deterministic
+//!   [`engine::Engine`] and the zero-allocation [`engine::Session`].
 //! * [`config`] — the Table I hyper-parameter set.
 //! * [`baseline`] — a windowed rate-coding classifier used as a
 //!   comparison point in the evaluation harness.
 //!
 //! # Examples
 //!
-//! Train a tiny network to tell two temporal patterns apart:
+//! Train a tiny network to tell two temporal patterns apart, then serve
+//! it through an [`engine::Engine`]:
 //!
 //! ```
+//! use snn_core::engine::{Backend, Engine};
 //! use snn_core::{Network, NeuronKind, SpikeRaster};
 //! use snn_core::train::{Trainer, TrainerConfig, RateCrossEntropy};
 //! use snn_neuron::NeuronParams;
@@ -44,8 +50,10 @@
 //! for _ in 0..30 {
 //!     trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
 //! }
-//! let (pred, _) = net.classify(&data[0].0);
-//! assert_eq!(pred, 0);
+//! let engine = Engine::from_network(net).backend(Backend::Sparse).build();
+//! assert!(engine.evaluate(&data) >= 0.5);
+//! let mut session = engine.session();
+//! assert_eq!(session.classify(&data[0].0), 0);
 //! ```
 
 // Numeric kernels index several arrays per iteration; iterator zips would
@@ -55,6 +63,7 @@
 pub mod baseline;
 pub mod checkpoint;
 pub mod config;
+pub mod engine;
 mod layer;
 pub mod metrics;
 mod network;

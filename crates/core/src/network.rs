@@ -33,28 +33,45 @@ impl Forward {
 
     /// Output spikes as a [`SpikeRaster`].
     pub fn output_raster(&self) -> SpikeRaster {
+        let mut r = SpikeRaster::zeros(0, 0);
+        self.output_raster_into(&mut r);
+        r
+    }
+
+    /// Fills `raster` with the output spikes, reusing its backing buffer
+    /// — the allocation-free form of [`output_raster`](Self::output_raster)
+    /// used by [`Session::infer_raster`](crate::engine::Session::infer_raster).
+    pub fn output_raster_into(&self, raster: &mut SpikeRaster) {
         let o = self.output();
-        let mut r = SpikeRaster::zeros(o.rows(), o.cols());
+        raster.resize_zeroed(o.rows(), o.cols());
         for t in 0..o.rows() {
-            for c in 0..o.cols() {
-                if o.row(t)[c] != 0.0 {
-                    r.set(t, c, true);
+            for (c, &x) in o.row(t).iter().enumerate() {
+                if x != 0.0 {
+                    raster.set(t, c, true);
                 }
             }
         }
-        r
     }
 
     /// Per-output-channel spike counts (the rate readout).
     pub fn spike_counts(&self) -> Vec<f32> {
+        let mut counts = Vec::new();
+        self.spike_counts_into(&mut counts);
+        counts
+    }
+
+    /// Accumulates the per-channel spike counts into `counts`, reusing
+    /// its capacity (the allocation-free form of
+    /// [`spike_counts`](Self::spike_counts)).
+    pub fn spike_counts_into(&self, counts: &mut Vec<f32>) {
         let o = self.output();
-        let mut counts = vec![0.0; o.cols()];
+        counts.clear();
+        counts.resize(o.cols(), 0.0);
         for t in 0..o.rows() {
             for (c, &x) in o.row(t).iter().enumerate() {
                 counts[c] += x;
             }
         }
-        counts
     }
 }
 
@@ -209,10 +226,35 @@ impl Network {
     /// no event-driven shortcuts): the correctness yardstick for the
     /// sparse kernels and the baseline for the kernel benchmarks.
     ///
+    /// Allocates fresh buffers per call; the engine's `DenseBackend`
+    /// uses [`forward_dense_into`](Self::forward_dense_into) instead.
+    ///
     /// # Panics
     ///
     /// Panics if `input.channels() != n_in`.
     pub fn forward_dense_reference(&self, input: &SpikeRaster) -> Forward {
+        let mut fwd = Forward::empty();
+        let mut scratch = ScratchSpace::new();
+        self.forward_dense_into(input, &mut fwd, &mut scratch);
+        fwd
+    }
+
+    /// Allocation-free dense rollout: per-step matrix–vector products
+    /// (no event-driven shortcuts) into the reusable `fwd` records and
+    /// worker-owned `scratch`. Bit-identical to
+    /// [`forward_dense_reference`](Self::forward_dense_reference); this
+    /// is the hot path of the engine's
+    /// [`DenseBackend`](crate::engine::DenseBackend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.channels() != n_in`.
+    pub fn forward_dense_into(
+        &self,
+        input: &SpikeRaster,
+        fwd: &mut Forward,
+        scratch: &mut ScratchSpace,
+    ) {
         assert_eq!(
             input.channels(),
             self.n_in(),
@@ -220,31 +262,60 @@ impl Network {
             input.channels(),
             self.n_in()
         );
-        let mut x = Matrix::from_vec(input.steps(), input.channels(), input.as_slice().to_vec());
-        let mut records = Vec::with_capacity(self.layers.len());
-        for layer in &self.layers {
-            let rec = layer.forward(&x);
-            x = rec.o.clone();
-            records.push(rec);
+        scratch.ensure(self);
+        scratch
+            .dense_input
+            .resize_zeroed(input.steps(), input.channels());
+        scratch
+            .dense_input
+            .as_mut_slice()
+            .copy_from_slice(input.as_slice());
+        fwd.records
+            .resize_with(self.layers.len(), LayerRecord::empty);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = fwd.records.split_at_mut(l);
+            let x = if l == 0 {
+                &scratch.dense_input
+            } else {
+                &head[l - 1].o
+            };
+            layer.forward_dense_into(x, &mut tail[0], &mut scratch.layers[l]);
         }
-        Forward { records }
     }
 
-    /// Rebuilds every layer's event-driven kernel cache after direct
-    /// weight mutation (the optimizer does this automatically).
-    pub fn sync_caches(&mut self) {
-        for layer in &mut self.layers {
-            layer.refresh_cache();
-        }
-    }
+    /// Deprecated no-op shim: kernel caches now invalidate themselves.
+    ///
+    /// Weight mutation through [`DenseLayer::weights_mut`] bumps a cache
+    /// epoch and the next forward pass rebuilds the event-driven mirror
+    /// lazily, so the manual synchronisation call this method used to
+    /// perform is no longer needed (and forgetting it can no longer
+    /// silently degrade performance).
+    #[deprecated(
+        since = "0.1.0",
+        note = "caches invalidate lazily on weight mutation; delete this call"
+    )]
+    pub fn sync_caches(&mut self) {}
 
     /// Classifies an input by the highest output spike count, returning
     /// `(class, softmax probabilities)`.
+    ///
+    /// Runs through a thread-local scratch, so repeated calls perform no
+    /// per-sample allocations beyond the returned probability vector.
+    /// Serving loops should prefer a
+    /// [`Session`](crate::engine::Session), which also reuses the
+    /// probability buffer.
     pub fn classify(&self, input: &SpikeRaster) -> (usize, Vec<f32>) {
-        let fwd = self.forward(input);
-        let counts = fwd.spike_counts();
-        let probs = stats::softmax(&counts);
-        (stats::argmax(&counts).unwrap_or(0), probs)
+        thread_local! {
+            static CLASSIFY_CTX: std::cell::RefCell<(Forward, ScratchSpace, Vec<f32>)> =
+                std::cell::RefCell::new((Forward::empty(), ScratchSpace::new(), Vec::new()));
+        }
+        CLASSIFY_CTX.with(|cell| {
+            let (fwd, scratch, counts) = &mut *cell.borrow_mut();
+            self.forward_into(input, fwd, scratch);
+            fwd.spike_counts_into(counts);
+            let probs = stats::softmax(counts);
+            (stats::argmax(counts).unwrap_or(0), probs)
+        })
     }
 
     /// Total number of trainable parameters.

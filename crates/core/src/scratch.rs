@@ -52,7 +52,15 @@ impl LayerScratch {
 
 /// All reusable buffers one worker needs for forward + BPTT.
 ///
-/// See the [module docs](self) for the ownership rules.
+/// # Ownership rules
+///
+/// A scratch is **owned by exactly one worker** (one trainer thread, one
+/// engine session, or one caller of the `*_into` APIs) and is never
+/// shared. Its buffers carry no semantic state between calls — every
+/// entry point re-sizes and re-initialises what it uses — so one scratch
+/// can be reused across samples, batches, epochs, and even different
+/// networks; buffers grow to the largest network seen and then stop
+/// allocating.
 #[derive(Debug, Clone, Default)]
 pub struct ScratchSpace {
     /// `active[0]` is the input raster's event lists; `active[l + 1]` is
@@ -81,6 +89,9 @@ pub struct ScratchSpace {
     pub(crate) active_tmp: Vec<usize>,
     /// Scratch `d_output` the trainer hands to the losses.
     pub(crate) d_loss: Matrix,
+    /// Input raster staged as a dense matrix for
+    /// [`Network::forward_dense_into`](crate::Network::forward_dense_into).
+    pub(crate) dense_input: Matrix,
 }
 
 impl ScratchSpace {

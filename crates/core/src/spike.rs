@@ -42,6 +42,16 @@ impl SpikeRaster {
         }
     }
 
+    /// Reshapes to `steps × channels` and clears every spike, reusing
+    /// the backing buffer (no allocation once grown) — the
+    /// buffer-recycling entry point for session-owned output rasters.
+    pub fn resize_zeroed(&mut self, steps: usize, channels: usize) {
+        self.steps = steps;
+        self.channels = channels;
+        self.data.clear();
+        self.data.resize(steps * channels, 0.0);
+    }
+
     /// Builds a raster from `(t, channel)` event pairs; events outside
     /// the raster are ignored (event-camera crops routinely produce a few).
     pub fn from_events(steps: usize, channels: usize, events: &[(usize, usize)]) -> Self {

@@ -215,12 +215,8 @@ impl Optimizer {
                 }
             }
         }
-        // Rebuild the event-driven kernel caches invalidated by the
-        // weight mutations above, keeping the forward pass on the sparse
-        // fast path between steps.
-        for layer in layers.iter_mut() {
-            layer.refresh_cache();
-        }
+        // The weight mutations above bumped each layer's cache epoch;
+        // the next forward pass rebuilds the kernel mirrors lazily.
     }
 }
 

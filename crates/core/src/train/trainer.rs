@@ -341,9 +341,13 @@ fn tree_reduce(mut grads: Vec<Gradients>) -> Option<Gradients> {
 
 /// Evaluates classification accuracy on held-out data (no updates),
 /// fanning samples across one thread per available core.
+///
+/// Thin wrapper over the engine's batched evaluation
+/// ([`engine::evaluate_with`](crate::engine::evaluate_with)) — the
+/// workspace has exactly one evaluation code path, shared with
+/// [`Engine::evaluate`](crate::engine::Engine::evaluate).
 pub fn evaluate_classification(net: &Network, data: &[(SpikeRaster, usize)]) -> f32 {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    evaluate_classification_with_threads(net, data, threads)
+    crate::engine::evaluate_with(net, data, 0)
 }
 
 /// [`evaluate_classification`] with an explicit thread count (results do
@@ -353,38 +357,7 @@ pub fn evaluate_classification_with_threads(
     data: &[(SpikeRaster, usize)],
     threads: usize,
 ) -> f32 {
-    let classify_range = |range: std::ops::Range<usize>| -> Vec<(usize, usize)> {
-        let mut ctx = WorkerCtx::new();
-        data[range]
-            .iter()
-            .map(|(input, target)| {
-                net.forward_into(input, &mut ctx.fwd, &mut ctx.scratch);
-                let counts = ctx.fwd.spike_counts();
-                (stats::argmax(&counts).unwrap_or(0), *target)
-            })
-            .collect()
-    };
-
-    let workers = threads.clamp(1, data.len().max(1));
-    let pairs: Vec<(usize, usize)> = if workers <= 1 || data.len() < 2 * GRAD_CHUNK {
-        classify_range(0..data.len())
-    } else {
-        let per = data.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let lo = (w * per).min(data.len());
-                    let hi = ((w + 1) * per).min(data.len());
-                    scope.spawn(move || classify_range(lo..hi))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("eval worker panicked"))
-                .collect()
-        })
-    };
-    stats::accuracy(&pairs)
+    crate::engine::evaluate_with(net, data, threads.max(1))
 }
 
 #[cfg(test)]

@@ -1,0 +1,239 @@
+//! **snn-engine** — the unified serving API of the neurosnn workspace:
+//! one trained network, three interchangeable execution backends, one
+//! batched, allocation-free, deterministic inference surface.
+//!
+//! The paper (Fang et al., DAC 2021) is an algorithm–hardware codesign,
+//! so the same model must answer queries from the event-driven software
+//! kernels, from the dense reference implementation, and from a
+//! simulated RRAM crossbar deployment. This crate re-exports the core
+//! engine ([`Engine`], [`Session`], [`InferenceBackend`],
+//! [`SparseBackend`], [`DenseBackend`]) and adds the third backend:
+//! [`HardwareBackend`], a quantized, variation-perturbed
+//! [`Deployment`] behind the same
+//! trait.
+//!
+//! # Examples
+//!
+//! Serve one trained network from all three backends:
+//!
+//! ```
+//! use snn_engine::{hardware, Backend, DeployConfig, Engine};
+//! use snn_core::{Network, NeuronKind, SpikeRaster};
+//! use snn_neuron::NeuronParams;
+//! use snn_tensor::Rng;
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let net = Network::mlp(&[8, 16, 3], NeuronKind::Adaptive,
+//!                        NeuronParams::paper_defaults(), &mut rng);
+//!
+//! let sparse = Engine::from_network(net.clone())
+//!     .backend(Backend::Sparse)
+//!     .threads(2)
+//!     .build();
+//! let dense = Engine::from_network(net.clone())
+//!     .backend(Backend::Dense)
+//!     .build();
+//! let rram = Engine::from_network(net)
+//!     .backend(hardware(DeployConfig::four_bit(), 42))
+//!     .build();
+//!
+//! let input = SpikeRaster::from_events(20, 8, &[(0, 1), (3, 4), (9, 7)]);
+//! let mut session = sparse.session();
+//! let class = session.classify(&input);
+//! assert_eq!(dense.classify_batch(std::slice::from_ref(&input))[0], class);
+//! assert_eq!(rram.backend().label(), "hardware");
+//! ```
+
+pub use snn_core::engine::{
+    classify_batch_with, evaluate_with, Backend, BackendFactory, DenseBackend, Engine,
+    EngineBuilder, InferenceBackend, Session, SparseBackend, BATCH_CHUNK,
+};
+pub use snn_hardware::deploy::{deploy, DeployConfig, Deployment};
+
+use snn_core::{Forward, Network, ScratchSpace, SpikeRaster};
+use snn_tensor::Rng;
+use std::sync::Arc;
+
+/// The RRAM crossbar backend: a trained network deployed onto quantized,
+/// variation-perturbed crossbars ([`Deployment`]) and evaluated through
+/// the crossbars' *effective* weights.
+///
+/// The deployment happens once at construction; inference afterwards is
+/// the same allocation-free event-driven path as [`SparseBackend`], so
+/// software/hardware accuracy comparisons measure the non-idealities,
+/// not a different compute path.
+#[derive(Debug, Clone)]
+pub struct HardwareBackend {
+    deployment: Deployment,
+    cfg: DeployConfig,
+    seed: u64,
+}
+
+impl HardwareBackend {
+    /// Deploys `net` with the given quantization/variation config; the
+    /// seed drives the device-variation draws (same seed, same devices).
+    pub fn deploy(net: &Network, cfg: DeployConfig, seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        Self {
+            deployment: deploy(net, cfg, &mut rng),
+            cfg,
+            seed,
+        }
+    }
+
+    /// The underlying deployment (crossbars, per-layer mapping reports).
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The deployment config used (bits, deviation, `g_max`).
+    pub fn config(&self) -> DeployConfig {
+        self.cfg
+    }
+
+    /// The variation seed used.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl InferenceBackend for HardwareBackend {
+    fn network(&self) -> &Network {
+        self.deployment.network()
+    }
+
+    fn label(&self) -> &str {
+        "hardware"
+    }
+
+    fn forward_into(&self, input: &SpikeRaster, fwd: &mut Forward, scratch: &mut ScratchSpace) {
+        InferenceBackend::forward_into(&self.deployment, input, fwd, scratch);
+    }
+}
+
+/// [`BackendFactory`] deploying the engine's network onto RRAM crossbars
+/// at build time — construct via [`hardware`].
+#[derive(Debug, Clone, Copy)]
+pub struct HardwareFactory {
+    /// Quantization bits, relative deviation σ, full-on conductance.
+    pub cfg: DeployConfig,
+    /// Seed for the device-variation draws.
+    pub seed: u64,
+}
+
+impl BackendFactory for HardwareFactory {
+    fn build(&self, net: Network) -> Arc<dyn InferenceBackend> {
+        Arc::new(HardwareBackend::deploy(&net, self.cfg, self.seed))
+    }
+
+    fn describe(&self) -> &str {
+        "hardware"
+    }
+}
+
+/// The hardware [`Backend`] for [`EngineBuilder::backend`]: deploy onto
+/// crossbars with the given non-idealities, seeded for reproducible
+/// variation draws.
+///
+/// ```
+/// # use snn_engine::{hardware, DeployConfig, Engine};
+/// # use snn_core::{Network, NeuronKind};
+/// # use snn_neuron::NeuronParams;
+/// # use snn_tensor::Rng;
+/// # let mut rng = Rng::seed_from(1);
+/// # let net = Network::mlp(&[3, 2], NeuronKind::Adaptive,
+/// #                        NeuronParams::paper_defaults(), &mut rng);
+/// let engine = Engine::from_network(net)
+///     .backend(hardware(DeployConfig::five_bit().with_deviation(0.2), 7))
+///     .build();
+/// assert_eq!(engine.backend().label(), "hardware");
+/// ```
+pub fn hardware(cfg: DeployConfig, seed: u64) -> Backend {
+    Backend::Custom(Box::new(HardwareFactory { cfg, seed }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::NeuronKind;
+    use snn_neuron::NeuronParams;
+
+    fn net(seed: u64) -> Network {
+        let mut rng = Rng::seed_from(seed);
+        Network::mlp(
+            &[6, 12, 4],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.4),
+            &mut rng,
+        )
+    }
+
+    fn inputs(n: usize, seed: u64) -> Vec<SpikeRaster> {
+        let mut rng = Rng::seed_from(seed);
+        (0..n)
+            .map(|_| {
+                let mut r = SpikeRaster::zeros(15, 6);
+                for t in 0..15 {
+                    for c in 0..6 {
+                        if rng.coin(0.2) {
+                            r.set(t, c, true);
+                        }
+                    }
+                }
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hardware_backend_matches_manual_deployment() {
+        let net = net(1);
+        let batch = inputs(8, 2);
+        let engine = Engine::from_network(net.clone())
+            .backend(hardware(DeployConfig::four_bit().with_deviation(0.2), 9))
+            .build();
+        let mut rng = Rng::seed_from(9);
+        let manual = deploy(&net, DeployConfig::four_bit().with_deviation(0.2), &mut rng);
+        assert_eq!(
+            engine.classify_batch(&batch),
+            classify_batch_with(&manual, &batch, 1)
+        );
+        assert_eq!(
+            engine.network().layers()[0].weights(),
+            manual.network().layers()[0].weights()
+        );
+    }
+
+    #[test]
+    fn hardware_backend_is_seed_deterministic() {
+        let net = net(3);
+        let a = HardwareBackend::deploy(&net, DeployConfig::four_bit().with_deviation(0.3), 5);
+        let b = HardwareBackend::deploy(&net, DeployConfig::four_bit().with_deviation(0.3), 5);
+        let c = HardwareBackend::deploy(&net, DeployConfig::four_bit().with_deviation(0.3), 6);
+        assert_eq!(
+            a.network().layers()[0].weights(),
+            b.network().layers()[0].weights()
+        );
+        assert_ne!(
+            a.network().layers()[0].weights(),
+            c.network().layers()[0].weights()
+        );
+        assert_eq!(a.config(), DeployConfig::four_bit().with_deviation(0.3));
+        assert_eq!(a.seed(), 5);
+        assert!(a.deployment().total_devices() > 0);
+    }
+
+    #[test]
+    fn high_precision_hardware_agrees_with_sparse() {
+        let net = net(4);
+        let batch = inputs(12, 5);
+        let cfg = DeployConfig {
+            bits: 12,
+            deviation: 0.0,
+            g_max: 1e-4,
+        };
+        let sparse = Engine::from_network(net.clone()).build();
+        let hw = Engine::from_network(net).backend(hardware(cfg, 1)).build();
+        assert_eq!(sparse.classify_batch(&batch), hw.classify_batch(&batch));
+    }
+}

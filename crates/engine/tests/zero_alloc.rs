@@ -1,0 +1,142 @@
+//! Pins the engine's zero-per-sample-allocation guarantee: once a
+//! [`Session`]'s buffers are warm, `classify` / `classify_with_probs` /
+//! `infer` / `infer_raster` must not touch the heap.
+//!
+//! A counting global allocator tracks allocations **on the current
+//! thread only**, so the measurement is immune to whatever the test
+//! harness does on other threads. This file is its own integration-test
+//! binary, so the allocator override cannot leak into other suites.
+
+use snn_core::{Network, NeuronKind, SpikeRaster};
+use snn_engine::{hardware, Backend, DeployConfig, Engine, Session};
+use snn_neuron::NeuronParams;
+use snn_tensor::Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+fn net() -> Network {
+    let mut rng = Rng::seed_from(5);
+    Network::mlp(
+        &[10, 24, 4],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.4),
+        &mut rng,
+    )
+}
+
+fn inputs() -> Vec<SpikeRaster> {
+    let mut rng = Rng::seed_from(6);
+    (0..32)
+        .map(|_| {
+            let mut r = SpikeRaster::zeros(25, 10);
+            for t in 0..25 {
+                for c in 0..10 {
+                    if rng.coin(0.15) {
+                        r.set(t, c, true);
+                    }
+                }
+            }
+            r
+        })
+        .collect()
+}
+
+/// Warm the session on every input (buffers grow to their final sizes),
+/// then measure a full second pass.
+fn assert_hot_path_is_allocation_free(mut session: Session<'_>, label: &str) {
+    let batch = inputs();
+    for input in &batch {
+        session.classify(input);
+        let _ = session.classify_with_probs(input);
+        session.infer(input);
+        session.infer_raster(input);
+    }
+    let before = allocations();
+    for input in &batch {
+        std::hint::black_box(session.classify(input));
+        std::hint::black_box(session.classify_with_probs(input).0);
+        let mut fresh_counts = Vec::new();
+        session.infer(input).spike_counts_into(&mut fresh_counts);
+        std::hint::black_box(&fresh_counts);
+        std::hint::black_box(session.infer_raster(input).spike_count());
+    }
+    let after = allocations();
+    // The spike_counts_into above feeds a fresh Vec each call (one alloc
+    // per sample) purely to exercise `infer`; everything session-owned
+    // must be silent. 32 samples → exactly 32 counted allocations.
+    assert_eq!(
+        after - before,
+        batch.len() as u64,
+        "{label}: session hot path allocated"
+    );
+}
+
+#[test]
+fn sparse_session_hot_path_is_allocation_free() {
+    let engine = Engine::from_network(net()).backend(Backend::Sparse).build();
+    assert_hot_path_is_allocation_free(engine.session(), "sparse");
+}
+
+#[test]
+fn dense_session_hot_path_is_allocation_free() {
+    let engine = Engine::from_network(net()).backend(Backend::Dense).build();
+    assert_hot_path_is_allocation_free(engine.session(), "dense");
+}
+
+#[test]
+fn hardware_session_hot_path_is_allocation_free() {
+    let engine = Engine::from_network(net())
+        .backend(hardware(DeployConfig::five_bit(), 3))
+        .build();
+    assert_hot_path_is_allocation_free(engine.session(), "hardware");
+}
+
+#[test]
+fn network_classify_is_allocation_free_after_warmup_except_probs() {
+    let net = net();
+    let batch = inputs();
+    for input in &batch {
+        let _ = net.classify(input);
+    }
+    let before = allocations();
+    for input in &batch {
+        std::hint::black_box(net.classify(input));
+    }
+    let after = allocations();
+    // classify returns a fresh probability Vec (its signature demands
+    // it); the thread-local forward/scratch path must add nothing else.
+    assert_eq!(
+        after - before,
+        batch.len() as u64,
+        "Network::classify allocated beyond the returned probs vector"
+    );
+}

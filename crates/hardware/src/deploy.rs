@@ -9,7 +9,8 @@
 //! weights, so evaluation reuses the core forward pass.
 
 use crate::{Crossbar, Quantizer, VariationModel};
-use snn_core::Network;
+use snn_core::engine::InferenceBackend;
+use snn_core::{Forward, Network, ScratchSpace, SpikeRaster};
 use snn_tensor::Rng;
 
 /// Deployment settings.
@@ -82,6 +83,26 @@ impl Deployment {
     }
 }
 
+/// A deployment is an inference backend: it evaluates the crossbars'
+/// effective network with the event-driven kernels, so the engine's
+/// batched/serving machinery (`Engine`, `Session`,
+/// [`evaluate_with`](snn_core::engine::evaluate_with)) runs unchanged on
+/// quantized, variation-perturbed hardware. The `snn-engine` crate
+/// packages this as a `Backend` factory with deployment config.
+impl InferenceBackend for Deployment {
+    fn network(&self) -> &Network {
+        &self.network
+    }
+
+    fn label(&self) -> &str {
+        "hardware"
+    }
+
+    fn forward_into(&self, input: &SpikeRaster, fwd: &mut Forward, scratch: &mut ScratchSpace) {
+        self.network.forward_into(input, fwd, scratch);
+    }
+}
+
 /// Maps a trained network onto crossbars with the given non-idealities.
 ///
 /// The returned [`Deployment::network`] keeps the original neuron kind
@@ -117,10 +138,9 @@ pub fn deploy(net: &Network, cfg: DeployConfig, rng: &mut Rng) -> Deployment {
         *layer.weights_mut() = effective;
         crossbars.push(xbar);
     }
-    // The weight swap above invalidated the layers' event-driven kernel
-    // caches; rebuild them so deployed networks keep the sparse fast
-    // path (no optimizer ever runs on a deployment to do it for us).
-    hw_net.sync_caches();
+    // The weight swap above bumped each layer's cache epoch; the first
+    // forward pass on the deployed network rebuilds the event-driven
+    // kernel mirrors lazily, so no manual synchronisation is needed.
 
     Deployment {
         network: hw_net,

@@ -3,7 +3,7 @@
 //!
 //! Real RRAM arrays contain cells permanently stuck in the low- or
 //! high-resistance state. This module injects such faults into a
-//! programmed [`Crossbar`](crate::Crossbar)'s conductance arrays so the
+//! programmed [`Crossbar`]'s conductance arrays so the
 //! Fig. 8 pipeline can also report robustness against hard faults, the
 //! "future work" dimension a deployment study would need.
 

@@ -13,13 +13,24 @@
 /// assert!((p[0] - 0.5).abs() < 1e-6);
 /// ```
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// [`softmax`] into a caller-owned buffer, reusing its capacity — the
+/// allocation-free form used by serving hot paths.
+pub fn softmax_into(logits: &[f32], out: &mut Vec<f32>) {
+    out.clear();
     if logits.is_empty() {
-        return Vec::new();
+        return;
     }
     let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.extend(logits.iter().map(|&x| (x - max).exp()));
+    let sum: f32 = out.iter().sum();
+    for p in out.iter_mut() {
+        *p /= sum;
+    }
 }
 
 /// Index of the maximum element (first wins on ties); `None` for empty input.
@@ -109,6 +120,17 @@ mod tests {
     #[test]
     fn softmax_empty() {
         assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_into_reuses_buffer_and_matches() {
+        let mut buf = Vec::with_capacity(8);
+        softmax_into(&[0.3, -1.0, 2.0], &mut buf);
+        assert_eq!(buf, softmax(&[0.3, -1.0, 2.0]));
+        let cap = buf.capacity();
+        softmax_into(&[1.0, 1.0], &mut buf);
+        assert_eq!(buf.capacity(), cap, "no reallocation on refill");
+        assert!((buf[0] - 0.5).abs() < 1e-6);
     }
 
     #[test]

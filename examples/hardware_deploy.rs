@@ -5,12 +5,10 @@
 //!
 //! Run with: `cargo run --release --example hardware_deploy`
 
-use neurosnn::core::train::{
-    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
-};
+use neurosnn::core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
 use neurosnn::core::{Network, NeuronKind};
 use neurosnn::data::nmnist::{generate, NmnistConfig};
-use neurosnn::hardware::deploy::{deploy, DeployConfig};
+use neurosnn::engine::{hardware, Backend, DeployConfig, Engine, HardwareBackend};
 use neurosnn::hardware::{power, transient, CircuitParams};
 use neurosnn::neuron::NeuronParams;
 use neurosnn::tensor::Rng;
@@ -40,29 +38,38 @@ fn main() {
     for _ in 0..12 {
         trainer.epoch_classification(&mut net, &split.train, &RateCrossEntropy);
     }
-    let sw_acc = evaluate_classification(&net, &split.test);
+    let sw_engine = Engine::from_network(net.clone())
+        .backend(Backend::Sparse)
+        .build();
+    let sw_acc = sw_engine.evaluate(&split.test);
     println!("software accuracy: {:.1}%", sw_acc * 100.0);
 
-    // --- Deploy at 4 and 5 bits with and without variation ---
+    // --- Deploy at 4 and 5 bits with and without variation: the same
+    // Engine API, hardware backend (quantized crossbars + variation) ---
     for (bits, sigma) in [(4u8, 0.0f32), (4, 0.2), (5, 0.2), (4, 0.5)] {
-        let mut dep_rng = Rng::seed_from(99);
-        let dep = deploy(
+        let backend = HardwareBackend::deploy(
             &net,
             DeployConfig {
                 bits,
                 deviation: sigma,
                 g_max: 1e-4,
             },
-            &mut dep_rng,
+            99,
         );
-        let hw_acc = evaluate_classification(&dep.network, &split.test);
+        let dep = backend.deployment();
+        let devices = dep.total_devices();
+        let mean_err = dep.reports[0].mean_abs_error;
+        let hw_acc = Engine::from_backend(std::sync::Arc::new(backend)).evaluate(&split.test);
         println!(
-            "hardware {bits}-bit, deviation {sigma:.1}: accuracy {:.1}%  ({} RRAM devices, mean |Δw| {:.4})",
+            "hardware {bits}-bit, deviation {sigma:.1}: accuracy {:.1}%  ({devices} RRAM devices, mean |Δw| {mean_err:.4})",
             hw_acc * 100.0,
-            dep.total_devices(),
-            dep.reports[0].mean_abs_error,
         );
     }
+    // The builder route does the same deployment in one line:
+    let four_bit = Engine::from_network(net.clone())
+        .backend(hardware(DeployConfig::four_bit(), 99))
+        .build();
+    assert_eq!(four_bit.backend().label(), "hardware");
 
     // --- Analog transient simulation of one neuron (Fig. 7) ---
     let params = CircuitParams::paper();

@@ -9,6 +9,7 @@ use neurosnn::core::train::{Optimizer, Trainer, TrainerConfig, VanRossumLoss};
 use neurosnn::core::{Network, NeuronKind};
 use neurosnn::data::association::{generate, nearest_target, AssociationConfig};
 use neurosnn::data::shd::ShdConfig;
+use neurosnn::engine::Engine;
 use neurosnn::neuron::NeuronParams;
 use neurosnn::tensor::Rng;
 
@@ -55,12 +56,16 @@ fn main() {
         }
     }
 
-    // Evaluate: does the produced raster land nearest its own digit?
+    // Evaluate through a serving session: `infer_raster` reuses the
+    // session's output-raster buffer, so this loop never allocates per
+    // sample.
+    let engine = Engine::from_network(net).build();
+    let mut session = engine.session();
     let kernel = TraceKernel::paper_defaults();
     let mut correct = 0;
     for (i, (input, _)) in ds.pairs.iter().enumerate() {
-        let produced = net.forward(input).output_raster();
-        if nearest_target(&produced, &ds.targets, kernel) == ds.labels[i] {
+        let produced = session.infer_raster(input);
+        if nearest_target(produced, &ds.targets, kernel) == ds.labels[i] {
             correct += 1;
         }
     }
@@ -72,7 +77,7 @@ fn main() {
 
     // Show one input/target/output triple like Fig. 5.
     let (input, target) = &ds.pairs[0];
-    let produced = net.forward(input).output_raster();
+    let produced = session.infer_raster(input);
     println!("\ninput (digit {}):", ds.labels[0]);
     print!("{}", input.render_ascii(12));
     println!("target glyph raster:");

@@ -1,15 +1,20 @@
-//! Quickstart: build, train and inspect a small adaptive-threshold SNN.
+//! Quickstart: build, train, and *serve* a small adaptive-threshold SNN.
 //!
 //! Trains the paper's neuron model on a miniature temporal task —
 //! classifying which of two channels spikes *first* — which is
 //! impossible for a pure rate model (both classes have identical spike
-//! counts) and therefore shows off exactly what the filter-based model
-//! is for. Run with: `cargo run --release --example quickstart`
+//! counts), then runs the **same trained network** through every
+//! inference backend the workspace offers:
+//!
+//! * `sparse`   — the event-driven production kernels,
+//! * `dense`    — the per-step matrix–vector reference,
+//! * `hardware` — a quantized RRAM crossbar deployment.
+//!
+//! Run with: `cargo run --release --example quickstart`
 
-use neurosnn::core::train::{
-    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
-};
+use neurosnn::core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
 use neurosnn::core::{Network, NeuronKind, SpikeRaster};
+use neurosnn::engine::{hardware, Backend, DeployConfig, Engine};
 use neurosnn::neuron::NeuronParams;
 use neurosnn::tensor::Rng;
 
@@ -69,13 +74,32 @@ fn main() {
         }
     }
 
-    let accuracy = evaluate_classification(&net, &data);
-    println!("\nfinal accuracy: {:.1}%", accuracy * 100.0);
+    // --- Serve the unmodified trained network from all three backends ---
+    println!("\nserving the trained network through Engine:");
+    let engines = [
+        Engine::from_network(net.clone())
+            .backend(Backend::Sparse)
+            .build(),
+        Engine::from_network(net.clone())
+            .backend(Backend::Dense)
+            .build(),
+        Engine::from_network(net.clone())
+            .backend(hardware(DeployConfig::five_bit(), 7))
+            .build(),
+    ];
+    for engine in &engines {
+        println!(
+            "  {:<8} backend: accuracy {:.1}%",
+            engine.backend().label(),
+            engine.evaluate(&data) * 100.0
+        );
+    }
 
-    // Show what the network sees and says for one sample of each class.
+    // Low-latency path: one session, every buffer reused across calls.
+    let mut session = engines[0].session();
     for class in 0..2 {
         let sample = make_sample(class, steps, &mut rng);
-        let (pred, probs) = net.classify(&sample);
+        let (pred, probs) = session.classify_with_probs(&sample);
         println!("\nclass {class} sample (channels over time):");
         print!("{}", sample.render_ascii(2));
         println!(

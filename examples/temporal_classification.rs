@@ -3,11 +3,10 @@
 //!
 //! Run with: `cargo run --release --example temporal_classification`
 
-use neurosnn::core::train::{
-    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
-};
+use neurosnn::core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
 use neurosnn::core::{Network, NeuronKind};
 use neurosnn::data::shd::{generate, ShdConfig};
+use neurosnn::engine::{Backend, Engine};
 use neurosnn::neuron::NeuronParams;
 use neurosnn::tensor::Rng;
 
@@ -54,7 +53,12 @@ fn main() {
         }
     }
 
-    let adaptive_acc = evaluate_classification(&net, &split.test);
+    // Evaluate through the batched serving engine (event-driven sparse
+    // backend, one worker per core, deterministic for any thread count).
+    let engine = Engine::from_network(net.clone())
+        .backend(Backend::Sparse)
+        .build();
+    let adaptive_acc = engine.evaluate(&split.test);
     println!(
         "\nadaptive-threshold test accuracy: {:.1}%",
         adaptive_acc * 100.0
@@ -63,7 +67,7 @@ fn main() {
     // The Table II "HR" ablation: same weights, hard-reset neuron.
     let mut hr = net.clone();
     hr.set_neuron_kind(NeuronKind::HardReset);
-    let hr_acc = evaluate_classification(&hr, &split.test);
+    let hr_acc = Engine::from_network(hr).build().evaluate(&split.test);
     println!("hard-reset swap test accuracy:    {:.1}%", hr_acc * 100.0);
     println!("\n(paper Table II, real SHD: 85.69% adaptive vs 26.36% hard reset)");
 }

@@ -11,15 +11,20 @@
 //! | [`core`] | `snn-core` | feedforward SNN, BPTT training, losses, optimizers, spike utilities |
 //! | [`data`] | `snn-data` | synthetic N-MNIST / SHD / pattern-association datasets |
 //! | [`hardware`] | `snn-hardware` | RRAM crossbar, analog neuron circuit, transient sim, power/area model |
+//! | [`engine`] | `snn-engine` | unified serving API: sparse / dense / RRAM backends, batched `Engine`, zero-alloc `Session` |
 //!
 //! # Quickstart
 //!
 //! Train a small adaptive-threshold SNN on a timing-only task (patterns
-//! with identical spike counts that differ only in temporal order):
+//! with identical spike counts that differ only in temporal order),
+//! then serve it through the batched [`Engine`](engine::Engine) — the
+//! same trained weights answer from the event-driven software kernels,
+//! the dense reference, and a simulated 8-bit RRAM deployment:
 //!
 //! ```
 //! use neurosnn::core::{Network, NeuronKind, SpikeRaster};
 //! use neurosnn::core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
+//! use neurosnn::engine::{hardware, Backend, DeployConfig, Engine};
 //! use neurosnn::neuron::NeuronParams;
 //! use neurosnn::tensor::Rng;
 //!
@@ -46,12 +51,27 @@
 //! for _ in 0..400 {
 //!     trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
 //! }
-//! assert_eq!(net.classify(&data[0].0).0, 0);
-//! assert_eq!(net.classify(&data[1].0).0, 1);
+//!
+//! // Serve the trained model: every backend must separate the classes.
+//! for backend in [
+//!     Backend::Sparse,
+//!     Backend::Dense,
+//!     hardware(DeployConfig::five_bit(), 42),
+//! ] {
+//!     let engine = Engine::from_network(net.clone()).backend(backend).build();
+//!     assert_eq!(engine.evaluate(&data), 1.0, "{:?}", engine);
+//! }
+//!
+//! // Low-latency path: a session reuses every buffer across calls.
+//! let engine = Engine::from_network(net).build();
+//! let mut session = engine.session();
+//! assert_eq!(session.classify(&data[0].0), 0);
+//! assert_eq!(session.classify(&data[1].0), 1);
 //! ```
 
 pub use snn_core as core;
 pub use snn_data as data;
+pub use snn_engine as engine;
 pub use snn_hardware as hardware;
 pub use snn_neuron as neuron;
 pub use snn_tensor as tensor;

@@ -3,12 +3,11 @@
 //! pipeline at test scale.
 
 use neurosnn::core::metrics::confusion;
-use neurosnn::core::train::{
-    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
-};
+use neurosnn::core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
 use neurosnn::core::{Network, NeuronKind};
 use neurosnn::data::nmnist;
 use neurosnn::data::shd::{generate, PairMode, ShdConfig};
+use neurosnn::engine::{Backend, Engine};
 use neurosnn::neuron::NeuronParams;
 use neurosnn::tensor::Rng;
 
@@ -46,11 +45,22 @@ fn shd_pipeline_learns_above_rate_ceiling() {
     );
     train(&mut net, &split.train, 25, 1e-3);
 
-    let acc = evaluate_classification(&net, &split.test);
+    let engine = Engine::from_network(net.clone())
+        .backend(Backend::Sparse)
+        .build();
+    let acc = engine.evaluate(&split.test);
     assert!(
         acc > 0.6,
         "adaptive model should beat the 0.5 rate ceiling, got {acc}"
     );
+
+    // The dense reference backend must score identically: argmax over
+    // spike counts is invariant to the kernels' float reassociation on
+    // this data.
+    let dense = Engine::from_network(net.clone())
+        .backend(Backend::Dense)
+        .build();
+    assert_eq!(dense.evaluate(&split.test), acc);
 
     let cm = confusion(&net, &split.test, 4);
     assert!(
@@ -81,11 +91,13 @@ fn hard_reset_swap_degrades_temporal_task() {
         &mut rng,
     );
     train(&mut net, &split.train, 25, 1e-3);
-    let adaptive_acc = evaluate_classification(&net, &split.test);
+    let adaptive_acc = Engine::from_network(net.clone())
+        .build()
+        .evaluate(&split.test);
 
     let mut hr = net.clone();
     hr.set_neuron_kind(NeuronKind::HardReset);
-    let hr_acc = evaluate_classification(&hr, &split.test);
+    let hr_acc = Engine::from_network(hr).build().evaluate(&split.test);
 
     assert!(
         adaptive_acc - hr_acc > 0.15,
@@ -108,7 +120,7 @@ fn nmnist_pipeline_reaches_high_accuracy() {
         &mut rng,
     );
     train(&mut net, &split.train, 15, 1e-3);
-    let acc = evaluate_classification(&net, &split.test);
+    let acc = Engine::from_network(net).build().evaluate(&split.test);
     assert!(acc > 0.7, "N-MNIST-like accuracy too low: {acc}");
 }
 

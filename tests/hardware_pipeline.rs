@@ -1,12 +1,11 @@
 //! Integration: train → deploy on non-ideal crossbars → evaluate — the
 //! Fig. 8 pipeline — plus software/hardware dynamics equivalence checks.
 
-use neurosnn::core::train::{
-    evaluate_classification, Optimizer, RateCrossEntropy, Trainer, TrainerConfig,
-};
+use neurosnn::core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
 use neurosnn::core::{Network, NeuronKind};
 use neurosnn::data::nmnist::{generate, NmnistConfig};
-use neurosnn::hardware::deploy::{deploy, DeployConfig};
+use neurosnn::engine::{evaluate_with, hardware, Backend, DeployConfig, Engine};
+use neurosnn::hardware::deploy::deploy;
 use neurosnn::hardware::faults::FaultModel;
 use neurosnn::hardware::{transient, CircuitParams, Quantizer};
 use neurosnn::neuron::NeuronParams;
@@ -39,13 +38,18 @@ fn trained_model() -> (Network, Vec<(neurosnn::core::SpikeRaster, usize)>) {
 #[test]
 fn fig8_pipeline_quantization_and_variation_degrade_gracefully() {
     let (net, test) = trained_model();
-    let sw = evaluate_classification(&net, &test);
+    let sw = Engine::from_network(net.clone())
+        .backend(Backend::Sparse)
+        .build()
+        .evaluate(&test);
     assert!(sw > 0.5, "software model must work first: {sw}");
 
-    // 5-bit clean deployment should track the software model closely.
-    let mut rng = Rng::seed_from(1);
-    let five = deploy(&net, DeployConfig::five_bit(), &mut rng);
-    let acc5 = evaluate_classification(&five.network, &test);
+    // 5-bit clean deployment should track the software model closely
+    // (hardware backend: deploy at build time, shared batched eval).
+    let five = Engine::from_network(net.clone())
+        .backend(hardware(DeployConfig::five_bit(), 1))
+        .build();
+    let acc5 = five.evaluate(&test);
     assert!(
         sw - acc5 < 0.15,
         "5-bit clean drop too large: {sw} -> {acc5}"
@@ -56,13 +60,13 @@ fn fig8_pipeline_quantization_and_variation_degrade_gracefully() {
     let mean_acc = |sigma: f32| {
         let accs: Vec<f32> = (0..4)
             .map(|s| {
-                let mut rng = Rng::seed_from(100 + s);
-                let dep = deploy(
-                    &net,
-                    DeployConfig::four_bit().with_deviation(sigma),
-                    &mut rng,
-                );
-                evaluate_classification(&dep.network, &test)
+                Engine::from_network(net.clone())
+                    .backend(hardware(
+                        DeployConfig::four_bit().with_deviation(sigma),
+                        100 + s,
+                    ))
+                    .build()
+                    .evaluate(&test)
             })
             .collect();
         accs.iter().sum::<f32>() / accs.len() as f32
@@ -87,7 +91,9 @@ fn stuck_at_faults_reduce_accuracy_monotonically_in_expectation() {
                 FaultModel::stuck_off(p).inject(xbar, &mut rng);
                 *layer.weights_mut() = xbar.effective_weights();
             }
-            total += evaluate_classification(&dep.network, &test);
+            // The mutated deployment is itself an InferenceBackend; its
+            // kernel caches re-sync lazily after the weight swap above.
+            total += evaluate_with(&dep, &test, 0);
         }
         total / 3.0
     };

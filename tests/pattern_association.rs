@@ -6,6 +6,7 @@ use neurosnn::core::train::{Optimizer, Trainer, TrainerConfig, VanRossumLoss};
 use neurosnn::core::{Network, NeuronKind};
 use neurosnn::data::association::{digit_target, generate, nearest_target, AssociationConfig};
 use neurosnn::data::shd::ShdConfig;
+use neurosnn::engine::Engine;
 use neurosnn::neuron::NeuronParams;
 use neurosnn::tensor::Rng;
 
@@ -35,13 +36,15 @@ fn association_training_reduces_distance_to_targets() {
         &mut rng,
     );
     let kernel = TraceKernel::paper_defaults();
+    // Session-based evaluation: `infer_raster` reuses the session's
+    // output buffer across the whole scan.
     let mean_distance = |net: &Network| {
+        let engine = Engine::from_network(net.clone()).build();
+        let mut session = engine.session();
         let total: f32 = ds
             .pairs
             .iter()
-            .map(|(input, target)| {
-                raster_distance(kernel, &net.forward(input).output_raster(), target)
-            })
+            .map(|(input, target)| raster_distance(kernel, session.infer_raster(input), target))
             .sum();
         total / ds.pairs.len() as f32
     };
@@ -93,13 +96,14 @@ fn trained_outputs_identify_their_digit_above_chance() {
         trainer.epoch_pattern(&mut net, &ds.pairs, &loss);
     }
     let kernel = TraceKernel::paper_defaults();
+    let engine = Engine::from_network(net).build();
+    let mut session = engine.session();
     let correct = ds
         .pairs
         .iter()
         .enumerate()
         .filter(|(i, (input, _))| {
-            nearest_target(&net.forward(input).output_raster(), &ds.targets, kernel)
-                == ds.labels[*i]
+            nearest_target(session.infer_raster(input), &ds.targets, kernel) == ds.labels[*i]
         })
         .count();
     // Chance is 2/20 = 10%; require clearly above.

@@ -315,6 +315,62 @@ impl Engine {
     }
 }
 
+/// The reusable buffer set behind a [`Session`] / [`PooledSession`]:
+/// forward cache, scratch, count/probability and raster buffers. Keeping
+/// the buffers separate from the backend borrow is what lets a
+/// [`SessionPool`] recycle warm buffers across short-lived checkouts.
+#[derive(Debug)]
+struct SessionBuffers {
+    fwd: Forward,
+    scratch: ScratchSpace,
+    counts: Vec<f32>,
+    probs: Vec<f32>,
+    raster: SpikeRaster,
+}
+
+impl SessionBuffers {
+    fn new() -> Self {
+        Self {
+            fwd: Forward::empty(),
+            scratch: ScratchSpace::new(),
+            counts: Vec::new(),
+            probs: Vec::new(),
+            raster: SpikeRaster::zeros(0, 0),
+        }
+    }
+
+    fn infer(&mut self, backend: &dyn InferenceBackend, input: &SpikeRaster) -> &Forward {
+        backend.forward_into(input, &mut self.fwd, &mut self.scratch);
+        &self.fwd
+    }
+
+    fn infer_raster(
+        &mut self,
+        backend: &dyn InferenceBackend,
+        input: &SpikeRaster,
+    ) -> &SpikeRaster {
+        backend.forward_into(input, &mut self.fwd, &mut self.scratch);
+        self.fwd.output_raster_into(&mut self.raster);
+        &self.raster
+    }
+
+    fn classify(&mut self, backend: &dyn InferenceBackend, input: &SpikeRaster) -> usize {
+        backend.forward_into(input, &mut self.fwd, &mut self.scratch);
+        self.fwd.spike_counts_into(&mut self.counts);
+        stats::argmax(&self.counts).unwrap_or(0)
+    }
+
+    fn classify_with_probs(
+        &mut self,
+        backend: &dyn InferenceBackend,
+        input: &SpikeRaster,
+    ) -> (usize, &[f32]) {
+        let class = self.classify(backend, input);
+        stats::softmax_into(&self.counts, &mut self.probs);
+        (class, &self.probs)
+    }
+}
+
 /// A single worker's inference handle: owns every reusable buffer the
 /// hot path needs, so once warm its calls make **zero per-sample heap
 /// allocations** (pinned by the `zero_alloc` integration test in
@@ -323,14 +379,11 @@ impl Engine {
 /// One worker, one session: every hot-path method takes `&mut self`, so
 /// a session can never serve two inputs concurrently — workers each open
 /// their own. Sessions borrow their backend, so they are cheap to create
-/// per batch.
+/// per batch; long-lived servers that open sessions per request should
+/// check warm buffers out of a [`SessionPool`] instead.
 pub struct Session<'e> {
     backend: &'e dyn InferenceBackend,
-    fwd: Forward,
-    scratch: ScratchSpace,
-    counts: Vec<f32>,
-    probs: Vec<f32>,
-    raster: SpikeRaster,
+    buf: SessionBuffers,
 }
 
 impl fmt::Debug for Session<'_> {
@@ -347,11 +400,7 @@ impl<'e> Session<'e> {
     pub fn new(backend: &'e dyn InferenceBackend) -> Self {
         Self {
             backend,
-            fwd: Forward::empty(),
-            scratch: ScratchSpace::new(),
-            counts: Vec::new(),
-            probs: Vec::new(),
-            raster: SpikeRaster::zeros(0, 0),
+            buf: SessionBuffers::new(),
         }
     }
 
@@ -363,39 +412,170 @@ impl<'e> Session<'e> {
     /// Runs one input and returns the full per-layer forward cache
     /// (valid until the next call on this session).
     pub fn infer(&mut self, input: &SpikeRaster) -> &Forward {
-        self.backend
-            .forward_into(input, &mut self.fwd, &mut self.scratch);
-        &self.fwd
+        self.buf.infer(self.backend, input)
     }
 
     /// Runs one input and returns the output spike raster, reusing the
     /// session's raster buffer.
     pub fn infer_raster(&mut self, input: &SpikeRaster) -> &SpikeRaster {
-        self.backend
-            .forward_into(input, &mut self.fwd, &mut self.scratch);
-        self.fwd.output_raster_into(&mut self.raster);
-        &self.raster
+        self.buf.infer_raster(self.backend, input)
     }
 
     /// Predicted class (argmax of output spike counts).
     pub fn classify(&mut self, input: &SpikeRaster) -> usize {
-        self.backend
-            .forward_into(input, &mut self.fwd, &mut self.scratch);
-        self.fwd.spike_counts_into(&mut self.counts);
-        stats::argmax(&self.counts).unwrap_or(0)
+        self.buf.classify(self.backend, input)
     }
 
     /// Predicted class plus softmax probabilities over the output spike
     /// counts (borrowed from the session's buffer).
     pub fn classify_with_probs(&mut self, input: &SpikeRaster) -> (usize, &[f32]) {
-        let class = self.classify(input);
-        stats::softmax_into(&self.counts, &mut self.probs);
-        (class, &self.probs)
+        self.buf.classify_with_probs(self.backend, input)
     }
 
     /// The forward cache of the most recent call.
     pub fn last_output(&self) -> &Forward {
-        &self.fwd
+        &self.buf.fwd
+    }
+}
+
+/// A shared, thread-safe pool of warm session buffers over one
+/// [`Engine`] — the serving-layer primitive behind `snn-serve`'s worker
+/// pool.
+///
+/// [`acquire`](Self::acquire) checks out a [`PooledSession`]; dropping it
+/// returns its buffers to the pool, so a server that serves requests from
+/// arbitrary worker threads still performs zero per-sample allocations
+/// once every checkout path is warm. The pool never blocks: if all
+/// buffers are checked out, `acquire` creates a fresh set (the pool grows
+/// to the peak concurrency and then stops allocating).
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::engine::{Engine, SessionPool};
+/// use snn_core::{Network, NeuronKind, SpikeRaster};
+/// use snn_neuron::NeuronParams;
+/// use snn_tensor::Rng;
+///
+/// let mut rng = Rng::seed_from(0);
+/// let net = Network::mlp(&[4, 8, 2], NeuronKind::Adaptive,
+///                        NeuronParams::paper_defaults(), &mut rng);
+/// let pool = SessionPool::new(Engine::from_network(net).build());
+/// let input = SpikeRaster::from_events(10, 4, &[(1, 2), (4, 0)]);
+/// let class = pool.acquire().classify(&input);
+/// assert!(class < 2);
+/// assert_eq!(pool.idle(), 1); // buffers came back on drop
+/// ```
+pub struct SessionPool {
+    engine: Engine,
+    idle: std::sync::Mutex<Vec<SessionBuffers>>,
+}
+
+impl fmt::Debug for SessionPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionPool")
+            .field("engine", &self.engine)
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
+impl SessionPool {
+    /// Creates an empty pool over an engine.
+    pub fn new(engine: Engine) -> Self {
+        Self {
+            engine,
+            idle: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine the pool serves.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of idle buffer sets currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.idle.lock().expect("session pool poisoned").len()
+    }
+
+    /// Checks out a session, reusing warm buffers when any are idle.
+    pub fn acquire(&self) -> PooledSession<'_> {
+        let buf = self
+            .idle
+            .lock()
+            .expect("session pool poisoned")
+            .pop()
+            .unwrap_or_else(SessionBuffers::new);
+        PooledSession {
+            pool: self,
+            buf: Some(buf),
+        }
+    }
+}
+
+/// A session checked out of a [`SessionPool`]; its buffers return to the
+/// pool on drop. Same hot-path surface as [`Session`].
+pub struct PooledSession<'p> {
+    pool: &'p SessionPool,
+    buf: Option<SessionBuffers>,
+}
+
+impl fmt::Debug for PooledSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PooledSession")
+            .field("backend", &self.backend().label())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PooledSession<'_> {
+    fn buffers(&mut self) -> &mut SessionBuffers {
+        self.buf.as_mut().expect("buffers present until drop")
+    }
+
+    /// The backend this session runs on.
+    pub fn backend(&self) -> &dyn InferenceBackend {
+        self.pool.engine.backend()
+    }
+
+    /// Runs one input and returns the full per-layer forward cache
+    /// (valid until the next call on this session).
+    pub fn infer(&mut self, input: &SpikeRaster) -> &Forward {
+        let backend = self.pool.engine.backend();
+        self.buffers().infer(backend, input)
+    }
+
+    /// Runs one input and returns the output spike raster, reusing the
+    /// session's raster buffer.
+    pub fn infer_raster(&mut self, input: &SpikeRaster) -> &SpikeRaster {
+        let backend = self.pool.engine.backend();
+        self.buffers().infer_raster(backend, input)
+    }
+
+    /// Predicted class (argmax of output spike counts).
+    pub fn classify(&mut self, input: &SpikeRaster) -> usize {
+        let backend = self.pool.engine.backend();
+        self.buffers().classify(backend, input)
+    }
+
+    /// Predicted class plus softmax probabilities over the output spike
+    /// counts (borrowed from the session's buffer).
+    pub fn classify_with_probs(&mut self, input: &SpikeRaster) -> (usize, &[f32]) {
+        let backend = self.pool.engine.backend();
+        self.buffers().classify_with_probs(backend, input)
+    }
+}
+
+impl Drop for PooledSession<'_> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            // A poisoned pool just drops the buffers: the next acquire
+            // would panic anyway, and Drop must not.
+            if let Ok(mut idle) = self.pool.idle.lock() {
+                idle.push(buf);
+            }
+        }
     }
 }
 
@@ -619,6 +799,62 @@ mod tests {
             engine.classify_batch(&inputs),
             direct.classify_batch(&inputs)
         );
+    }
+
+    #[test]
+    fn engine_and_pool_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<SessionPool>();
+        assert_send_sync::<PooledSession<'_>>();
+    }
+
+    #[test]
+    fn pooled_sessions_match_plain_sessions_and_recycle_buffers() {
+        let net = small_net(16);
+        let inputs = random_inputs(6, 17);
+        let engine = Engine::from_network(net).build();
+        let expected = engine.classify_batch(&inputs);
+        let pool = SessionPool::new(engine);
+        assert_eq!(pool.idle(), 0);
+        {
+            let mut a = pool.acquire();
+            let mut b = pool.acquire();
+            for (input, &want) in inputs.iter().zip(&expected) {
+                assert_eq!(a.classify(input), want);
+                assert_eq!(b.classify(input), want);
+            }
+            let (class, probs) = a.classify_with_probs(&inputs[0]);
+            assert_eq!(class, expected[0]);
+            assert_eq!(probs.len(), 4);
+        }
+        // Both buffer sets returned; the next checkout reuses one.
+        assert_eq!(pool.idle(), 2);
+        let mut warm = pool.acquire();
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(warm.classify(&inputs[0]), expected[0]);
+        assert_eq!(warm.backend().label(), "sparse");
+    }
+
+    #[test]
+    fn pool_serves_concurrent_workers() {
+        let net = small_net(18);
+        let inputs = random_inputs(16, 19);
+        let engine = Engine::from_network(net).build();
+        let expected = engine.classify_batch(&inputs);
+        let pool = SessionPool::new(engine);
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let (pool, inputs, expected) = (&pool, &inputs, &expected);
+                scope.spawn(move || {
+                    let mut session = pool.acquire();
+                    for (input, &want) in inputs.iter().zip(expected) {
+                        assert_eq!(session.classify(input), want, "worker {worker}");
+                    }
+                });
+            }
+        });
+        assert!(pool.idle() >= 1 && pool.idle() <= 4);
     }
 
     #[test]

@@ -283,19 +283,6 @@ impl Network {
         }
     }
 
-    /// Deprecated no-op shim: kernel caches now invalidate themselves.
-    ///
-    /// Weight mutation through [`DenseLayer::weights_mut`] bumps a cache
-    /// epoch and the next forward pass rebuilds the event-driven mirror
-    /// lazily, so the manual synchronisation call this method used to
-    /// perform is no longer needed (and forgetting it can no longer
-    /// silently degrade performance).
-    #[deprecated(
-        since = "0.1.0",
-        note = "caches invalidate lazily on weight mutation; delete this call"
-    )]
-    pub fn sync_caches(&mut self) {}
-
     /// Classifies an input by the highest output spike count, returning
     /// `(class, softmax probabilities)`.
     ///

@@ -7,6 +7,7 @@
 //! [`SpikeRaster`] container used throughout the workspace plus those
 //! kernel utilities.
 
+use snn_json::Json;
 use std::fmt;
 
 /// Dense binary spike tensor: `steps` timesteps × `channels` spike trains.
@@ -176,6 +177,77 @@ impl SpikeRaster {
         let mut out = ActiveIndices::new();
         out.fill_from(self);
         out
+    }
+
+    /// Serializes to the event-list wire format used by the network
+    /// serving layer (`snn-serve`): `{"steps": T, "channels": C,
+    /// "events": [[t, c], …]}`. Events are emitted in time order, so the
+    /// output is deterministic and diff-friendly; for the sparse rasters
+    /// this workspace serves, the event list is far smaller than a dense
+    /// 0/1 matrix.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("steps", Json::from(self.steps)),
+            ("channels", Json::from(self.channels)),
+            (
+                "events",
+                Json::Arr(
+                    self.events()
+                        .into_iter()
+                        .map(|(t, c)| Json::Arr(vec![Json::from(t), Json::from(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes the wire format written by [`to_json`](Self::to_json).
+    ///
+    /// Unlike [`from_events`](Self::from_events) (which tolerates
+    /// out-of-range event-camera crops), the wire format is strict: an
+    /// event outside `steps × channels` is a protocol error, as are
+    /// missing or non-integer fields — a serving endpoint must reject
+    /// malformed payloads loudly rather than silently dropping spikes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let steps = v
+            .get("steps")
+            .and_then(Json::as_usize)
+            .ok_or("missing or non-integer \"steps\"")?;
+        let channels = v
+            .get("channels")
+            .and_then(Json::as_usize)
+            .ok_or("missing or non-integer \"channels\"")?;
+        steps
+            .checked_mul(channels)
+            .ok_or_else(|| format!("raster dimensions {steps}x{channels} overflow"))?;
+        let events = v
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or("missing or non-array \"events\"")?;
+        let mut r = Self::zeros(steps, channels);
+        for (i, ev) in events.iter().enumerate() {
+            let pair = ev
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("event {i} is not a [t, c] pair"))?;
+            let t = pair[0]
+                .as_usize()
+                .ok_or_else(|| format!("event {i}: non-integer time"))?;
+            let c = pair[1]
+                .as_usize()
+                .ok_or_else(|| format!("event {i}: non-integer channel"))?;
+            if t >= steps || c >= channels {
+                return Err(format!(
+                    "event {i} at ({t},{c}) outside {steps}x{channels} raster"
+                ));
+            }
+            r.set(t, c, true);
+        }
+        Ok(r)
     }
 
     /// Renders a textual raster plot (`time →` on x, channels on y),
@@ -633,6 +705,41 @@ mod tests {
         let mut two = one.clone();
         two[20] = 1.0;
         assert!(van_rossum_distance(k, &empty, &two) > van_rossum_distance(k, &empty, &one));
+    }
+
+    #[test]
+    fn wire_json_roundtrips() {
+        let r = SpikeRaster::from_events(9, 4, &[(0, 3), (2, 0), (8, 1)]);
+        let doc = r.to_json().to_string();
+        let back = SpikeRaster::from_json(&Json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back, r);
+        let empty = SpikeRaster::zeros(3, 2);
+        let back = SpikeRaster::from_json(&Json::parse(&empty.to_json().to_string()).unwrap());
+        assert_eq!(back.unwrap(), empty);
+    }
+
+    #[test]
+    fn wire_json_rejects_malformed_payloads() {
+        for (src, why) in [
+            (r#"{"channels": 2, "events": []}"#, "steps"),
+            (r#"{"steps": 2, "channels": 2}"#, "events"),
+            (r#"{"steps": 2, "channels": 2, "events": [[0]]}"#, "pair"),
+            (
+                r#"{"steps": 2, "channels": 2, "events": [[0, 5]]}"#,
+                "outside",
+            ),
+            (
+                r#"{"steps": 2, "channels": 2, "events": [[3, 0]]}"#,
+                "outside",
+            ),
+            (
+                r#"{"steps": 2, "channels": 2, "events": [[0.5, 0]]}"#,
+                "non-integer",
+            ),
+        ] {
+            let err = SpikeRaster::from_json(&Json::parse(src).unwrap()).unwrap_err();
+            assert!(err.contains(why), "{src}: {err}");
+        }
     }
 
     #[test]

@@ -46,7 +46,8 @@
 
 pub use snn_core::engine::{
     classify_batch_with, evaluate_with, Backend, BackendFactory, DenseBackend, Engine,
-    EngineBuilder, InferenceBackend, Session, SparseBackend, BATCH_CHUNK,
+    EngineBuilder, InferenceBackend, PooledSession, Session, SessionPool, SparseBackend,
+    BATCH_CHUNK,
 };
 pub use snn_hardware::deploy::{deploy, DeployConfig, Deployment};
 

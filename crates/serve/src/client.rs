@@ -1,0 +1,213 @@
+//! A minimal blocking HTTP client for the serving API — the load
+//! generator behind `bench_serve`, the CI smoke test, and the e2e test
+//! suite. One [`Client`] owns one keep-alive connection.
+
+use crate::http::{self, HttpError, ParsedResponse};
+use snn_core::SpikeRaster;
+use snn_json::Json;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Error talking to a serving endpoint.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or protocol failure.
+    Http(HttpError),
+    /// The server answered with a non-2xx status.
+    Status {
+        /// HTTP status code.
+        status: u16,
+        /// Response body (usually `{"error": …}`).
+        body: String,
+    },
+    /// The server answered 200 but the payload was not the expected
+    /// shape.
+    Payload(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Http(e) => write!(f, "transport error: {e}"),
+            ClientError::Status { status, body } => write!(f, "server answered {status}: {body}"),
+            ClientError::Payload(msg) => write!(f, "unexpected payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Http(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Http(HttpError::Io(e))
+    }
+}
+
+impl ClientError {
+    /// The HTTP status code, when the server did answer.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ClientError::Status { status, .. } => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+/// One keep-alive connection to a serving endpoint.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+    max_body_bytes: usize,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").field("host", &self.host).finish()
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            host: addr.to_string(),
+            max_body_bytes: 16 * 1024 * 1024,
+        })
+    }
+
+    /// Sets a read timeout for responses (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option error.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; HTTP error statuses come back as
+    /// [`ParsedResponse`]s.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<ParsedResponse, ClientError> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n",
+            self.host,
+            body.len()
+        );
+        if !body.is_empty() {
+            head.push_str("Content-Type: application/json\r\n");
+        }
+        head.push_str("\r\n");
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        self.writer.write_all(&message)?;
+        self.writer.flush()?;
+        Ok(http::read_response(&mut self.reader, self.max_body_bytes)?)
+    }
+
+    /// `GET path`, expecting any status.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn get(&mut self, path: &str) -> Result<ParsedResponse, ClientError> {
+        self.request("GET", path, &[])
+    }
+
+    fn expect_ok(resp: ParsedResponse) -> Result<Json, ClientError> {
+        if resp.status != 200 {
+            return Err(ClientError::Status {
+                status: resp.status,
+                body: resp.body_str(),
+            });
+        }
+        Json::parse(&resp.body_str()).map_err(|e| ClientError::Payload(e.to_string()))
+    }
+
+    /// Classifies one raster via `POST /classify`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on any non-200 answer (503 = backpressure).
+    pub fn classify(&mut self, raster: &SpikeRaster) -> Result<usize, ClientError> {
+        let body = raster.to_json().to_string();
+        let resp = self.request("POST", "/classify", body.as_bytes())?;
+        let doc = Self::expect_ok(resp)?;
+        doc.get("class")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ClientError::Payload("missing \"class\"".to_string()))
+    }
+
+    /// Classifies a batch via `POST /classify_batch`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on any non-200 answer.
+    pub fn classify_batch(&mut self, rasters: &[SpikeRaster]) -> Result<Vec<usize>, ClientError> {
+        let body = Json::obj(vec![(
+            "rasters",
+            Json::Arr(rasters.iter().map(SpikeRaster::to_json).collect()),
+        )])
+        .to_string();
+        let resp = self.request("POST", "/classify_batch", body.as_bytes())?;
+        let doc = Self::expect_ok(resp)?;
+        doc.get("classes")
+            .and_then(Json::as_array)
+            .map(|xs| xs.iter().filter_map(Json::as_usize).collect::<Vec<_>>())
+            .filter(|xs| xs.len() == rasters.len())
+            .ok_or_else(|| ClientError::Payload("missing or short \"classes\"".to_string()))
+    }
+
+    /// `GET /healthz`, returning the status string.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on non-200.
+    pub fn healthz(&mut self) -> Result<String, ClientError> {
+        let doc = Self::expect_ok(self.get("/healthz")?)?;
+        doc.get("status")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Payload("missing \"status\"".to_string()))
+    }
+
+    /// `GET /metrics`, returning the Prometheus text body.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on non-200.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let resp = self.get("/metrics")?;
+        if resp.status != 200 {
+            return Err(ClientError::Status {
+                status: resp.status,
+                body: resp.body_str(),
+            });
+        }
+        Ok(resp.body_str())
+    }
+}

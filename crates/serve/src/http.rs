@@ -1,0 +1,492 @@
+//! Hand-rolled HTTP/1.1 subset: request parsing, response writing, and
+//! client-side response parsing.
+//!
+//! The workspace builds with zero third-party dependencies, so the
+//! serving layer speaks the minimal slice of HTTP/1.1 a JSON inference
+//! API needs: `GET`/`POST`, `Content-Length` bodies (no chunked
+//! transfer), persistent connections by default, and hard limits on
+//! header and body sizes so a malformed peer cannot balloon memory.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted request-line or header-line length in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Maximum number of request headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// Error reading or parsing an HTTP message.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Syntactically invalid message (maps to `400 Bad Request`).
+    Malformed(String),
+    /// Body exceeds the configured limit (maps to `413 Payload Too
+    /// Large`).
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Configured maximum.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed http message: {m}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> HttpError {
+    HttpError::Malformed(msg.into())
+}
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercase as received.
+    pub method: String,
+    /// Request target (path plus optional query), as received.
+    pub target: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Message body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target path without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// Reads one line terminated by `\n`, enforcing [`MAX_LINE_BYTES`] and
+/// stripping the trailing `\r\n`/`\n`. Returns `None` on clean EOF
+/// before any byte.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(malformed("unexpected eof inside line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(
+                        String::from_utf8(line)
+                            .map_err(|_| malformed("non-utf8 bytes in request head"))?,
+                    ));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE_BYTES {
+                    return Err(malformed("header line too long"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads and parses one request from a buffered stream.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly before
+/// sending another request (the normal end of a keep-alive session).
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for protocol violations,
+/// [`HttpError::BodyTooLarge`] when `Content-Length` exceeds
+/// `max_body_bytes`, and [`HttpError::Io`] for transport failures.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| malformed("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| malformed("missing request target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| malformed("missing http version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed(format!("unsupported version {version:?}")));
+    }
+    let http11 = version == "HTTP/1.1";
+
+    let headers = read_headers(reader)?;
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| malformed("invalid content-length"))?,
+        None => 0,
+    };
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => http11,
+    };
+
+    Ok(Some(Request {
+        method,
+        target,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reads header lines until the blank separator: lowercased names,
+/// trimmed values, [`MAX_HEADERS`] enforced. Shared by the request and
+/// response parsers so header-handling fixes cannot diverge.
+fn read_headers(reader: &mut impl BufRead) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?.ok_or_else(|| malformed("eof inside headers"))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(malformed("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("header line without ':'"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error response `{"error": msg}`.
+    pub fn error(status: u16, msg: &str) -> Self {
+        let mut body = String::from("{\"error\": ");
+        crate::json_string(&mut body, msg);
+        body.push('}');
+        Self::json(status, body)
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the response, including the `Connection` header
+    /// (`keep-alive` when `keep_alive`, else `close`), and writes it in
+    /// one `write_all`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        use std::fmt::Write as _;
+        let mut head = String::with_capacity(128);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str("\r\n");
+        let mut message = head.into_bytes();
+        message.extend_from_slice(&self.body);
+        writer.write_all(&message)?;
+        writer.flush()
+    }
+}
+
+/// A response parsed by the [client](crate::client): status code,
+/// lowercased headers, body.
+#[derive(Debug, Clone)]
+pub struct ParsedResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ParsedResponse {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one response from a buffered stream (client side).
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] on protocol violations (including EOF before
+/// a complete response), [`HttpError::Io`] on transport failures.
+pub fn read_response(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<ParsedResponse, HttpError> {
+    let status_line =
+        read_line(reader)?.ok_or_else(|| malformed("eof before response status line"))?;
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed(format!("unsupported version {version:?}")));
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| malformed("missing status code"))?;
+    let headers = read_headers(reader)?;
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .ok_or_else(|| malformed("response without content-length"))?;
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ParsedResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /classify HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/classify");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn parses_get_without_body_and_query() {
+        let req = parse("GET /metrics?verbose=1 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/metrics");
+        assert_eq!(req.target, "/metrics?verbose=1");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            let err = parse(raw);
+            assert!(
+                matches!(err, Err(HttpError::Malformed(_)) | Err(HttpError::Io(_))),
+                "{raw:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_without_reading_it() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n";
+        match parse(raw) {
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                assert_eq!(declared, 99999);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_through_parser() {
+        let resp = Response::json(200, "{\"class\": 3}").with_header("Retry-After", "1");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let parsed = read_response(&mut BufReader::new(wire.as_slice()), 1024).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body_str(), "{\"class\": 3}");
+        assert_eq!(parsed.header("retry-after"), Some("1"));
+        assert_eq!(parsed.header("connection"), Some("keep-alive"));
+    }
+
+    #[test]
+    fn error_response_is_json() {
+        let resp = Response::error(503, "queue full");
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            "{\"error\": \"queue full\"}"
+        );
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(reason(200), "OK");
+        assert_eq!(reason(503), "Service Unavailable");
+        assert_eq!(reason(418), "Unknown");
+    }
+}

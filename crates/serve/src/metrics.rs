@@ -1,0 +1,329 @@
+//! Lightweight serving metrics: lock-free counters, gauges, and
+//! fixed-bucket histograms with quantile estimation, rendered in the
+//! Prometheus text exposition format for the `/metrics` endpoint.
+//!
+//! Everything here is plain `std::sync::atomic` — hot paths pay one
+//! relaxed atomic add per observation, so instrumentation never contends
+//! with the scheduler it is measuring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous up/down gauge (e.g. queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Increments by 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by 1 (saturating at 0).
+    pub fn dec(&self) {
+        // fetch_update keeps the gauge saturating instead of wrapping if
+        // an inc/dec pairing bug ever slips in.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed power-of-two bucket upper bounds.
+///
+/// `bounds[i]` is the inclusive upper bound of bucket `i`; one overflow
+/// bucket catches everything larger. Quantiles are estimated as the
+/// upper bound of the bucket containing the target rank — coarse (±2×)
+/// but allocation-free, stable under concurrency, and exactly what a
+/// p50/p99 dashboard needs.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with power-of-two bucket bounds `1, 2, 4, …` up to at
+    /// least `max` (values above land in the overflow bucket).
+    pub fn pow2(max: u64) -> Self {
+        let mut bounds = Vec::new();
+        let mut b = 1u64;
+        loop {
+            bounds.push(b);
+            if b >= max || b > u64::MAX / 2 {
+                break;
+            }
+            b *= 2;
+        }
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum() as f64 / n as f64
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the rank-`⌈q·n⌉` observation; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| self.bounds.last().copied().unwrap_or(0).saturating_mul(2));
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    fn render_into(&self, out: &mut String, name: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// Every counter the serving subsystem exports — shared (via `Arc`)
+/// between the scheduler, the HTTP layer, and the `/metrics` endpoint.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// HTTP requests received (all routes).
+    pub requests_total: Counter,
+    /// Responses with 2xx status.
+    pub responses_ok: Counter,
+    /// Responses with 4xx status.
+    pub responses_client_error: Counter,
+    /// Responses with 5xx status (including backpressure 503s).
+    pub responses_server_error: Counter,
+    /// Requests rejected with 503 because the admission queue was full.
+    pub rejected_queue_full: Counter,
+    /// Requests rejected with 503 because the server was shutting down.
+    pub rejected_shutting_down: Counter,
+    /// Samples accepted into the scheduler queue.
+    pub jobs_total: Counter,
+    /// Micro-batches dispatched to workers.
+    pub batches_total: Counter,
+    /// Current admission-queue depth.
+    pub queue_depth: Gauge,
+    /// Distribution of dispatched micro-batch sizes.
+    pub batch_size: Histogram,
+    /// Per-sample scheduler latency in microseconds (submit → classified).
+    pub job_latency_us: Histogram,
+    /// Per-request HTTP latency in microseconds (parsed → response written).
+    pub request_latency_us: Histogram,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self {
+            requests_total: Counter::default(),
+            responses_ok: Counter::default(),
+            responses_client_error: Counter::default(),
+            responses_server_error: Counter::default(),
+            rejected_queue_full: Counter::default(),
+            rejected_shutting_down: Counter::default(),
+            jobs_total: Counter::default(),
+            batches_total: Counter::default(),
+            queue_depth: Gauge::default(),
+            batch_size: Histogram::pow2(4096),
+            // 1 µs .. ~64 s covers everything from loopback no-ops to a
+            // fully backed-up queue.
+            job_latency_us: Histogram::pow2(1 << 26),
+            request_latency_us: Histogram::pow2(1 << 26),
+        }
+    }
+
+    /// Mean dispatched batch size (0 before the first batch) — the
+    /// headline "is dynamic batching engaging?" number.
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batch_size.mean()
+    }
+
+    /// Renders all metrics in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        for (name, counter) in [
+            ("snn_requests_total", &self.requests_total),
+            ("snn_responses_ok_total", &self.responses_ok),
+            (
+                "snn_responses_client_error_total",
+                &self.responses_client_error,
+            ),
+            (
+                "snn_responses_server_error_total",
+                &self.responses_server_error,
+            ),
+            ("snn_rejected_queue_full_total", &self.rejected_queue_full),
+            (
+                "snn_rejected_shutting_down_total",
+                &self.rejected_shutting_down,
+            ),
+            ("snn_jobs_total", &self.jobs_total),
+            ("snn_batches_total", &self.batches_total),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", counter.get());
+        }
+        let _ = writeln!(out, "# TYPE snn_queue_depth gauge");
+        let _ = writeln!(out, "snn_queue_depth {}", self.queue_depth.get());
+        self.batch_size.render_into(&mut out, "snn_batch_size");
+        self.job_latency_us
+            .render_into(&mut out, "snn_job_latency_us");
+        self.request_latency_us
+            .render_into(&mut out, "snn_request_latency_us");
+        for (name, h) in [
+            ("snn_job_latency_us", &self.job_latency_us),
+            ("snn_request_latency_us", &self.request_latency_us),
+        ] {
+            for (label, q) in [("p50", 0.50), ("p99", 0.99)] {
+                let _ = writeln!(out, "# TYPE {name}_{label} gauge");
+                let _ = writeln!(out, "{name}_{label} {}", h.quantile(q));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates, no wrap
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::pow2(1024);
+        for v in [1u64, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1107);
+        // p50 lands in a small bucket, p99 in the large one.
+        assert!(h.quantile(0.5) <= 4, "p50 = {}", h.quantile(0.5));
+        assert!(h.quantile(0.99) >= 512, "p99 = {}", h.quantile(0.99));
+        assert_eq!(Histogram::pow2(16).quantile(0.5), 0); // empty
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let h = Histogram::pow2(4);
+        h.observe(1_000_000);
+        assert_eq!(h.count(), 1);
+        // The overflow estimate sits past the last bound.
+        assert!(h.quantile(0.5) > 4);
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped() {
+        let m = ServeMetrics::new();
+        m.requests_total.inc();
+        m.batch_size.observe(8);
+        m.request_latency_us.observe(123);
+        let text = m.render();
+        assert!(text.contains("# TYPE snn_requests_total counter"));
+        assert!(text.contains("snn_requests_total 1"));
+        assert!(text.contains("snn_batch_size_bucket{le=\"8\"}"));
+        assert!(text.contains("snn_batch_size_count 1"));
+        assert!(text.contains("snn_request_latency_us_p99"));
+        assert!((m.mean_batch_size() - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,440 @@
+//! The dynamic micro-batching scheduler: the core of the serving
+//! subsystem.
+//!
+//! Requests arrive one at a time; batched inference is where the
+//! throughput lives. This module bridges the two with the same
+//! discipline production model servers use:
+//!
+//! * acceptors [`submit`](Scheduler::submit) single samples into a
+//!   **bounded** admission queue — a full queue fails fast
+//!   ([`SubmitError::QueueFull`] → HTTP 503 + `Retry-After`) instead of
+//!   growing without bound;
+//! * a **collator** thread drains the queue into micro-batches under a
+//!   `max_batch` / `max_wait` policy: a batch is dispatched as soon as it
+//!   reaches [`BatchPolicy::max_batch`] samples, or when
+//!   [`BatchPolicy::max_wait`] has elapsed since its first sample —
+//!   so an idle server stays a low-latency server and a loaded server
+//!   degrades into a high-throughput one;
+//! * a pool of **workers** executes batches on
+//!   [`SessionPool`]-checked-out sessions (warm, allocation-free
+//!   buffers), delivering each sample's class back through its
+//!   [`Ticket`].
+//!
+//! Because every sample is classified independently by a deterministic
+//! [`Session`](snn_engine::Session) hot path, predictions are a pure
+//! function of the input raster: **how the scheduler happened to batch a
+//! request can never change its answer** (property-tested in
+//! `tests/proptests.rs`).
+//!
+//! [`shutdown`](Scheduler::shutdown) is graceful by construction:
+//! admission closes first, then the collator drains every already-queued
+//! sample into final batches and the workers finish them, so no accepted
+//! request is ever dropped without a response.
+
+use crate::metrics::ServeMetrics;
+use snn_core::SpikeRaster;
+use snn_engine::{Engine, SessionPool};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Micro-batching policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Dispatch a batch as soon as it holds this many samples.
+    pub max_batch: usize,
+    /// Dispatch a partial batch once this much time has passed since its
+    /// first sample was collected.
+    pub max_wait: Duration,
+    /// Admission-queue capacity; a full queue rejects new submissions
+    /// ([`SubmitError::QueueFull`]) instead of buffering unboundedly.
+    pub queue_capacity: usize,
+    /// Worker threads executing batches (`0` = one per available core).
+    pub workers: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            workers: 0,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Single-request serving: every sample is its own batch. The
+    /// baseline the `bench_serve` load generator compares against.
+    pub fn single() -> Self {
+        Self {
+            max_batch: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded admission queue is full — retry later (HTTP 503 +
+    /// `Retry-After`).
+    QueueFull,
+    /// The scheduler is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue full"),
+            SubmitError::ShuttingDown => write!(f, "scheduler shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One queued sample: the raster, its submission time (for latency
+/// accounting), and the channel its class is delivered through.
+struct Job {
+    raster: SpikeRaster,
+    submitted_at: Instant,
+    result_tx: mpsc::Sender<usize>,
+}
+
+/// Why a [`Ticket`] could not be redeemed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketError {
+    /// The executing worker died without answering (a panic in the
+    /// backend). An accepted job is otherwise always answered, including
+    /// across graceful shutdown.
+    Lost,
+    /// [`Ticket::wait_timeout`] gave up before the answer arrived.
+    Timeout,
+}
+
+impl std::fmt::Display for TicketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TicketError::Lost => write!(f, "worker died before answering"),
+            TicketError::Timeout => write!(f, "timed out waiting for the answer"),
+        }
+    }
+}
+
+impl std::error::Error for TicketError {}
+
+/// The receipt for an accepted submission; redeem it with
+/// [`wait`](Ticket::wait).
+#[derive(Debug)]
+pub struct Ticket {
+    result_rx: mpsc::Receiver<usize>,
+}
+
+impl Ticket {
+    /// Blocks until the sample's predicted class is available.
+    ///
+    /// # Errors
+    ///
+    /// [`TicketError::Lost`] if the executing worker died without
+    /// answering.
+    pub fn wait(self) -> Result<usize, TicketError> {
+        self.result_rx.recv().map_err(|_| TicketError::Lost)
+    }
+
+    /// Like [`wait`](Self::wait), but gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`TicketError::Lost`] on worker death, [`TicketError::Timeout`]
+    /// on expiry.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<usize, TicketError> {
+        self.result_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TicketError::Timeout,
+            RecvTimeoutError::Disconnected => TicketError::Lost,
+        })
+    }
+}
+
+/// The running micro-batching scheduler: one collator thread, a worker
+/// pool, and a bounded admission queue in front.
+///
+/// # Examples
+///
+/// ```
+/// use snn_core::{Network, NeuronKind, SpikeRaster};
+/// use snn_engine::Engine;
+/// use snn_neuron::NeuronParams;
+/// use snn_serve::{BatchPolicy, Scheduler};
+/// use snn_tensor::Rng;
+///
+/// let mut rng = Rng::seed_from(0);
+/// let net = Network::mlp(&[4, 8, 2], NeuronKind::Adaptive,
+///                        NeuronParams::paper_defaults(), &mut rng);
+/// let scheduler = Scheduler::start(
+///     Engine::from_network(net).build(),
+///     BatchPolicy { max_batch: 8, workers: 2, ..BatchPolicy::default() },
+/// );
+/// let input = SpikeRaster::from_events(10, 4, &[(0, 1), (5, 3)]);
+/// let ticket = scheduler.submit(input).unwrap();
+/// let class = ticket.wait().unwrap();
+/// assert!(class < 2);
+/// scheduler.shutdown();
+/// ```
+pub struct Scheduler {
+    queue_tx: Mutex<Option<SyncSender<Job>>>,
+    metrics: Arc<ServeMetrics>,
+    pool: Arc<SessionPool>,
+    collator: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("engine", self.pool.engine())
+            .field("queue_depth", &self.metrics.queue_depth.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scheduler {
+    /// Starts the collator and worker threads over `engine`, reporting
+    /// into a fresh [`ServeMetrics`].
+    pub fn start(engine: Engine, policy: BatchPolicy) -> Self {
+        Self::start_with_metrics(engine, policy, Arc::new(ServeMetrics::new()))
+    }
+
+    /// Starts the scheduler reporting into shared metrics (the HTTP
+    /// server passes the instance its `/metrics` endpoint renders).
+    pub fn start_with_metrics(
+        engine: Engine,
+        policy: BatchPolicy,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        let max_batch = policy.max_batch.max(1);
+        let max_wait = policy.max_wait;
+        let queue_capacity = policy.queue_capacity.max(1);
+        let n_workers = match policy.workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+
+        let pool = Arc::new(SessionPool::new(engine));
+        let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(queue_capacity);
+        // Rendezvous dispatch: the collator hands a batch directly to a
+        // free worker. While every worker is busy the collator blocks
+        // here — meanwhile submissions pile up in the admission queue, so
+        // the *next* batch is larger. That is the adaptive part of
+        // dynamic batching: batch size tracks load with no tuning.
+        let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Vec<Job>>(0);
+        let dispatch_rx = Arc::new(Mutex::new(dispatch_rx));
+
+        let collator = {
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("snn-serve-collator".into())
+                .spawn(move || collate(queue_rx, dispatch_tx, max_batch, max_wait, &metrics))
+                .expect("spawn collator thread")
+        };
+
+        let workers = (0..n_workers)
+            .map(|i| {
+                let rx = Arc::clone(&dispatch_rx);
+                let pool = Arc::clone(&pool);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("snn-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &pool, &metrics))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        Self {
+            queue_tx: Mutex::new(Some(queue_tx)),
+            metrics,
+            pool,
+            collator: Mutex::new(Some(collator)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The metrics instance the scheduler reports into.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &Engine {
+        self.pool.engine()
+    }
+
+    /// Submits one sample for classification.
+    ///
+    /// Never blocks: admission either succeeds immediately or fails with
+    /// the reason the caller should surface ([`SubmitError::QueueFull`]
+    /// → backpressure, [`SubmitError::ShuttingDown`] → connection
+    /// draining).
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit(&self, raster: SpikeRaster) -> Result<Ticket, SubmitError> {
+        let (result_tx, result_rx) = mpsc::channel();
+        let job = Job {
+            raster,
+            submitted_at: Instant::now(),
+            result_tx,
+        };
+        let guard = self.queue_tx.lock().expect("queue sender poisoned");
+        let Some(tx) = guard.as_ref() else {
+            self.metrics.rejected_shutting_down.inc();
+            return Err(SubmitError::ShuttingDown);
+        };
+        // Increment the gauge *before* the send: the collator's matching
+        // decrement happens-after its recv, which happens-after this
+        // send, so the pair can never invert (a post-send increment
+        // would race the decrement and drift the gauge upward forever).
+        self.metrics.queue_depth.inc();
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.metrics.jobs_total.inc();
+                Ok(Ticket { result_rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.queue_depth.dec();
+                self.metrics.rejected_queue_full.inc();
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.metrics.queue_depth.dec();
+                self.metrics.rejected_shutting_down.inc();
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Gracefully shuts down: closes admission, lets the collator drain
+    /// every queued sample into final batches, waits for the workers to
+    /// answer them, and joins all threads. Every ticket issued before
+    /// the call still resolves.
+    pub fn shutdown(&self) {
+        // Dropping the queue sender is the shutdown signal: the collator
+        // keeps receiving buffered jobs until the queue is empty, then
+        // sees the disconnect and exits, dropping the dispatch sender,
+        // which in turn terminates the workers once the last batch is
+        // done.
+        *self.queue_tx.lock().expect("queue sender poisoned") = None;
+        if let Some(handle) = self.collator.lock().expect("collator handle").take() {
+            let _ = handle.join();
+        }
+        let mut workers = self.workers.lock().expect("worker handles");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Collator loop: drain the admission queue into micro-batches under the
+/// `max_batch` / `max_wait` policy.
+fn collate(
+    queue_rx: Receiver<Job>,
+    dispatch_tx: SyncSender<Vec<Job>>,
+    max_batch: usize,
+    max_wait: Duration,
+    metrics: &ServeMetrics,
+) {
+    loop {
+        // Block for the first sample of the next batch; a disconnect
+        // with an empty queue is the shutdown signal.
+        let Ok(first) = queue_rx.recv() else {
+            return;
+        };
+        metrics.queue_depth.dec();
+        let mut batch = Vec::with_capacity(max_batch);
+        batch.push(first);
+        let deadline = Instant::now() + max_wait;
+        let mut disconnected = false;
+        while batch.len() < max_batch {
+            // try_recv first: under load the queue is never empty, so the
+            // common case collects without touching the clock or parking.
+            match queue_rx.try_recv() {
+                Ok(job) => {
+                    metrics.queue_depth.dec();
+                    batch.push(job);
+                    continue;
+                }
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+                Err(mpsc::TryRecvError::Empty) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match queue_rx.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    metrics.queue_depth.dec();
+                    batch.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        metrics.batches_total.inc();
+        metrics.batch_size.observe(batch.len() as u64);
+        if dispatch_tx.send(batch).is_err() {
+            // Workers are gone (only happens if they all panicked);
+            // nothing left to do but stop collating.
+            return;
+        }
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Worker loop: take a batch, classify each sample on a pooled session,
+/// deliver each class through its ticket.
+fn worker_loop(
+    dispatch_rx: &Mutex<Receiver<Vec<Job>>>,
+    pool: &SessionPool,
+    metrics: &ServeMetrics,
+) {
+    loop {
+        // Standard shared-receiver pattern: the lock is held only while
+        // waiting for a batch, so exactly one idle worker parks on the
+        // channel and the rest park on the mutex.
+        let batch = {
+            let rx = dispatch_rx.lock().expect("dispatch receiver poisoned");
+            match rx.recv() {
+                Ok(batch) => batch,
+                Err(_) => return, // collator gone and channel drained
+            }
+        };
+        let mut session = pool.acquire();
+        for job in batch {
+            let class = session.classify(&job.raster);
+            metrics
+                .job_latency_us
+                .observe(job.submitted_at.elapsed().as_micros() as u64);
+            // A dropped receiver (client went away) is not an error; the
+            // work is already done.
+            let _ = job.result_tx.send(class);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! The TCP front end: accepts connections, parses HTTP requests, routes
+//! them through the [`Scheduler`], and exposes health and metrics
+//! endpoints.
+//!
+//! Routes:
+//!
+//! | Route | Method | Body | Response |
+//! |---|---|---|---|
+//! | `/classify` | POST | one wire-format raster | `{"class": k}` |
+//! | `/classify_batch` | POST | `{"rasters": [...]}` | `{"classes": [...]}` |
+//! | `/healthz` | GET | — | `{"status": "ok", ...}` |
+//! | `/metrics` | GET | — | Prometheus text format |
+//!
+//! Admission control: a full scheduler queue answers `503` with a
+//! `Retry-After` header instead of buffering; oversized bodies and
+//! rasters answer `413`/`400` before any allocation proportional to the
+//! claimed size.
+
+use crate::http::{self, HttpError, Request, Response};
+use crate::metrics::ServeMetrics;
+use crate::scheduler::{BatchPolicy, Scheduler, SubmitError};
+use snn_core::SpikeRaster;
+use snn_engine::Engine;
+use snn_json::Json;
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` for an ephemeral port (tests, CI).
+    pub addr: String,
+    /// Micro-batching policy for the embedded [`Scheduler`].
+    pub policy: BatchPolicy,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Maximum accepted raster area (`steps × channels`) per sample —
+    /// checked against the *declared* dimensions before the raster is
+    /// materialized, so a hostile payload cannot trigger a huge
+    /// allocation.
+    pub max_raster_cells: usize,
+    /// Maximum samples in one `/classify_batch` request.
+    pub max_batch_request: usize,
+    /// Maximum simultaneously open connections; excess connections are
+    /// answered `503` and closed instead of spawning ever more handler
+    /// threads.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            policy: BatchPolicy::default(),
+            max_body_bytes: 4 * 1024 * 1024,
+            max_raster_cells: 1 << 22,
+            max_batch_request: 1024,
+            max_connections: 1024,
+        }
+    }
+}
+
+/// A running server; dropping it (or calling
+/// [`shutdown`](ServerHandle::shutdown)) stops accepting, drains
+/// in-flight work, and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    scheduler: Arc<Scheduler>,
+    metrics: Arc<ServeMetrics>,
+    shutting_down: Arc<AtomicBool>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    acceptor: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("engine", self.scheduler.engine())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Starts a server for `engine` with the given configuration.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = Arc::new(ServeMetrics::new());
+    let scheduler = Arc::new(Scheduler::start_with_metrics(
+        engine,
+        config.policy,
+        Arc::clone(&metrics),
+    ));
+    let shutting_down = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let acceptor = {
+        let scheduler = Arc::clone(&scheduler);
+        let shutting_down = Arc::clone(&shutting_down);
+        let conns = Arc::clone(&conns);
+        let conn_threads = Arc::clone(&conn_threads);
+        let config = config.clone();
+        std::thread::Builder::new()
+            .name("snn-serve-acceptor".into())
+            .spawn(move || {
+                let next_id = AtomicU64::new(0);
+                for stream in listener.incoming() {
+                    if shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = stream else { continue };
+                    // Connection-level admission control: refuse past the
+                    // cap rather than spawning unbounded handler threads.
+                    if conns.lock().expect("conn registry").len() >= config.max_connections {
+                        let _ = Response::error(503, "too many connections")
+                            .with_header("Retry-After", "1")
+                            .write_to(&mut stream, false);
+                        continue;
+                    }
+                    // Reap finished handlers so a long-lived server does
+                    // not accumulate one JoinHandle per connection ever
+                    // accepted (dropping a finished handle detaches it).
+                    conn_threads
+                        .lock()
+                        .expect("conn threads")
+                        .retain(|handle| !handle.is_finished());
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.lock().expect("conn registry").insert(id, clone);
+                    }
+                    let scheduler = Arc::clone(&scheduler);
+                    let conns = Arc::clone(&conns);
+                    let config = config.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("snn-serve-conn-{id}"))
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &scheduler, &config);
+                            conns.lock().expect("conn registry").remove(&id);
+                        });
+                    if let Ok(handle) = handle {
+                        conn_threads.lock().expect("conn threads").push(handle);
+                    }
+                }
+            })
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        scheduler,
+        metrics,
+        shutting_down,
+        conns,
+        acceptor: Some(acceptor),
+        conn_threads,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics instance (`/metrics` renders the same one).
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// The embedded scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Gracefully shuts the server down:
+    ///
+    /// 1. stop accepting new connections (the acceptor is woken with a
+    ///    loopback connect and joined);
+    /// 2. drain the scheduler — every already-admitted sample is still
+    ///    classified and answered;
+    /// 3. give open connections a short grace period to finish writing,
+    ///    then close their sockets and join the connection threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of its blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Drain in-flight batches: connection handlers holding tickets
+        // get their answers and write their responses.
+        self.scheduler.shutdown();
+        // Grace period for handlers to finish writing, then force-close
+        // whatever is left (idle keep-alive connections blocked in read).
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline {
+            if self.conns.lock().expect("conn registry").is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for (_, stream) in self.conns.lock().expect("conn registry").drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> = self
+            .conn_threads
+            .lock()
+            .expect("conn threads")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Serves one connection until close, EOF, or protocol error.
+fn handle_connection(
+    stream: TcpStream,
+    scheduler: &Scheduler,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let metrics = scheduler.metrics();
+    loop {
+        let request = match http::read_request(&mut reader, config.max_body_bytes) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()), // clean close
+            Err(HttpError::Io(e)) => return Err(e),
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                // The body was not read; the connection is out of sync,
+                // so answer and close.
+                metrics.requests_total.inc();
+                let resp = Response::error(
+                    413,
+                    &format!("body of {declared} bytes exceeds limit of {limit}"),
+                );
+                count_response(metrics, resp.status);
+                let _ = resp.write_to(&mut writer, false);
+                return Ok(());
+            }
+            Err(HttpError::Malformed(msg)) => {
+                metrics.requests_total.inc();
+                let resp = Response::error(400, &format!("malformed request: {msg}"));
+                count_response(metrics, resp.status);
+                let _ = resp.write_to(&mut writer, false);
+                return Ok(());
+            }
+        };
+        metrics.requests_total.inc();
+        let started = Instant::now();
+        let keep_alive = request.keep_alive;
+        let response = route(&request, scheduler, config);
+        count_response(metrics, response.status);
+        metrics
+            .request_latency_us
+            .observe(started.elapsed().as_micros() as u64);
+        response.write_to(&mut writer, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn count_response(metrics: &ServeMetrics, status: u16) {
+    match status {
+        200..=299 => metrics.responses_ok.inc(),
+        400..=499 => metrics.responses_client_error.inc(),
+        _ => metrics.responses_server_error.inc(),
+    }
+}
+
+/// Dispatches one parsed request to its route handler.
+fn route(request: &Request, scheduler: &Scheduler, config: &ServerConfig) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("POST", "/classify") => classify_one(&request.body, scheduler, config),
+        ("POST", "/classify_batch") => classify_batch(&request.body, scheduler, config),
+        ("GET", "/healthz") => healthz(scheduler),
+        ("GET", "/metrics") => Response::text(200, scheduler.metrics().render()),
+        (_, "/classify" | "/classify_batch") => Response::error(405, "use POST"),
+        (_, "/healthz" | "/metrics") => Response::error(405, "use GET"),
+        _ => Response::error(404, "unknown route"),
+    }
+}
+
+/// Parses one wire-format raster, enforcing the declared-size cap before
+/// any proportional allocation and the engine's input width.
+fn parse_raster(
+    v: &Json,
+    scheduler: &Scheduler,
+    config: &ServerConfig,
+) -> Result<SpikeRaster, Response> {
+    let steps = v.get("steps").and_then(Json::as_usize).unwrap_or(0);
+    let channels = v.get("channels").and_then(Json::as_usize).unwrap_or(0);
+    let cells = steps.saturating_mul(channels);
+    if cells > config.max_raster_cells {
+        return Err(Response::error(
+            400,
+            &format!(
+                "raster of {steps}x{channels} cells exceeds limit of {} cells",
+                config.max_raster_cells
+            ),
+        ));
+    }
+    let raster = SpikeRaster::from_json(v)
+        .map_err(|e| Response::error(400, &format!("invalid raster: {e}")))?;
+    let expected = scheduler.engine().network().n_in();
+    if raster.channels() != expected {
+        return Err(Response::error(
+            400,
+            &format!(
+                "raster has {} channels, model expects {expected}",
+                raster.channels()
+            ),
+        ));
+    }
+    Ok(raster)
+}
+
+fn submit_error_response(err: SubmitError) -> Response {
+    match err {
+        SubmitError::QueueFull => Response::error(503, "admission queue full, retry later")
+            .with_header("Retry-After", "1"),
+        SubmitError::ShuttingDown => Response::error(503, "server shutting down"),
+    }
+}
+
+/// `POST /classify` — one raster in, one class out.
+fn classify_one(body: &[u8], scheduler: &Scheduler, config: &ServerConfig) -> Response {
+    let doc = match parse_json_body(body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let raster = match parse_raster(&doc, scheduler, config) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let ticket = match scheduler.submit(raster) {
+        Ok(t) => t,
+        Err(e) => return submit_error_response(e),
+    };
+    match ticket.wait() {
+        Ok(class) => Response::json(200, format!("{{\"class\": {class}}}")),
+        Err(_) => Response::error(500, "worker failed"),
+    }
+}
+
+/// `POST /classify_batch` — a caller-assembled batch; each sample still
+/// flows through the scheduler, so it shares admission control and may be
+/// collated with other requests' samples.
+fn classify_batch(body: &[u8], scheduler: &Scheduler, config: &ServerConfig) -> Response {
+    let doc = match parse_json_body(body) {
+        Ok(doc) => doc,
+        Err(resp) => return resp,
+    };
+    let Some(rasters) = doc.get("rasters").and_then(Json::as_array) else {
+        return Response::error(400, "missing \"rasters\" array");
+    };
+    if rasters.len() > config.max_batch_request {
+        return Response::error(
+            400,
+            &format!(
+                "batch of {} samples exceeds limit of {}",
+                rasters.len(),
+                config.max_batch_request
+            ),
+        );
+    }
+    let mut parsed = Vec::with_capacity(rasters.len());
+    for v in rasters {
+        match parse_raster(v, scheduler, config) {
+            Ok(r) => parsed.push(r),
+            Err(resp) => return resp,
+        }
+    }
+    // All-or-nothing admission keeps the response shape simple: a batch
+    // either gets `classes` for every sample or a single 503.
+    let mut tickets = Vec::with_capacity(parsed.len());
+    for raster in parsed {
+        match scheduler.submit(raster) {
+            Ok(t) => tickets.push(t),
+            Err(e) => {
+                // Already-submitted samples still run (their tickets are
+                // dropped; workers ignore the dead receivers).
+                return submit_error_response(e);
+            }
+        }
+    }
+    let mut classes = Vec::with_capacity(tickets.len());
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(class) => classes.push(class),
+            Err(_) => return Response::error(500, "worker failed"),
+        }
+    }
+    let body: Vec<String> = classes.iter().map(|c| c.to_string()).collect();
+    Response::json(200, format!("{{\"classes\": [{}]}}", body.join(", ")))
+}
+
+/// `GET /healthz` — liveness plus a queue-depth snapshot.
+fn healthz(scheduler: &Scheduler) -> Response {
+    let metrics = scheduler.metrics();
+    Response::json(
+        200,
+        format!(
+            "{{\"status\": \"ok\", \"backend\": \"{}\", \"queue_depth\": {}}}",
+            scheduler.engine().backend().label(),
+            metrics.queue_depth.get(),
+        ),
+    )
+}
+
+fn parse_json_body(body: &[u8]) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| Response::error(400, "body is not valid utf-8"))?;
+    Json::parse(text).map_err(|e| Response::error(400, &format!("invalid json: {e}")))
+}
+
+/// Convenience: serve on `addr` with an explicit policy and default
+/// limits.
+///
+/// # Errors
+///
+/// Propagates the bind error.
+pub fn serve_at(engine: Engine, addr: &str, policy: BatchPolicy) -> io::Result<ServerHandle> {
+    serve(
+        engine,
+        ServerConfig {
+            addr: addr.to_string(),
+            policy,
+            ..ServerConfig::default()
+        },
+    )
+}

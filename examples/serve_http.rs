@@ -1,0 +1,69 @@
+//! Serve a (quickly trained) temporal classifier over HTTP.
+//!
+//! ```bash
+//! cargo run --release --example serve_http          # ephemeral port
+//! cargo run --release --example serve_http -- 8077  # fixed port
+//! ```
+//!
+//! Then, from another shell:
+//!
+//! ```bash
+//! curl -s localhost:8077/healthz
+//! curl -s localhost:8077/classify -d \
+//!   '{"steps": 20, "channels": 2, "events": [[0,0],[1,0],[2,0],[17,1],[18,1],[19,1]]}'
+//! curl -s localhost:8077/metrics | head
+//! ```
+
+use neurosnn::core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
+use neurosnn::core::{Network, NeuronKind, SpikeRaster};
+use neurosnn::engine::Engine;
+use neurosnn::neuron::NeuronParams;
+use neurosnn::serve::{serve_at, BatchPolicy};
+use neurosnn::tensor::Rng;
+
+fn main() {
+    // Train the timing-only task from the quickstart: class 0 spikes
+    // early on channel 0 and late on channel 1; class 1 is the reverse.
+    let mut rng = Rng::seed_from(0);
+    let mut net = Network::mlp(
+        &[2, 24, 2],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.3),
+        &mut rng,
+    );
+    let mut a = SpikeRaster::zeros(20, 2);
+    let mut b = SpikeRaster::zeros(20, 2);
+    for s in 0..4 {
+        a.set(s, 0, true);
+        a.set(19 - s, 1, true);
+        b.set(s, 1, true);
+        b.set(19 - s, 0, true);
+    }
+    let data = vec![(a, 0), (b, 1)];
+    let mut trainer = Trainer::new(TrainerConfig {
+        batch_size: 2,
+        optimizer: Optimizer::adam(0.02),
+        ..TrainerConfig::default()
+    });
+    for _ in 0..400 {
+        trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
+    }
+    let engine = Engine::from_network(net).build();
+    assert_eq!(
+        engine.evaluate(&data),
+        1.0,
+        "training must separate classes"
+    );
+
+    let port = std::env::args().nth(1).unwrap_or_else(|| "0".to_string());
+    let server = serve_at(engine, &format!("127.0.0.1:{port}"), BatchPolicy::default())
+        .expect("bind serving port");
+    println!("serving on http://{}", server.addr());
+    println!("  POST /classify       one raster  -> {{\"class\": k}}");
+    println!("  POST /classify_batch rasters     -> {{\"classes\": [...]}}");
+    println!("  GET  /healthz, GET /metrics");
+    println!("press ctrl-c to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`data`] | `snn-data` | synthetic N-MNIST / SHD / pattern-association datasets |
 //! | [`hardware`] | `snn-hardware` | RRAM crossbar, analog neuron circuit, transient sim, power/area model |
 //! | [`engine`] | `snn-engine` | unified serving API: sparse / dense / RRAM backends, batched `Engine`, zero-alloc `Session` |
+//! | [`serve`] | `snn-serve` | network serving: HTTP/1.1 on `std::net`, dynamic micro-batching scheduler, metrics |
 //!
 //! # Quickstart
 //!
@@ -74,4 +75,5 @@ pub use snn_data as data;
 pub use snn_engine as engine;
 pub use snn_hardware as hardware;
 pub use snn_neuron as neuron;
+pub use snn_serve as serve;
 pub use snn_tensor as tensor;

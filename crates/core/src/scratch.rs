@@ -20,7 +20,7 @@
 
 use crate::spike::ActiveIndices;
 use crate::Network;
-use snn_tensor::Matrix;
+use snn_tensor::{GradRaster, Matrix};
 
 /// Per-layer forward-state buffers (synapse trace, reset trace / membrane
 /// potential, drive accumulator).
@@ -87,6 +87,11 @@ pub struct ScratchSpace {
     pub(crate) wt_dv: Vec<f32>,
     /// Active-index staging for sparse rank-1 gradient updates.
     pub(crate) active_tmp: Vec<usize>,
+    /// Per-timestep surviving error-event lists recorded by
+    /// [`backward_sparse_into`](crate::train::backward_sparse_into)
+    /// (cleared at the start of each backward pass; steps are recorded
+    /// in reverse-time order, all layers concatenated).
+    pub(crate) grad_events: GradRaster,
     /// Scratch `d_output` the trainer hands to the losses.
     pub(crate) d_loss: Matrix,
     /// Input raster staged as a dense matrix for
@@ -127,5 +132,14 @@ impl ScratchSpace {
     /// (index `l + 1`) recorded by the most recent forward pass.
     pub fn active_lists(&self) -> &[ActiveIndices] {
         &self.active
+    }
+
+    /// The surviving error-event lists recorded by the most recent
+    /// [`backward_sparse_into`](crate::train::backward_sparse_into)
+    /// call: its [`GradRaster::density`] is the "how sparse was the
+    /// backward pass?" diagnostic the kernel bench reports. Empty until
+    /// a sparse backward pass has run with this scratch.
+    pub fn backward_events(&self) -> &GradRaster {
+        &self.grad_events
     }
 }

@@ -24,6 +24,79 @@ use crate::{Forward, Network, NeuronKind};
 use snn_neuron::Surrogate;
 use snn_tensor::Matrix;
 
+/// How the event-driven backward pass
+/// ([`backward_sparse_into`]) prunes the per-timestep membrane adjoint
+/// `dv` into error events.
+///
+/// The surrogate gradient decays fast away from the firing threshold,
+/// so most `dv` entries are negligible but not *exactly* zero; pruning
+/// them is what lets training track the same sparsity wins as the
+/// event-driven forward pass. The policy decides the per-timestep
+/// threshold `ε`; an entry survives when `|dv| > ε`, and pruned entries
+/// are treated as exactly zero from then on (they contribute nothing to
+/// the weight gradient, the downstream adjoint, or the recurrent
+/// carries).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SparsityPolicy {
+    /// `ε = 0`: only exact zeros are skipped, which the dense kernels
+    /// do anyway — gradients are **bit-identical** to
+    /// [`backward_into`] (property-tested), the pass just routes the
+    /// surviving rows through the indexed kernels.
+    Exact,
+    /// Fixed absolute threshold on `|dv|`. The gradient error it
+    /// introduces is bounded by `ε` times the pruned volume (see the
+    /// differential proptests); thresholds up to `~1e-3` — about 1% of
+    /// a typical rate-cross-entropy loss gradient — are
+    /// indistinguishable from dense training on the end task (the
+    /// `bench_kernels` ε-sweep asserts this) while pruning the
+    /// overwhelming majority of the backward work.
+    Thresholded(f32),
+    /// Adjoint-scale-relative threshold `ε_l = 10⁻³ · max |∂E/∂O_l|`,
+    /// resolved **per layer** from the upstream adjoint entering that
+    /// layer (for the output layer, the loss gradient itself): error
+    /// events three orders of magnitude below the layer's dominant
+    /// error are dropped. Adapts to any loss scale (softmax
+    /// cross-entropy and van Rossum gradients differ by orders of
+    /// magnitude) with no tuning, and — because adjoints attenuate
+    /// layer to layer in deep stacks — the per-layer resolution keeps
+    /// lower layers training where a single output-scale threshold
+    /// would silently zero them. The rule is a pure per-sample
+    /// function, so epoch gradients stay bitwise identical across
+    /// trainer thread counts.
+    Auto,
+}
+
+impl SparsityPolicy {
+    /// `Auto`'s threshold relative to a layer's largest upstream
+    /// adjoint entry.
+    const AUTO_RELATIVE_EPS: f32 = 1e-3;
+
+    /// Resolves the policy to the absolute pruning threshold for one
+    /// layer of one sample, given the upstream adjoint `∂E/∂O_l` the
+    /// layer's recursion starts from.
+    fn resolve_eps(&self, d_o: &Matrix) -> f32 {
+        match *self {
+            SparsityPolicy::Exact => 0.0,
+            SparsityPolicy::Thresholded(eps) => eps,
+            SparsityPolicy::Auto => Self::AUTO_RELATIVE_EPS * d_o.max_abs(),
+        }
+    }
+}
+
+impl Default for SparsityPolicy {
+    /// [`SparsityPolicy::Exact`] — never change results unless asked.
+    fn default() -> Self {
+        SparsityPolicy::Exact
+    }
+}
+
+/// Event-density fraction above which a timestep falls back to the
+/// dense kernels: per-row bookkeeping stops paying for itself when most
+/// rows survive, and because `dv` is pruned *in place* the dense and
+/// indexed kernels see the same nonzero set — the fallback can never
+/// change results, it only caps the constant-factor overhead.
+const DENSE_FALLBACK_DENSITY: f32 = 0.5;
+
 /// Weight gradients, one matrix per layer (same shapes as the weights).
 #[derive(Debug, Clone)]
 pub struct Gradients {
@@ -255,12 +328,7 @@ pub fn backward_into(
                     // update) rather than read from scratch.active, so a
                     // `Forward` from any source — including the dense
                     // reference path — differentiates correctly.
-                    active_tmp.clear();
-                    for (j, &x) in rec.pre.row(t).iter().enumerate() {
-                        if x != 0.0 {
-                            active_tmp.push(j);
-                        }
-                    }
+                    snn_tensor::kernels::threshold_mask(rec.pre.row(t), 0.0, active_tmp);
                     dw.add_outer_indexed(gain, dv, active_tmp);
                     layer.weights().matvec_t_into(dv, wt_dv);
                     let d_pre_row = d_pre.row_mut(t);
@@ -273,6 +341,208 @@ pub fn backward_into(
         }
         std::mem::swap(d_o, d_pre);
     }
+}
+
+/// Event-driven BPTT: like [`backward_into`], but each timestep's
+/// membrane adjoint `dv` is pruned to the entries with `|dv| > ε`
+/// (per [`SparsityPolicy`]) and only those **error events** drive the
+/// expensive kernels — the `Wᵀ·dv` projection runs over active rows
+/// ([`Matrix::matvec_t_into_indexed`]) and the weight-gradient rank-1
+/// update runs over (active error row × active spike column) pairs
+/// ([`Matrix::add_outer_indexed_pairs`], or
+/// [`Matrix::add_outer_indexed_rows`] against the adaptive model's
+/// dense presynaptic trace). A timestep whose surviving density exceeds
+/// a crossover fraction falls back to the dense kernels; the fallback
+/// is invisible in the results because `dv` is pruned in place.
+///
+/// With [`SparsityPolicy::Exact`] the gradients are bit-identical to
+/// [`backward_into`] (the dense kernels already skip exact zeros); the
+/// thresholded policies trade a bounded gradient perturbation for
+/// skipping most of the backward work. Like `backward_into`, this
+/// **accumulates** into `grads` and performs no per-sample heap
+/// allocation once `scratch` is warm. The surviving event lists remain
+/// readable afterwards via
+/// [`ScratchSpace::backward_events`](crate::ScratchSpace::backward_events).
+///
+/// # Panics
+///
+/// Panics if `d_output`'s shape does not match the output layer record,
+/// or if `grads` does not match the network's layer shapes.
+pub fn backward_sparse_into(
+    net: &Network,
+    fwd: &Forward,
+    d_output: &Matrix,
+    surrogate: Surrogate,
+    policy: SparsityPolicy,
+    grads: &mut Gradients,
+    scratch: &mut ScratchSpace,
+) {
+    let layers = net.layers();
+    assert_eq!(
+        fwd.records.len(),
+        layers.len(),
+        "forward/record layer mismatch"
+    );
+    assert_eq!(
+        grads.per_layer.len(),
+        layers.len(),
+        "gradient/layer count mismatch"
+    );
+    let top = fwd.records.last().expect("empty network");
+    assert_eq!(
+        d_output.shape(),
+        top.o.shape(),
+        "d_output shape {:?} != output shape {:?}",
+        d_output.shape(),
+        top.o.shape()
+    );
+    for (g, layer) in grads.per_layer.iter().zip(layers) {
+        assert_eq!(
+            g.shape(),
+            (layer.n_out(), layer.n_in()),
+            "gradient shape mismatch"
+        );
+    }
+    scratch.ensure(net);
+
+    let ScratchSpace {
+        d_o,
+        d_pre,
+        dv,
+        dv_next,
+        dh_next,
+        dk_next,
+        wt_dv,
+        active_tmp,
+        grad_events,
+        ..
+    } = scratch;
+    grad_events.clear();
+
+    d_o.resize_zeroed(d_output.rows(), d_output.cols());
+    d_o.as_mut_slice().copy_from_slice(d_output.as_slice());
+
+    for l in (0..layers.len()).rev() {
+        let layer = &layers[l];
+        let rec = &fwd.records[l];
+        let t_steps = rec.steps();
+        let (n_in, n_out) = (layer.n_in(), layer.n_out());
+        let params = layer.params();
+        let v_th = params.v_th;
+        let dw = &mut grads.per_layer[l];
+        let dense_cutoff = (DENSE_FALLBACK_DENSITY * n_out as f32) as usize;
+        // Per-layer threshold: `d_o` holds this layer's upstream
+        // adjoint ∂E/∂O_l (the loss gradient for the top layer), so
+        // `Auto` tracks the adjoint scale as it attenuates down the
+        // stack.
+        let eps = policy.resolve_eps(d_o);
+        d_pre.resize_zeroed(t_steps, n_in);
+
+        match layer.kind() {
+            NeuronKind::Adaptive => {
+                let alpha = params.synapse_decay();
+                let beta = params.reset_decay();
+                let theta = params.theta;
+                let dh_next = &mut dh_next[..n_out];
+                let dk_next = &mut dk_next[..n_in];
+                let dv = &mut dv[..n_out];
+                let wt_dv = &mut wt_dv[..n_in];
+                dh_next.fill(0.0);
+                dk_next.fill(0.0);
+
+                for t in (0..t_steps).rev() {
+                    let vrow = rec.v.row(t);
+                    let ext = d_o.row(t);
+                    for i in 0..n_out {
+                        let d_o_total = ext[i] + dh_next[i];
+                        dv[i] = d_o_total * surrogate.grad(vrow[i] - v_th);
+                    }
+                    let active = grad_events.push_step_pruned(dv, eps);
+                    // Decay every carry, then fold in the surviving
+                    // events; addition is commutative, so the surviving
+                    // entries match the dense update bitwise.
+                    for h in dh_next.iter_mut() {
+                        *h *= beta;
+                    }
+                    for &i in active {
+                        dh_next[i] += -theta * dv[i];
+                    }
+                    if active.len() > dense_cutoff {
+                        dw.add_outer(1.0, dv, rec.pre.row(t));
+                        layer.weights().matvec_t_into(dv, wt_dv);
+                    } else {
+                        dw.add_outer_indexed_rows(1.0, dv, active, rec.pre.row(t));
+                        layer.weights().matvec_t_into_indexed(dv, active, wt_dv);
+                    }
+                    let d_pre_row = d_pre.row_mut(t);
+                    for j in 0..n_in {
+                        dk_next[j] = wt_dv[j] + alpha * dk_next[j];
+                        d_pre_row[j] = dk_next[j];
+                    }
+                }
+            }
+            NeuronKind::HardReset | NeuronKind::HardResetMatched => {
+                let lambda = params.synapse_decay();
+                let gain = layer.kind().input_gain(&params);
+                let dv_next = &mut dv_next[..n_out];
+                let dv = &mut dv[..n_out];
+                let wt_dv = &mut wt_dv[..n_in];
+                dv_next.fill(0.0);
+
+                for t in (0..t_steps).rev() {
+                    let vrow = rec.v.row(t);
+                    let orow = rec.o.row(t);
+                    let ext = d_o.row(t);
+                    for i in 0..n_out {
+                        dv[i] = ext[i] * surrogate.grad(vrow[i] - v_th)
+                            + lambda * (1.0 - orow[i]) * dv_next[i];
+                    }
+                    let active = grad_events.push_step_pruned(dv, eps);
+                    // Spike-column list rebuilt from the record, exactly
+                    // as in `backward_into` (works for a `Forward` from
+                    // any source).
+                    snn_tensor::kernels::threshold_mask(rec.pre.row(t), 0.0, active_tmp);
+                    if active.len() > dense_cutoff {
+                        dw.add_outer_indexed(gain, dv, active_tmp);
+                        layer.weights().matvec_t_into(dv, wt_dv);
+                    } else {
+                        dw.add_outer_indexed_pairs(gain, dv, active, active_tmp);
+                        layer.weights().matvec_t_into_indexed(dv, active, wt_dv);
+                    }
+                    let d_pre_row = d_pre.row_mut(t);
+                    for j in 0..n_in {
+                        d_pre_row[j] = gain * wt_dv[j];
+                    }
+                    // Only surviving events propagate through the
+                    // reset-gated carry (dv was pruned in place).
+                    dv_next.copy_from_slice(dv);
+                }
+            }
+        }
+        std::mem::swap(d_o, d_pre);
+    }
+}
+
+/// Allocating convenience wrapper over [`backward_sparse_into`].
+pub fn backward_sparse(
+    net: &Network,
+    fwd: &Forward,
+    d_output: &Matrix,
+    surrogate: Surrogate,
+    policy: SparsityPolicy,
+) -> Gradients {
+    let mut grads = Gradients::zeros_like(net);
+    let mut scratch = ScratchSpace::new();
+    backward_sparse_into(
+        net,
+        fwd,
+        d_output,
+        surrogate,
+        policy,
+        &mut grads,
+        &mut scratch,
+    );
+    grads
 }
 
 #[cfg(test)]
@@ -569,6 +839,160 @@ mod tests {
             .sum::<f32>()
             .sqrt();
         assert!((post - 0.5).abs() < 1e-4);
+    }
+
+    /// Mixed-density raster for exercising both kernel paths.
+    fn patterned_raster(steps: usize, channels: usize, seed: u64, density: f32) -> SpikeRaster {
+        let mut rng = Rng::seed_from(seed);
+        let mut r = SpikeRaster::zeros(steps, channels);
+        for t in 0..steps {
+            for c in 0..channels {
+                if rng.coin(density) {
+                    r.set(t, c, true);
+                }
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn sparse_exact_is_bitwise_identical_to_dense_backward() {
+        for (kind, v_th) in [
+            (NeuronKind::Adaptive, 0.3),
+            (NeuronKind::HardReset, 0.4),
+            (NeuronKind::HardResetMatched, 0.5),
+        ] {
+            let mut rng = Rng::seed_from(42);
+            let net = Network::mlp(
+                &[5, 9, 3],
+                kind,
+                NeuronParams::paper_defaults().with_v_th(v_th),
+                &mut rng,
+            );
+            let input = patterned_raster(14, 5, 7, 0.3);
+            let fwd = net.forward(&input);
+            let d_out = Matrix::full(14, 3, 0.4);
+            let sur = Surrogate::paper_default();
+            let dense = backward(&net, &fwd, &d_out, sur);
+            let sparse = backward_sparse(&net, &fwd, &d_out, sur, SparsityPolicy::Exact);
+            for (l, (a, b)) in dense.per_layer.iter().zip(&sparse.per_layer).enumerate() {
+                assert_eq!(a.as_slice(), b.as_slice(), "{kind:?} layer {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn thresholded_policy_prunes_events_and_stays_close() {
+        let mut rng = Rng::seed_from(8);
+        let net = Network::mlp(
+            &[8, 16, 4],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.4),
+            &mut rng,
+        );
+        let input = patterned_raster(20, 8, 3, 0.15);
+        let fwd = net.forward(&input);
+        let d_out = Matrix::full(20, 4, 0.25);
+        let sur = Surrogate::paper_default();
+        let dense = backward(&net, &fwd, &d_out, sur);
+
+        let mut scratch = ScratchSpace::new();
+        let mut sparse = Gradients::zeros_like(&net);
+        let eps = 1e-5f32;
+        backward_sparse_into(
+            &net,
+            &fwd,
+            &d_out,
+            sur,
+            SparsityPolicy::Thresholded(eps),
+            &mut sparse,
+            &mut scratch,
+        );
+        let events = scratch.backward_events();
+        assert!(events.nnz() > 0, "some events must survive");
+        assert!(
+            events.density() < 1.0,
+            "thresholding must prune something, density {}",
+            events.density()
+        );
+        for (a, b) in dense.per_layer.iter().zip(&sparse.per_layer) {
+            let mut max_diff = 0.0f32;
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                max_diff = max_diff.max((x - y).abs());
+            }
+            assert!(max_diff < 1e-2, "gradient drift {max_diff} too large");
+        }
+    }
+
+    #[test]
+    fn auto_policy_trains_every_layer_of_a_deep_attenuating_stack() {
+        // Adjoints attenuate sharply below a small-weight readout: the
+        // per-layer ε resolution must keep the lower layers' gradients
+        // nonzero, where a single output-scale threshold would prune
+        // every one of their error events.
+        let mut rng = Rng::seed_from(3);
+        let mut net = Network::mlp(
+            &[6, 12, 12, 3],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.2),
+            &mut rng,
+        );
+        let top = net.layers_mut().len() - 1;
+        net.layers_mut()[top].weights_mut().scale(1e-3);
+        let input = patterned_raster(30, 6, 11, 0.4);
+        let fwd = net.forward(&input);
+        let d_out = Matrix::full(30, 3, 0.5);
+        let sur = Surrogate::paper_default();
+        let dense = backward(&net, &fwd, &d_out, sur);
+        let auto = backward_sparse(&net, &fwd, &d_out, sur, SparsityPolicy::Auto);
+        for (l, (d, a)) in dense.per_layer.iter().zip(&auto.per_layer).enumerate() {
+            assert!(d.max_abs() > 0.0, "layer {l}: degenerate dense gradient");
+            assert!(
+                a.max_abs() > 0.0,
+                "layer {l}: Auto pruned the whole layer's gradient"
+            );
+            // And it tracks the dense gradient to the Auto tolerance.
+            let mut diff = 0.0f32;
+            for (x, y) in d.as_slice().iter().zip(a.as_slice()) {
+                diff = diff.max((x - y).abs());
+            }
+            assert!(
+                diff < 0.05 * (1.0 + d.max_abs()),
+                "layer {l}: Auto drifted {diff} from dense (max {})",
+                d.max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn auto_policy_prunes_relative_to_loss_gradient_scale() {
+        let mut rng = Rng::seed_from(19);
+        let net = Network::mlp(
+            &[6, 24, 3],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.5),
+            &mut rng,
+        );
+        let input = patterned_raster(25, 6, 4, 0.2);
+        let fwd = net.forward(&input);
+        let d_out = Matrix::full(25, 3, 0.3);
+        let mut scratch = ScratchSpace::new();
+        let mut grads = Gradients::zeros_like(&net);
+        backward_sparse_into(
+            &net,
+            &fwd,
+            &d_out,
+            Surrogate::paper_default(),
+            SparsityPolicy::Auto,
+            &mut grads,
+            &mut scratch,
+        );
+        let density = scratch.backward_events().density();
+        assert!(
+            density < 0.9,
+            "auto policy should prune far-from-threshold adjoints, density {density}"
+        );
+        assert!(grads.max_abs() > 0.0, "gradients must still flow");
     }
 
     #[test]

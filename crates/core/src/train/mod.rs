@@ -7,7 +7,9 @@ mod optimizer;
 mod schedule;
 mod trainer;
 
-pub use backprop::{backward, backward_into, Gradients};
+pub use backprop::{
+    backward, backward_into, backward_sparse, backward_sparse_into, Gradients, SparsityPolicy,
+};
 pub use loss::{ClassificationLoss, PatternLoss, RateCrossEntropy, VanRossumLoss};
 pub use optimizer::Optimizer;
 pub use schedule::LrSchedule;

@@ -15,7 +15,9 @@
 //! `num_threads`**, including 1.
 
 use crate::scratch::ScratchSpace;
-use crate::train::{backward_into, ClassificationLoss, Gradients, Optimizer, PatternLoss};
+use crate::train::{
+    backward_sparse_into, ClassificationLoss, Gradients, Optimizer, PatternLoss, SparsityPolicy,
+};
 use crate::{Forward, Network, SpikeRaster};
 use snn_neuron::Surrogate;
 use snn_tensor::stats;
@@ -41,6 +43,11 @@ pub struct TrainerConfig {
     /// Worker threads for the per-batch gradient fan-out; `0` means one
     /// per available core. Results are bitwise identical for any value.
     pub num_threads: usize,
+    /// Error-event pruning policy for the backward pass (see
+    /// [`SparsityPolicy`]). The default, [`SparsityPolicy::Exact`],
+    /// is bit-identical to the dense backward pass; every policy keeps
+    /// epoch gradients bitwise identical across thread counts.
+    pub sparsity: SparsityPolicy,
 }
 
 impl Default for TrainerConfig {
@@ -51,6 +58,7 @@ impl Default for TrainerConfig {
             surrogate: Surrogate::paper_default(),
             optimizer: Optimizer::adamw(1e-4, 0.0),
             num_threads: 0,
+            sparsity: SparsityPolicy::Exact,
         }
     }
 }
@@ -72,6 +80,12 @@ impl TrainerConfig {
     /// Returns a copy pinned to an explicit worker-thread count.
     pub fn with_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads;
+        self
+    }
+
+    /// Returns a copy with the given backward-pass sparsity policy.
+    pub fn with_sparsity(mut self, sparsity: SparsityPolicy) -> Self {
+        self.sparsity = sparsity;
         self
     }
 }
@@ -163,6 +177,7 @@ impl Trainer {
         loss: &L,
     ) -> EpochStats {
         let surrogate = self.config.surrogate;
+        let sparsity = self.config.sparsity;
         self.epoch_generic(
             net,
             data,
@@ -176,7 +191,15 @@ impl Trainer {
                 let pred = stats::argmax(&counts).unwrap_or(0);
                 let mut d_out = std::mem::take(&mut ctx.scratch.d_loss);
                 let l = loss.loss_and_grad_into(ctx.fwd.output(), *target, &mut d_out);
-                backward_into(net, &ctx.fwd, &d_out, surrogate, grads, &mut ctx.scratch);
+                backward_sparse_into(
+                    net,
+                    &ctx.fwd,
+                    &d_out,
+                    surrogate,
+                    sparsity,
+                    grads,
+                    &mut ctx.scratch,
+                );
                 ctx.scratch.d_loss = d_out;
                 (l, Some((pred, *target)))
             },
@@ -192,6 +215,7 @@ impl Trainer {
         loss: &L,
     ) -> EpochStats {
         let surrogate = self.config.surrogate;
+        let sparsity = self.config.sparsity;
         self.epoch_generic(
             net,
             data,
@@ -203,7 +227,15 @@ impl Trainer {
                 net.forward_into(input, &mut ctx.fwd, &mut ctx.scratch);
                 let mut d_out = std::mem::take(&mut ctx.scratch.d_loss);
                 let l = loss.loss_and_grad_into(ctx.fwd.output(), target, &mut d_out);
-                backward_into(net, &ctx.fwd, &d_out, surrogate, grads, &mut ctx.scratch);
+                backward_sparse_into(
+                    net,
+                    &ctx.fwd,
+                    &d_out,
+                    surrogate,
+                    sparsity,
+                    grads,
+                    &mut ctx.scratch,
+                );
                 ctx.scratch.d_loss = d_out;
                 (l, None)
             },

@@ -1,0 +1,213 @@
+//! Golden-gradient regression fixture: a committed small-network
+//! checkpoint + input raster + expected per-layer gradients, asserting
+//! that the dense `backward_into` reproduces the recorded numbers
+//! **bit-for-bit** — the numeric anchor that pins BPTT before and after
+//! kernel refactors (and that the event-driven `backward_sparse_into`
+//! must also hit under the `Exact` policy).
+//!
+//! The fixture lives in `tests/fixtures/golden_grad/` and is committed
+//! to the repository. To regenerate after an *intentional* numeric
+//! change, run:
+//!
+//! ```text
+//! cargo test -p snn-core --test golden_gradient -- --ignored regenerate
+//! ```
+//!
+//! and commit the updated JSON files together with the change that
+//! justified them.
+
+use snn_core::checkpoint;
+use snn_core::train::{
+    backward_into, backward_sparse_into, ClassificationLoss, Gradients, RateCrossEntropy,
+    SparsityPolicy,
+};
+use snn_core::{Forward, Network, ScratchSpace, SpikeRaster};
+use snn_json::Json;
+use snn_neuron::Surrogate;
+use std::path::PathBuf;
+
+/// Classification target the loss gradient is computed against.
+const TARGET: usize = 1;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_grad")
+}
+
+/// The full fixture pipeline up to (but excluding) the gradients:
+/// network from the checkpoint, input raster, loss gradient from a
+/// sparse forward pass (the trainer's hot path).
+fn load_pipeline() -> (Network, Forward, snn_tensor::Matrix, ScratchSpace) {
+    let dir = fixture_dir();
+    let net = checkpoint::load(dir.join("checkpoint.json")).expect("fixture checkpoint");
+    let raw = std::fs::read_to_string(dir.join("input.json")).expect("fixture input");
+    let input =
+        SpikeRaster::from_json(&Json::parse(&raw).expect("input json")).expect("input raster");
+    let mut fwd = Forward::empty();
+    let mut scratch = ScratchSpace::new();
+    net.forward_into(&input, &mut fwd, &mut scratch);
+    let (_, d_out) = RateCrossEntropy.loss_and_grad(fwd.output(), TARGET);
+    (net, fwd, d_out, scratch)
+}
+
+fn grads_to_json(grads: &Gradients) -> Json {
+    Json::obj(vec![
+        ("format", Json::from("neurosnn-golden-grads-v1")),
+        (
+            "layers",
+            Json::Arr(
+                grads
+                    .per_layer
+                    .iter()
+                    .map(|g| {
+                        Json::obj(vec![
+                            ("rows", Json::from(g.rows())),
+                            ("cols", Json::from(g.cols())),
+                            ("values", Json::f32_array(g.as_slice())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn expected_grads() -> Vec<(usize, usize, Vec<f32>)> {
+    let raw =
+        std::fs::read_to_string(fixture_dir().join("expected_grads.json")).expect("fixture grads");
+    let doc = Json::parse(&raw).expect("grads json");
+    assert_eq!(
+        doc.get("format").and_then(Json::as_str),
+        Some("neurosnn-golden-grads-v1")
+    );
+    doc.get("layers")
+        .and_then(Json::as_array)
+        .expect("layers array")
+        .iter()
+        .map(|l| {
+            let rows = l.get("rows").and_then(Json::as_usize).expect("rows");
+            let cols = l.get("cols").and_then(Json::as_usize).expect("cols");
+            let values: Vec<f32> = l
+                .get("values")
+                .and_then(Json::as_array)
+                .expect("values")
+                .iter()
+                .map(|v| v.as_f32().expect("numeric gradient"))
+                .collect();
+            assert_eq!(values.len(), rows * cols, "fixture shape mismatch");
+            (rows, cols, values)
+        })
+        .collect()
+}
+
+fn assert_bitwise(expected: &[(usize, usize, Vec<f32>)], got: &Gradients, what: &str) {
+    assert_eq!(expected.len(), got.per_layer.len(), "{what}: layer count");
+    for (l, ((rows, cols, values), g)) in expected.iter().zip(&got.per_layer).enumerate() {
+        assert_eq!(g.shape(), (*rows, *cols), "{what}: layer {l} shape");
+        for (i, (e, a)) in values.iter().zip(g.as_slice()).enumerate() {
+            assert_eq!(
+                e.to_bits(),
+                a.to_bits(),
+                "{what}: layer {l} entry {i}: expected {e}, got {a}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_backward_reproduces_golden_gradients_bitwise() {
+    let (net, fwd, d_out, mut scratch) = load_pipeline();
+    let mut grads = Gradients::zeros_like(&net);
+    backward_into(
+        &net,
+        &fwd,
+        &d_out,
+        Surrogate::paper_default(),
+        &mut grads,
+        &mut scratch,
+    );
+    assert_bitwise(&expected_grads(), &grads, "backward_into");
+}
+
+#[test]
+fn sparse_exact_backward_reproduces_golden_gradients_bitwise() {
+    let (net, fwd, d_out, mut scratch) = load_pipeline();
+    let mut grads = Gradients::zeros_like(&net);
+    backward_sparse_into(
+        &net,
+        &fwd,
+        &d_out,
+        Surrogate::paper_default(),
+        SparsityPolicy::Exact,
+        &mut grads,
+        &mut scratch,
+    );
+    assert_bitwise(&expected_grads(), &grads, "backward_sparse_into(Exact)");
+}
+
+/// Regenerates the committed fixture. Ignored by default: run it only
+/// when a numeric change is intentional, and commit the result.
+#[test]
+#[ignore = "writes the committed fixture; run explicitly to regenerate"]
+fn regenerate() {
+    use snn_core::{DenseLayer, NeuronKind};
+    use snn_neuron::NeuronParams;
+    use snn_tensor::Rng;
+
+    let mut rng = Rng::seed_from(20260730);
+    // Mixed dynamics so the fixture pins both backward code paths:
+    // an adaptive hidden layer under a hard-reset readout.
+    let net = Network::from_layers(vec![
+        DenseLayer::new(
+            6,
+            10,
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.4),
+            &mut rng,
+        ),
+        DenseLayer::new(
+            10,
+            4,
+            NeuronKind::HardResetMatched,
+            NeuronParams::paper_defaults().with_v_th(0.5),
+            &mut rng,
+        ),
+    ]);
+    let mut input = SpikeRaster::zeros(18, 6);
+    let mut pattern = Rng::seed_from(99);
+    for t in 0..18 {
+        for c in 0..6 {
+            if pattern.coin(0.25) {
+                input.set(t, c, true);
+            }
+        }
+    }
+
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).expect("fixture dir");
+    checkpoint::save(&net, dir.join("checkpoint.json")).expect("write checkpoint");
+    std::fs::write(dir.join("input.json"), input.to_json().to_string()).expect("write input");
+
+    let mut fwd = Forward::empty();
+    let mut scratch = ScratchSpace::new();
+    net.forward_into(&input, &mut fwd, &mut scratch);
+    let (_, d_out) = RateCrossEntropy.loss_and_grad(fwd.output(), TARGET);
+    let mut grads = Gradients::zeros_like(&net);
+    backward_into(
+        &net,
+        &fwd,
+        &d_out,
+        Surrogate::paper_default(),
+        &mut grads,
+        &mut scratch,
+    );
+    assert!(grads.max_abs() > 0.0, "degenerate fixture: zero gradients");
+    std::fs::write(
+        dir.join("expected_grads.json"),
+        grads_to_json(&grads).pretty() + "\n",
+    )
+    .expect("write grads");
+    println!("regenerated fixture in {}", dir.display());
+}

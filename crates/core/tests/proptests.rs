@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use snn_core::spike::{raster_distance, van_rossum_distance, TraceKernel};
-use snn_core::train::{backward, ClassificationLoss, PatternLoss, RateCrossEntropy, VanRossumLoss};
+use snn_core::train::{
+    backward, backward_into, backward_sparse_into, ClassificationLoss, Gradients, PatternLoss,
+    RateCrossEntropy, SparsityPolicy, VanRossumLoss,
+};
 use snn_core::{Network, NeuronKind, SpikeRaster};
 use snn_neuron::{NeuronParams, Surrogate};
 use snn_tensor::{Matrix, Rng};
@@ -258,8 +261,173 @@ mod kernel_equivalence {
     }
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Tentpole acceptance property: the event-driven backward pass
+        /// under `Exact` is **bitwise** the dense backward pass, across
+        /// random layer sizes, spike densities, sequence lengths, and
+        /// all three neuron dynamics.
+        #[test]
+        fn sparse_backward_exact_is_bitwise_dense(
+            seed in 0u64..500,
+            steps in 1usize..24,
+            channels in 1usize..10,
+            hidden in 1usize..14,
+            density in prop_oneof![Just(0.0f32), Just(1.0f32), 0.02f32..0.5],
+            kind_sel in 0usize..3,
+        ) {
+            let kind = [NeuronKind::Adaptive, NeuronKind::HardReset, NeuronKind::HardResetMatched][kind_sel];
+            let mut rng = Rng::seed_from(seed);
+            let net = Network::mlp(
+                &[channels, hidden, 3],
+                kind,
+                NeuronParams::paper_defaults().with_v_th(0.4),
+                &mut rng,
+            );
+            let input = density_raster(steps, channels, density, seed ^ 0x5A5A);
+            let mut fwd = Forward::empty();
+            let mut scratch = ScratchSpace::new();
+            net.forward_into(&input, &mut fwd, &mut scratch);
+            let (_, d_out) = RateCrossEntropy.loss_and_grad(fwd.output(), seed as usize % 3);
+            let sur = Surrogate::paper_default();
+
+            let mut dense = Gradients::zeros_like(&net);
+            backward_into(&net, &fwd, &d_out, sur, &mut dense, &mut scratch);
+            let mut sparse = Gradients::zeros_like(&net);
+            backward_sparse_into(
+                &net, &fwd, &d_out, sur, SparsityPolicy::Exact, &mut sparse, &mut scratch,
+            );
+            for (l, (a, b)) in dense.per_layer.iter().zip(&sparse.per_layer).enumerate() {
+                let a_bits: Vec<u32> = a.as_slice().iter().map(|x| x.to_bits()).collect();
+                let b_bits: Vec<u32> = b.as_slice().iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(a_bits, b_bits, "layer {} ({:?})", l, kind);
+            }
+        }
+
+        /// `Thresholded(ε)` gradients stay within an ε-derived bound of
+        /// the dense gradients. Each pruned adjoint entry has magnitude
+        /// ≤ ε; its direct weight-gradient contribution is ≤ ε·|pre|
+        /// per timestep, and the error propagated to lower layers is
+        /// amplified at most by each layer's `n_out · max|W|` fan-in
+        /// (times the surrogate peak of 1) and by the geometric reset /
+        /// synapse carries — all folded into the per-case bound below
+        /// with a generous safety factor. The content of the property
+        /// is that the drift scales **linearly in ε**.
+        #[test]
+        fn sparse_backward_thresholded_within_eps_bound(
+            seed in 0u64..300,
+            steps in 1usize..16,
+            channels in 1usize..8,
+            hidden in 1usize..10,
+            density in 0.05f32..0.5,
+            eps_exp in 4u32..7, // ε ∈ {1e-4, 1e-5, 1e-6}
+            kind_sel in 0usize..3,
+        ) {
+            let kind = [NeuronKind::Adaptive, NeuronKind::HardReset, NeuronKind::HardResetMatched][kind_sel];
+            let eps = 10f32.powi(-(eps_exp as i32));
+            let mut rng = Rng::seed_from(seed);
+            let net = Network::mlp(
+                &[channels, hidden, 3],
+                kind,
+                NeuronParams::paper_defaults().with_v_th(0.4),
+                &mut rng,
+            );
+            let input = density_raster(steps, channels, density, seed ^ 0xC3C3);
+            let mut fwd = Forward::empty();
+            let mut scratch = ScratchSpace::new();
+            net.forward_into(&input, &mut fwd, &mut scratch);
+            let (_, d_out) = RateCrossEntropy.loss_and_grad(fwd.output(), seed as usize % 3);
+            let sur = Surrogate::paper_default();
+
+            let mut dense = Gradients::zeros_like(&net);
+            backward_into(&net, &fwd, &d_out, sur, &mut dense, &mut scratch);
+            let mut sparse = Gradients::zeros_like(&net);
+            backward_sparse_into(
+                &net, &fwd, &d_out, sur, SparsityPolicy::Thresholded(eps),
+                &mut sparse, &mut scratch,
+            );
+
+            // ε-derived bound: pruned volume × presynaptic magnitude ×
+            // cross-layer amplification × temporal-carry amplification.
+            let max_pre = fwd
+                .records
+                .iter()
+                .map(|r| r.pre.max_abs())
+                .fold(0.0f32, f32::max);
+            let cross_layer: f32 = net
+                .layers()
+                .iter()
+                .map(|l| 1.0 + l.n_out() as f32 * l.weights().max_abs())
+                .product();
+            let p = NeuronParams::paper_defaults();
+            let carry = 1.0
+                + p.theta / (1.0 - p.reset_decay())
+                + 1.0 / (1.0 - p.synapse_decay());
+            let volume = (steps * (hidden + 3)) as f32;
+            let bound = eps * volume * (1.0 + max_pre) * cross_layer * carry * 10.0;
+
+            for (l, (a, b)) in dense.per_layer.iter().zip(&sparse.per_layer).enumerate() {
+                let mut diff = 0.0f32;
+                for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                    diff = diff.max((x - y).abs());
+                }
+                prop_assert!(
+                    diff <= bound,
+                    "layer {} ({:?}): drift {} exceeds eps-derived bound {} (eps {})",
+                    l, kind, diff, bound, eps
+                );
+            }
+        }
+    }
+
+    proptest! {
         // Training runs several epochs per case; keep the count modest.
         #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Epoch gradients are bitwise identical across 1/2/4 trainer
+        /// threads under **every** sparsity policy (fixed-chunk
+        /// partition + in-order tree reduction is policy-independent).
+        #[test]
+        fn epoch_is_thread_invariant_for_every_sparsity_policy(
+            seed in 0u64..50,
+            policy_sel in 0usize..3,
+        ) {
+            let policy = [
+                SparsityPolicy::Exact,
+                SparsityPolicy::Thresholded(1e-5),
+                SparsityPolicy::Auto,
+            ][policy_sel];
+            let data: Vec<(SpikeRaster, usize)> = (0..24)
+                .map(|i| (density_raster(10, 5, 0.2, seed * 777 + i as u64), i % 3))
+                .collect();
+            let mut final_weights: Vec<Vec<Vec<f32>>> = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let mut rng = Rng::seed_from(seed);
+                let mut net = Network::mlp(
+                    &[5, 8, 3],
+                    NeuronKind::Adaptive,
+                    NeuronParams::paper_defaults().with_v_th(0.4),
+                    &mut rng,
+                );
+                let mut trainer = Trainer::new(
+                    TrainerConfig {
+                        batch_size: 10,
+                        optimizer: Optimizer::adam(0.01),
+                        ..TrainerConfig::default()
+                    }
+                    .with_threads(threads)
+                    .with_sparsity(policy),
+                );
+                for _ in 0..2 {
+                    trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
+                }
+                final_weights.push(
+                    net.layers().iter().map(|l| l.weights().as_slice().to_vec()).collect(),
+                );
+            }
+            prop_assert_eq!(&final_weights[0], &final_weights[1], "{:?}: 1 vs 2 threads", policy);
+            prop_assert_eq!(&final_weights[0], &final_weights[2], "{:?}: 1 vs 4 threads", policy);
+        }
 
         #[test]
         fn parallel_epoch_gradients_match_sequential_bitwise(

@@ -313,6 +313,128 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::pow2(1024);
+        for q in [-1.0, 0.0, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_its_bucket_bound_at_every_q() {
+        // One observation: every quantile (including the clamped
+        // out-of-range ones) must estimate that one sample's bucket.
+        for (value, expected_bound) in [(1u64, 1u64), (3, 4), (8, 8), (9, 16), (1000, 1024)] {
+            let h = Histogram::pow2(1024);
+            h.observe(value);
+            for q in [-0.5, 0.0, 0.5, 0.99, 1.0, 1.5] {
+                assert_eq!(
+                    h.quantile(q),
+                    expected_bound,
+                    "value {value}, q {q}: single sample must land in its own bucket"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_collapse_every_quantile() {
+        let h = Histogram::pow2(256);
+        for _ in 0..1000 {
+            h.observe(3); // le="4" bucket
+        }
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(0.99), 4);
+        assert_eq!(h.quantile(1.0), 4);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 3000);
+        assert!((h.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_bound_values_stay_in_their_inclusive_bucket() {
+        // Bounds are inclusive upper bounds: observing exactly 2^k must
+        // not spill into the next bucket (the classic off-by-one).
+        for value in [1u64, 2, 4, 8, 16, 32] {
+            let h = Histogram::pow2(32);
+            h.observe(value);
+            assert_eq!(h.quantile(0.5), value, "bound {value} must be inclusive");
+        }
+        // One past a bound belongs to the next bucket.
+        let h = Histogram::pow2(32);
+        h.observe(5);
+        assert_eq!(h.quantile(0.5), 8);
+    }
+
+    #[test]
+    fn zero_valued_observations_land_in_the_smallest_bucket() {
+        let h = Histogram::pow2(64);
+        h.observe(0);
+        h.observe(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.5), 1, "0 is estimated by the first bound");
+    }
+
+    #[test]
+    fn overflow_only_histogram_estimates_past_the_last_bound() {
+        let h = Histogram::pow2(8); // bounds 1, 2, 4, 8
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(0.5), 16, "overflow estimate is 2x last bound");
+        assert_eq!(h.quantile(1.0), 16);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histogram::pow2(4096);
+        for v in [1u64, 1, 2, 5, 9, 17, 100, 900, 3000, 100000] {
+            h.observe(v);
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let cur = h.quantile(q);
+            assert!(
+                cur >= prev,
+                "quantile not monotone at q={q}: {cur} < {prev}"
+            );
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn p99_rank_rounding_at_the_boundary() {
+        // 99 fast + 1 slow: the 99th-of-100 ranked sample is still fast,
+        // so p99 must report the fast bucket; only q above 99% may reach
+        // the slow one. Pins the ceil(q·n) nearest-rank convention.
+        let h = Histogram::pow2(1 << 20);
+        for _ in 0..99 {
+            h.observe(1);
+        }
+        h.observe(1 << 19);
+        assert_eq!(h.quantile(0.50), 1);
+        assert_eq!(h.quantile(0.99), 1);
+        assert_eq!(h.quantile(0.995), 1 << 19);
+        assert_eq!(h.quantile(1.0), 1 << 19);
+    }
+
+    #[test]
+    fn degenerate_pow2_constructions() {
+        // max = 0 and max = 1 both yield a single finite bucket plus
+        // overflow, and stay usable.
+        for max in [0u64, 1] {
+            let h = Histogram::pow2(max);
+            h.observe(1);
+            assert_eq!(h.quantile(0.5), 1, "max={max}");
+            h.observe(100); // overflow
+            assert_eq!(h.quantile(1.0), 2, "max={max}: overflow estimate");
+        }
+    }
+
+    #[test]
     fn render_is_prometheus_shaped() {
         let m = ServeMetrics::new();
         m.requests_total.inc();

@@ -110,6 +110,27 @@ pub fn scale(alpha: f32, x: &mut [f32]) {
     }
 }
 
+/// Collects the indices of entries with `|x[i]| > eps` into `out`
+/// (cleared first, capacity reused) — the non-mutating thresholding
+/// primitive of the event-driven backward pass (the BPTT uses it to
+/// rebuild spike-column lists from forward records; the adjoint side
+/// goes through `GradRaster::push_step_pruned`, which also zeroes the
+/// losers).
+///
+/// With `eps = 0.0` the surviving set is exactly the nonzero entries,
+/// which is what makes the `Exact` sparsity policy bit-identical to the
+/// dense kernels: every dense gradient kernel already skips zero rows,
+/// so pruning precisely that set changes nothing.
+#[inline]
+pub fn threshold_mask(x: &[f32], eps: f32, out: &mut Vec<usize>) {
+    out.clear();
+    for (i, &v) in x.iter().enumerate() {
+        if v.abs() > eps {
+            out.push(i);
+        }
+    }
+}
+
 /// Column-major mirror of a weight matrix, used for event-driven
 /// products with binary spike vectors.
 ///

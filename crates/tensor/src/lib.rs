@@ -20,10 +20,12 @@
 //! assert_eq!(y.len(), 3);
 //! ```
 
+mod grad;
 pub mod kernels;
 mod matrix;
 mod rng;
 pub mod stats;
 
+pub use grad::GradRaster;
 pub use matrix::{Matrix, ShapeError};
 pub use rng::Rng;

@@ -213,6 +213,91 @@ proptest! {
     }
 
     #[test]
+    fn threshold_mask_keeps_exactly_the_survivors(
+        v in vector_strategy(24), eps in prop_oneof![Just(0.0f32), 1e-6f32..1.0]
+    ) {
+        let mut mask = vec![999]; // must be cleared
+        kernels::threshold_mask(&v, eps, &mut mask);
+        let expected: Vec<usize> = v
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| x.abs() > eps)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(mask, expected);
+    }
+
+    #[test]
+    fn indexed_rows_add_outer_is_bitwise_dense(
+        m in matrix_strategy(12), density in density_strategy(), seed in 0u64..1000
+    ) {
+        // `u` sparse with its exact nonzero list, `v` dense: the
+        // error-event update of the adaptive backward pass. Bitwise
+        // equality is the property the Exact sparsity policy relies on.
+        let (mut u, active) = binary_vector(m.rows(), density, seed);
+        let mut rng = Rng::seed_from(seed ^ 0xABCD);
+        for &r in &active {
+            u[r] = rng.uniform(-2.0, 2.0).max(1e-3); // keep nonzero
+        }
+        let v: Vec<f32> = (0..m.cols()).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut fast = m.clone();
+        let mut dense = m.clone();
+        fast.add_outer_indexed_rows(0.9, &u, &active, &v);
+        dense.add_outer(0.9, &u, &v);
+        prop_assert_eq!(fast.as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn indexed_pairs_add_outer_is_bitwise_indexed(
+        m in matrix_strategy(12),
+        row_density in density_strategy(),
+        col_density in density_strategy(),
+        seed in 0u64..1000,
+    ) {
+        // Both lists active: the hard-reset backward update. Must be
+        // bitwise identical to the singly-indexed kernel over the same
+        // nonzero set.
+        let (mut u, rows_active) = binary_vector(m.rows(), row_density, seed);
+        let mut rng = Rng::seed_from(seed ^ 0x1234);
+        for &r in &rows_active {
+            u[r] = rng.uniform(-2.0, 2.0).max(1e-3);
+        }
+        let (_, cols_active) = binary_vector(m.cols(), col_density, seed ^ 0x77);
+        let mut fast = m.clone();
+        let mut reference = m.clone();
+        fast.add_outer_indexed_pairs(1.3, &u, &rows_active, &cols_active);
+        reference.add_outer_indexed(1.3, &u, &cols_active);
+        prop_assert_eq!(fast.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn grad_raster_prune_then_kernels_match_dense(
+        m in matrix_strategy(12), seed in 0u64..1000, eps in 0.0f32..0.5
+    ) {
+        // Prune a dense adjoint with GradRaster, then check the indexed
+        // kernels over the survivors are bitwise the dense kernels over
+        // the pruned vector — the crossover-fallback invariant.
+        let mut rng = Rng::seed_from(seed);
+        let mut dv: Vec<f32> = (0..m.rows()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut raster = snn_tensor::GradRaster::new();
+        let active: Vec<usize> = raster.push_step_pruned(&mut dv, eps).to_vec();
+        prop_assert!(dv.iter().all(|x| x.abs() > eps || *x == 0.0));
+
+        let mut fast = vec![0.0f32; m.cols()];
+        let mut dense = vec![0.0f32; m.cols()];
+        m.matvec_t_into_indexed(&dv, &active, &mut fast);
+        m.matvec_t_into(&dv, &mut dense);
+        prop_assert_eq!(&fast, &dense);
+
+        let v: Vec<f32> = (0..m.cols()).map(|i| (i as f32 * 0.8).sin()).collect();
+        let mut a = m.clone();
+        let mut b = m.clone();
+        a.add_outer_indexed_rows(1.0, &dv, &active, &v);
+        b.add_outer(1.0, &dv, &v);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
     fn colmajor_refresh_tracks_any_mutation(
         m in matrix_strategy(10), r in 0usize..10, c in 0usize..10, w in -5.0f32..5.0
     ) {

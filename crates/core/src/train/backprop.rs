@@ -248,6 +248,10 @@ pub fn backward_into(
         );
     }
     scratch.ensure(net);
+    // The dense pass records no error events; clear the raster so
+    // [`ScratchSpace::backward_events`] never reports a *previous*
+    // sample's sparse pass as this one's diagnostic.
+    scratch.grad_events.clear();
 
     let ScratchSpace {
         d_o,

@@ -2,6 +2,7 @@
 //! epoch-level [`Trainer`] loop (paper §III).
 
 mod backprop;
+pub mod experiment;
 mod loss;
 mod optimizer;
 mod schedule;
@@ -9,6 +10,10 @@ mod trainer;
 
 pub use backprop::{
     backward, backward_into, backward_sparse, backward_sparse_into, Gradients, SparsityPolicy,
+};
+pub use experiment::{
+    evaluate_loss_accuracy, run_classification, EarlyStopping, EpochRecord, EvalStats,
+    ExperimentConfig, ExperimentResult,
 };
 pub use loss::{ClassificationLoss, PatternLoss, RateCrossEntropy, VanRossumLoss};
 pub use optimizer::Optimizer;

@@ -16,7 +16,8 @@
 
 use crate::scratch::ScratchSpace;
 use crate::train::{
-    backward_sparse_into, ClassificationLoss, Gradients, Optimizer, PatternLoss, SparsityPolicy,
+    backward_into, backward_sparse_into, ClassificationLoss, Gradients, Optimizer, PatternLoss,
+    SparsityPolicy,
 };
 use crate::{Forward, Network, SpikeRaster};
 use snn_neuron::Surrogate;
@@ -44,10 +45,20 @@ pub struct TrainerConfig {
     /// per available core. Results are bitwise identical for any value.
     pub num_threads: usize,
     /// Error-event pruning policy for the backward pass (see
-    /// [`SparsityPolicy`]). The default, [`SparsityPolicy::Exact`],
-    /// is bit-identical to the dense backward pass; every policy keeps
-    /// epoch gradients bitwise identical across thread counts.
+    /// [`SparsityPolicy`]). The default is [`SparsityPolicy::Auto`]:
+    /// loss-scale-relative pruning whose end-task accuracy the
+    /// full-scale SHD/N-MNIST policy grid (`bench_train`, committed in
+    /// `BENCH_train.json`) confirmed within noise of dense training.
+    /// Pass [`SparsityPolicy::Exact`] for gradients bit-identical to
+    /// the dense backward pass; every policy keeps epoch gradients
+    /// bitwise identical across thread counts.
     pub sparsity: SparsityPolicy,
+    /// Route the backward pass through the dense [`backward_into`]
+    /// kernel, ignoring `sparsity`. This is the measurement baseline
+    /// for the `bench_train` policy grid (wall-clock comparisons need
+    /// the genuinely dense pass, not `Exact`'s indexed equivalent);
+    /// training results are the same as `Exact` bit-for-bit.
+    pub dense_backward: bool,
 }
 
 impl Default for TrainerConfig {
@@ -58,7 +69,8 @@ impl Default for TrainerConfig {
             surrogate: Surrogate::paper_default(),
             optimizer: Optimizer::adamw(1e-4, 0.0),
             num_threads: 0,
-            sparsity: SparsityPolicy::Exact,
+            sparsity: SparsityPolicy::Auto,
+            dense_backward: false,
         }
     }
 }
@@ -88,6 +100,14 @@ impl TrainerConfig {
         self.sparsity = sparsity;
         self
     }
+
+    /// Returns a copy routed through the dense backward kernel (the
+    /// policy-grid measurement baseline; see
+    /// [`dense_backward`](Self::dense_backward)).
+    pub fn with_dense_backward(mut self) -> Self {
+        self.dense_backward = true;
+        self
+    }
 }
 
 /// Aggregate statistics for one pass over the data.
@@ -100,6 +120,13 @@ pub struct EpochStats {
     pub accuracy: f32,
     /// Number of samples seen.
     pub samples: usize,
+    /// Fraction of examined backward adjoint entries that survived
+    /// pruning, aggregated over every sample's
+    /// [`GradRaster`](snn_tensor::GradRaster) diagnostic
+    /// (`Σ nnz / Σ candidates`). Reported as `1.0` when the epoch ran
+    /// the dense backward kernel (nothing is pruned) and `0.0` for an
+    /// empty epoch.
+    pub backward_event_density: f32,
 }
 
 /// Per-worker reusable buffers (one per thread; never shared — see the
@@ -125,6 +152,12 @@ struct ChunkOutcome {
     grads: Gradients,
     loss: f64,
     preds: Vec<(usize, usize)>,
+    /// Surviving backward error events (numerator of the epoch's
+    /// [`EpochStats::backward_event_density`]).
+    events_nnz: u64,
+    /// Examined backward adjoint entries (its denominator; 0 for dense
+    /// backward passes).
+    events_candidates: u64,
 }
 
 /// Drives training of a [`Network`].
@@ -178,6 +211,7 @@ impl Trainer {
     ) -> EpochStats {
         let surrogate = self.config.surrogate;
         let sparsity = self.config.sparsity;
+        let dense = self.config.dense_backward;
         self.epoch_generic(
             net,
             data,
@@ -191,15 +225,19 @@ impl Trainer {
                 let pred = stats::argmax(&counts).unwrap_or(0);
                 let mut d_out = std::mem::take(&mut ctx.scratch.d_loss);
                 let l = loss.loss_and_grad_into(ctx.fwd.output(), *target, &mut d_out);
-                backward_sparse_into(
-                    net,
-                    &ctx.fwd,
-                    &d_out,
-                    surrogate,
-                    sparsity,
-                    grads,
-                    &mut ctx.scratch,
-                );
+                if dense {
+                    backward_into(net, &ctx.fwd, &d_out, surrogate, grads, &mut ctx.scratch);
+                } else {
+                    backward_sparse_into(
+                        net,
+                        &ctx.fwd,
+                        &d_out,
+                        surrogate,
+                        sparsity,
+                        grads,
+                        &mut ctx.scratch,
+                    );
+                }
                 ctx.scratch.d_loss = d_out;
                 (l, Some((pred, *target)))
             },
@@ -216,6 +254,7 @@ impl Trainer {
     ) -> EpochStats {
         let surrogate = self.config.surrogate;
         let sparsity = self.config.sparsity;
+        let dense = self.config.dense_backward;
         self.epoch_generic(
             net,
             data,
@@ -227,15 +266,19 @@ impl Trainer {
                 net.forward_into(input, &mut ctx.fwd, &mut ctx.scratch);
                 let mut d_out = std::mem::take(&mut ctx.scratch.d_loss);
                 let l = loss.loss_and_grad_into(ctx.fwd.output(), target, &mut d_out);
-                backward_sparse_into(
-                    net,
-                    &ctx.fwd,
-                    &d_out,
-                    surrogate,
-                    sparsity,
-                    grads,
-                    &mut ctx.scratch,
-                );
+                if dense {
+                    backward_into(net, &ctx.fwd, &d_out, surrogate, grads, &mut ctx.scratch);
+                } else {
+                    backward_sparse_into(
+                        net,
+                        &ctx.fwd,
+                        &d_out,
+                        surrogate,
+                        sparsity,
+                        grads,
+                        &mut ctx.scratch,
+                    );
+                }
                 ctx.scratch.d_loss = d_out;
                 (l, None)
             },
@@ -253,6 +296,8 @@ impl Trainer {
         let threads = self.resolved_threads();
         let mut total_loss = 0.0f64;
         let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(data.len());
+        let mut events_nnz = 0u64;
+        let mut events_candidates = 0u64;
 
         for batch in data.chunks(self.config.batch_size.max(1)) {
             let outcomes = run_batch(net, batch, threads, per_sample);
@@ -260,6 +305,8 @@ impl Trainer {
             for outcome in outcomes {
                 total_loss += outcome.loss;
                 pairs.extend(outcome.preds);
+                events_nnz += outcome.events_nnz;
+                events_candidates += outcome.events_candidates;
                 chunk_grads.push(outcome.grads);
             }
             let batch_grads = tree_reduce(chunk_grads).expect("non-empty batch");
@@ -273,6 +320,14 @@ impl Trainer {
             },
             accuracy: stats::accuracy(&pairs),
             samples: data.len(),
+            backward_event_density: if events_candidates > 0 {
+                (events_nnz as f64 / events_candidates as f64) as f32
+            } else if data.is_empty() {
+                0.0
+            } else {
+                // Dense backward: every adjoint entry participated.
+                1.0
+            },
         }
     }
 
@@ -318,16 +373,26 @@ where
             let mut grads = Gradients::zeros_like(net);
             let mut loss = 0.0f64;
             let mut preds = Vec::new();
+            let mut events_nnz = 0u64;
+            let mut events_candidates = 0u64;
             for sample in &batch[lo..hi] {
                 let (l, pred) = per_sample(sample, net, &mut ctx, &mut grads);
                 loss += l as f64;
                 preds.extend(pred);
+                // Both backward kernels reset the event raster, so this
+                // reads exactly this sample's pruning diagnostic (empty
+                // after a dense pass).
+                let events = ctx.scratch.backward_events();
+                events_nnz += events.nnz() as u64;
+                events_candidates += events.candidates() as u64;
             }
             out.push(ChunkOutcome {
                 index: chunk,
                 grads,
                 loss,
                 preds,
+                events_nnz,
+                events_candidates,
             });
             chunk += workers;
         }
@@ -661,5 +726,111 @@ mod tests {
     fn with_threads_builder() {
         let cfg = TrainerConfig::classification().with_threads(3);
         assert_eq!(cfg.num_threads, 3);
+    }
+
+    #[test]
+    fn default_sparsity_is_auto() {
+        // Pinned by the full-scale policy grid (BENCH_train.json): Auto
+        // matched the dense baseline within noise on paper-scale SHD
+        // (both pair modes) and N-MNIST, closing the ROADMAP gate.
+        assert_eq!(TrainerConfig::default().sparsity, SparsityPolicy::Auto);
+        assert!(!TrainerConfig::default().dense_backward);
+    }
+
+    #[test]
+    fn default_config_trains_identically_to_explicit_auto() {
+        let data = chunky_data(24);
+        let run = |cfg: TrainerConfig| {
+            let mut rng = Rng::seed_from(12);
+            let mut net = Network::mlp(
+                &[6, 12, 3],
+                NeuronKind::Adaptive,
+                NeuronParams::paper_defaults().with_v_th(0.4),
+                &mut rng,
+            );
+            let mut trainer = Trainer::new(cfg);
+            for _ in 0..2 {
+                trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
+            }
+            net.layers()
+                .iter()
+                .map(|l| l.weights().as_slice().to_vec())
+                .collect::<Vec<_>>()
+        };
+        let defaulted = run(TrainerConfig {
+            batch_size: 8,
+            optimizer: Optimizer::adam(0.01),
+            ..TrainerConfig::default()
+        });
+        let explicit = run(TrainerConfig {
+            batch_size: 8,
+            optimizer: Optimizer::adam(0.01),
+            ..TrainerConfig::default()
+        }
+        .with_sparsity(SparsityPolicy::Auto));
+        assert_eq!(defaulted, explicit);
+    }
+
+    #[test]
+    fn dense_backward_baseline_matches_exact_bitwise() {
+        let data = chunky_data(24);
+        let run = |cfg: TrainerConfig| {
+            let mut rng = Rng::seed_from(13);
+            let mut net = Network::mlp(
+                &[6, 12, 3],
+                NeuronKind::Adaptive,
+                NeuronParams::paper_defaults().with_v_th(0.4),
+                &mut rng,
+            );
+            let mut trainer = Trainer::new(cfg);
+            let mut last = None;
+            for _ in 0..2 {
+                last = Some(trainer.epoch_classification(&mut net, &data, &RateCrossEntropy));
+            }
+            let weights: Vec<Vec<f32>> = net
+                .layers()
+                .iter()
+                .map(|l| l.weights().as_slice().to_vec())
+                .collect();
+            (weights, last.unwrap())
+        };
+        let base = TrainerConfig {
+            batch_size: 8,
+            optimizer: Optimizer::adam(0.01),
+            ..TrainerConfig::default()
+        };
+        let (dense_w, dense_stats) = run(base.clone().with_dense_backward());
+        let (exact_w, exact_stats) = run(base.with_sparsity(SparsityPolicy::Exact));
+        assert_eq!(dense_w, exact_w);
+        assert_eq!(dense_stats.mean_loss, exact_stats.mean_loss);
+        // The dense pass prunes nothing: density reports 1. Exact
+        // reports the genuine nonzero fraction, which is below 1 on
+        // this data (the surrogate tail underflows to exact zeros).
+        assert_eq!(dense_stats.backward_event_density, 1.0);
+        assert!(exact_stats.backward_event_density > 0.0);
+        assert!(exact_stats.backward_event_density <= 1.0);
+    }
+
+    #[test]
+    fn auto_policy_reports_sparse_backward_density() {
+        let data = chunky_data(24);
+        let mut rng = Rng::seed_from(14);
+        let mut net = Network::mlp(
+            &[6, 12, 3],
+            NeuronKind::Adaptive,
+            NeuronParams::paper_defaults().with_v_th(0.4),
+            &mut rng,
+        );
+        let mut trainer = Trainer::new(TrainerConfig {
+            batch_size: 8,
+            optimizer: Optimizer::adam(0.01),
+            ..TrainerConfig::default()
+        });
+        let stats = trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
+        assert!(
+            stats.backward_event_density > 0.0 && stats.backward_event_density < 1.0,
+            "auto pruning should drop part of the adjoint: {}",
+            stats.backward_event_density
+        );
     }
 }

@@ -3,7 +3,11 @@
 //! that the dense `backward_into` reproduces the recorded numbers
 //! **bit-for-bit** — the numeric anchor that pins BPTT before and after
 //! kernel refactors (and that the event-driven `backward_sparse_into`
-//! must also hit under the `Exact` policy).
+//! must also hit under the `Exact` policy). A second fixture
+//! (`expected_grads_auto.json`) pins the `Auto` policy — the trainer's
+//! default since the full-scale SHD/N-MNIST policy grid confirmed its
+//! accuracy neutrality — so the default backward path is equally
+//! anchored bit-for-bit.
 //!
 //! The fixture lives in `tests/fixtures/golden_grad/` and is committed
 //! to the repository. To regenerate after an *intentional* numeric
@@ -74,9 +78,8 @@ fn grads_to_json(grads: &Gradients) -> Json {
     ])
 }
 
-fn expected_grads() -> Vec<(usize, usize, Vec<f32>)> {
-    let raw =
-        std::fs::read_to_string(fixture_dir().join("expected_grads.json")).expect("fixture grads");
+fn expected_grads_from(file: &str) -> Vec<(usize, usize, Vec<f32>)> {
+    let raw = std::fs::read_to_string(fixture_dir().join(file)).expect("fixture grads");
     let doc = Json::parse(&raw).expect("grads json");
     assert_eq!(
         doc.get("format").and_then(Json::as_str),
@@ -128,7 +131,11 @@ fn dense_backward_reproduces_golden_gradients_bitwise() {
         &mut grads,
         &mut scratch,
     );
-    assert_bitwise(&expected_grads(), &grads, "backward_into");
+    assert_bitwise(
+        &expected_grads_from("expected_grads.json"),
+        &grads,
+        "backward_into",
+    );
 }
 
 #[test]
@@ -144,7 +151,46 @@ fn sparse_exact_backward_reproduces_golden_gradients_bitwise() {
         &mut grads,
         &mut scratch,
     );
-    assert_bitwise(&expected_grads(), &grads, "backward_sparse_into(Exact)");
+    assert_bitwise(
+        &expected_grads_from("expected_grads.json"),
+        &grads,
+        "backward_sparse_into(Exact)",
+    );
+}
+
+/// Pins the **trainer-default** policy: `Auto` prunes relative to each
+/// layer's adjoint scale, so its gradients legitimately differ from the
+/// dense fixture — but they are a pure deterministic function of the
+/// same inputs, recorded in their own committed fixture.
+#[test]
+fn sparse_auto_backward_reproduces_its_golden_fixture_bitwise() {
+    let (net, fwd, d_out, mut scratch) = load_pipeline();
+    assert_eq!(
+        snn_core::train::TrainerConfig::default().sparsity,
+        SparsityPolicy::Auto,
+        "fixture pins the trainer default; regenerate if the default changes"
+    );
+    let mut grads = Gradients::zeros_like(&net);
+    backward_sparse_into(
+        &net,
+        &fwd,
+        &d_out,
+        Surrogate::paper_default(),
+        SparsityPolicy::Auto,
+        &mut grads,
+        &mut scratch,
+    );
+    assert_bitwise(
+        &expected_grads_from("expected_grads_auto.json"),
+        &grads,
+        "backward_sparse_into(Auto)",
+    );
+    // Sanity: Auto genuinely pruned something on this fixture, so the
+    // two fixtures pin two different numeric paths.
+    assert!(
+        scratch.backward_events().density() < 1.0,
+        "Auto pruned nothing; fixture has no discriminating power"
+    );
 }
 
 /// Regenerates the committed fixture. Ignored by default: run it only
@@ -209,5 +255,25 @@ fn regenerate() {
         grads_to_json(&grads).pretty() + "\n",
     )
     .expect("write grads");
+
+    let mut auto_grads = Gradients::zeros_like(&net);
+    backward_sparse_into(
+        &net,
+        &fwd,
+        &d_out,
+        Surrogate::paper_default(),
+        SparsityPolicy::Auto,
+        &mut auto_grads,
+        &mut scratch,
+    );
+    assert!(
+        auto_grads.max_abs() > 0.0,
+        "degenerate fixture: zero Auto gradients"
+    );
+    std::fs::write(
+        dir.join("expected_grads_auto.json"),
+        grads_to_json(&auto_grads).pretty() + "\n",
+    )
+    .expect("write auto grads");
     println!("regenerated fixture in {}", dir.display());
 }

@@ -47,22 +47,54 @@ impl ClassDataset {
         Self { samples, classes }
     }
 
-    /// Shuffles and splits into train/test with the given test fraction.
+    /// Shuffles and splits into train/test with the given test fraction,
+    /// **stratified per class**: each class contributes
+    /// `round(count · test_fraction)` of its own samples to the test
+    /// side, so no class can vanish from either side by shuffle luck —
+    /// the failure mode that silently skews accuracy comparisons on
+    /// small or imbalanced datasets. For `0 < test_fraction < 1`, every
+    /// class with at least two samples is guaranteed on both sides.
+    ///
+    /// Deterministic per `rng` seed; both sides are shuffled across
+    /// classes afterwards so mini-batches mix classes.
     ///
     /// # Panics
     ///
     /// Panics if `test_fraction` is not in `[0, 1]`.
-    pub fn split(mut self, test_fraction: f32, rng: &mut Rng) -> Split {
+    pub fn split(self, test_fraction: f32, rng: &mut Rng) -> Split {
         assert!(
             (0.0..=1.0).contains(&test_fraction),
             "test_fraction must be in [0,1], got {test_fraction}"
         );
-        rng.shuffle(&mut self.samples);
-        let n_test = (self.samples.len() as f32 * test_fraction).round() as usize;
-        let n_test = n_test.min(self.samples.len());
-        let test = self.samples.split_off(self.samples.len() - n_test);
+        let mut per_class: Vec<Vec<(SpikeRaster, usize)>> =
+            (0..self.classes).map(|_| Vec::new()).collect();
+        for sample in self.samples {
+            per_class[sample.1].push(sample);
+        }
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for bucket in &mut per_class {
+            rng.shuffle(bucket);
+            let n = bucket.len();
+            let mut n_test = ((n as f32 * test_fraction).round() as usize).min(n);
+            // Representation guarantee: a strictly interior fraction
+            // never empties either side of a class that has ≥2 samples.
+            if n >= 2 && test_fraction > 0.0 && test_fraction < 1.0 {
+                n_test = n_test.clamp(1, n - 1);
+            }
+            let split_at = n - n_test;
+            for (i, sample) in bucket.drain(..).enumerate() {
+                if i < split_at {
+                    train.push(sample);
+                } else {
+                    test.push(sample);
+                }
+            }
+        }
+        rng.shuffle(&mut train);
+        rng.shuffle(&mut test);
         Split {
-            train: self.samples,
+            train,
             test,
             classes: self.classes,
         }
@@ -89,12 +121,89 @@ mod tests {
         ClassDataset::new(samples, classes)
     }
 
+    fn histogram(samples: &[(SpikeRaster, usize)], classes: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; classes];
+        for (_, l) in samples {
+            hist[*l] += 1;
+        }
+        hist
+    }
+
     #[test]
-    fn split_partitions_everything() {
+    fn split_partitions_everything_stratified() {
         let mut rng = Rng::seed_from(1);
+        // 5 samples per class, 25% test: exactly 1 test sample per class.
         let split = toy(20, 4).split(0.25, &mut rng);
-        assert_eq!(split.train.len(), 15);
-        assert_eq!(split.test.len(), 5);
+        assert_eq!(split.train.len(), 16);
+        assert_eq!(split.test.len(), 4);
+        assert_eq!(histogram(&split.train, 4), vec![4; 4]);
+        assert_eq!(histogram(&split.test, 4), vec![1; 4]);
+    }
+
+    #[test]
+    fn paper_scale_split_has_every_class_on_both_sides() {
+        // Regression for the old global-shuffle split: with 20 classes
+        // and few samples per class, a class could land entirely in one
+        // side. Stratification makes representation a guarantee, for
+        // every seed.
+        for seed in 0..20 {
+            let mut rng = Rng::seed_from(seed);
+            let split = toy(20 * 5, 20).split(0.2, &mut rng);
+            assert!(
+                histogram(&split.train, 20).iter().all(|&c| c > 0),
+                "seed {seed}: class missing from train"
+            );
+            assert!(
+                histogram(&split.test, 20).iter().all(|&c| c > 0),
+                "seed {seed}: class missing from test"
+            );
+        }
+    }
+
+    #[test]
+    fn imbalanced_classes_stay_on_both_sides() {
+        // Class 0: 40 samples, class 1: 2 samples. An unstratified 10%
+        // split would usually put both class-1 samples on one side.
+        let mut samples: Vec<_> = (0..40)
+            .map(|_| (SpikeRaster::zeros(3, 2), 0usize))
+            .collect();
+        samples.push((SpikeRaster::zeros(3, 2), 1));
+        samples.push((SpikeRaster::zeros(3, 2), 1));
+        for seed in 0..20 {
+            let mut rng = Rng::seed_from(seed);
+            let split = ClassDataset::new(samples.clone(), 2).split(0.1, &mut rng);
+            assert_eq!(histogram(&split.train, 2)[1], 1, "seed {seed}");
+            assert_eq!(histogram(&split.test, 2)[1], 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_per_class() {
+        // 3 per class at 50%: round(1.5) = 2 test, 1 train, per class.
+        let mut rng = Rng::seed_from(3);
+        let split = toy(9, 3).split(0.5, &mut rng);
+        assert_eq!(histogram(&split.train, 3), vec![1; 3]);
+        assert_eq!(histogram(&split.test, 3), vec![2; 3]);
+    }
+
+    #[test]
+    fn singleton_class_goes_to_one_side() {
+        // A 1-sample class cannot be on both sides; round(0.5) sends it
+        // to test. Everything is still partitioned exactly once.
+        let samples = vec![(SpikeRaster::zeros(3, 2), 0usize)];
+        let mut rng = Rng::seed_from(1);
+        let split = ClassDataset::new(samples, 1).split(0.5, &mut rng);
+        assert_eq!(split.train.len() + split.test.len(), 1);
+        assert_eq!(split.test.len(), 1);
+    }
+
+    #[test]
+    fn full_fraction_keeps_all_in_test() {
+        let mut rng = Rng::seed_from(1);
+        let split = toy(6, 2).split(1.0, &mut rng);
+        assert!(split.train.is_empty());
+        assert_eq!(split.test.len(), 6);
+        assert_eq!(histogram(&split.test, 2), vec![3; 2]);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Generator determinism and information-structure properties the
+//! full-scale experiment harness (`bench_train`) depends on:
+//!
+//! * same seed ⇒ **bitwise-identical** SHD and N-MNIST datasets (the
+//!   policy grid trains every policy on literally the same rasters, so
+//!   any accuracy delta is attributable to the backward pass alone);
+//! * SHD reversed-pair classes have matching expected per-channel spike
+//!   counts under **both** [`PairMode`]s — the rate-code-confusability
+//!   property that makes the paper's Table II hard-reset ablation (and
+//!   the harness's accuracy comparisons) meaningful;
+//! * stratified splits of a 20-class paper-layout dataset keep every
+//!   class on both sides.
+
+use snn_data::shd::{self, PairMode, ShdConfig};
+use snn_data::{nmnist, ClassDataset};
+use snn_tensor::Rng;
+
+fn shd_cfg(pair_mode: PairMode) -> ShdConfig {
+    // Paper class structure (20 classes, reversed pairs) at reduced
+    // channel/sample counts so the suite stays seconds-fast.
+    ShdConfig {
+        classes: 20,
+        channels: 96,
+        steps: 60,
+        samples_per_class: 3,
+        pair_mode,
+        ..ShdConfig::small()
+    }
+}
+
+#[test]
+fn shd_same_seed_is_bitwise_identical_for_both_pair_modes() {
+    for mode in [PairMode::PermuteOrder, PairMode::Mirror] {
+        let cfg = shd_cfg(mode);
+        let a = shd::generate(&cfg, 41);
+        let b = shd::generate(&cfg, 41);
+        assert_eq!(a.classes, b.classes);
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (i, ((ra, la), (rb, lb))) in a.samples.iter().zip(&b.samples).enumerate() {
+            assert_eq!(la, lb, "{mode:?}: label {i}");
+            assert_eq!(ra, rb, "{mode:?}: raster {i}");
+        }
+    }
+}
+
+#[test]
+fn shd_different_seeds_differ() {
+    let cfg = shd_cfg(PairMode::PermuteOrder);
+    let a = shd::generate(&cfg, 1);
+    let b = shd::generate(&cfg, 2);
+    assert!(a
+        .samples
+        .iter()
+        .zip(&b.samples)
+        .any(|((ra, _), (rb, _))| ra != rb));
+}
+
+#[test]
+fn nmnist_same_seed_is_bitwise_identical() {
+    let cfg = nmnist::NmnistConfig {
+        samples_per_class: 3,
+        ..nmnist::NmnistConfig::small()
+    };
+    let a = nmnist::generate(&cfg, 23);
+    let b = nmnist::generate(&cfg, 23);
+    for (i, ((ra, la), (rb, lb))) in a.samples.iter().zip(&b.samples).enumerate() {
+        assert_eq!(la, lb, "label {i}");
+        assert_eq!(ra, rb, "raster {i}");
+    }
+}
+
+/// Mean per-channel spike counts of one class over `draws` samples.
+fn mean_channel_counts(label: usize, cfg: &ShdConfig, draws: u64) -> Vec<f32> {
+    let mut acc = vec![0.0f32; cfg.channels];
+    for s in 0..draws {
+        // Paired draws share a seed stream per index so speaker warps
+        // match and only the class signature differs.
+        let mut rng = Rng::seed_from(9_000 + s);
+        let r = shd::simulate_sample(label, cfg, &mut rng);
+        for (a, x) in acc.iter_mut().zip(r.channel_counts()) {
+            *a += x;
+        }
+    }
+    for a in &mut acc {
+        *a /= draws as f32;
+    }
+    acc
+}
+
+#[test]
+fn shd_reversed_pairs_share_expected_channel_counts_in_both_modes() {
+    // The defining ablation property: classes 2k and 2k+1 are
+    // rate-confusable — their expected per-channel counts match — while
+    // *different words* are rate-separable. Checked for every pair of
+    // the 20-class layout under both pair constructions.
+    for mode in [PairMode::PermuteOrder, PairMode::Mirror] {
+        let cfg = ShdConfig {
+            noise_rate: 0.0,
+            time_jitter: 0.0,
+            dropout: 0.0,
+            ..shd_cfg(mode)
+        };
+        let draws = 30;
+        let means: Vec<Vec<f32>> = (0..cfg.classes)
+            .map(|c| mean_channel_counts(c, &cfg, draws))
+            .collect();
+        let rel_diff = |a: &[f32], b: &[f32]| {
+            let diff: f32 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+            let total: f32 = a.iter().sum::<f32>() + b.iter().sum::<f32>();
+            diff / total.max(1e-6)
+        };
+        for word in 0..cfg.classes / 2 {
+            let fwd = &means[2 * word];
+            let rev = &means[2 * word + 1];
+            let within = rel_diff(fwd, rev);
+            assert!(
+                within < 0.30,
+                "{mode:?}: pair {word} rate profiles diverge ({within:.3})"
+            );
+            // A genuinely different word must be far more separable by
+            // rate than the time-reversed partner is.
+            let other = &means[2 * ((word + 1) % (cfg.classes / 2))];
+            let across = rel_diff(fwd, other);
+            assert!(
+                across > within,
+                "{mode:?}: word {word} vs next word no more separable \
+                 ({across:.3}) than its reversed partner ({within:.3})"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_layout_stratified_split_covers_every_class_both_sides() {
+    // End-to-end regression over generate → split: the 20-class layout
+    // with few samples per class is exactly where the old global
+    // shuffle dropped classes from one side.
+    let ds = shd::generate(&shd_cfg(PairMode::PermuteOrder), 17);
+    assert_eq!(ds.class_histogram(), vec![3; 20]);
+    for seed in [1u64, 2, 3] {
+        let mut rng = Rng::seed_from(seed);
+        let split = ClassDataset::new(ds.samples.clone(), ds.classes).split(0.34, &mut rng);
+        let hist = |samples: &[(snn_core::SpikeRaster, usize)]| {
+            let mut h = vec![0usize; 20];
+            for (_, l) in samples {
+                h[*l] += 1;
+            }
+            h
+        };
+        assert!(
+            hist(&split.train).iter().all(|&c| c > 0),
+            "seed {seed}: class missing from train"
+        );
+        assert!(
+            hist(&split.test).iter().all(|&c| c > 0),
+            "seed {seed}: class missing from test"
+        );
+        assert_eq!(split.train.len() + split.test.len(), ds.samples.len());
+    }
+}

@@ -166,12 +166,23 @@ pub fn read_request(
 
     let headers = read_headers(reader)?;
 
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => v
+    // RFC 9112 §6.3: multiple `Content-Length` headers with differing
+    // values are a request-smuggling vector and must be rejected as
+    // malformed. Identical duplicates are tolerated (the RFC permits
+    // collapsing them); any unparsable value is malformed regardless.
+    let mut content_length: Option<usize> = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let parsed = v
             .parse::<usize>()
-            .map_err(|_| malformed("invalid content-length"))?,
-        None => 0,
-    };
+            .map_err(|_| malformed("invalid content-length"))?;
+        match content_length {
+            Some(prev) if prev != parsed => {
+                return Err(malformed("conflicting content-length headers"));
+            }
+            _ => content_length = Some(parsed),
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body_bytes {
         return Err(HttpError::BodyTooLarge {
             declared: content_length,
@@ -411,6 +422,36 @@ mod tests {
         assert_eq!(req.path(), "/metrics");
         assert_eq!(req.target, "/metrics?verbose=1");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_malformed() {
+        // RFC 9112 request-smuggling hygiene: the old first-match
+        // resolution would silently read 4 bytes and leave the rest in
+        // the stream for the "next request".
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nabcd")
+            .unwrap_err();
+        match err {
+            HttpError::Malformed(msg) => assert!(msg.contains("conflicting"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_duplicate_content_lengths_are_accepted() {
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn duplicate_with_unparsable_value_is_malformed() {
+        // A smuggling probe often pairs a valid length with garbage;
+        // every Content-Length occurrence must parse.
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4x\r\n\r\nabcd")
+            .unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
     }
 
     #[test]

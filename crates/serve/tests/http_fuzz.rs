@@ -138,6 +138,34 @@ fn oversized_header_lines_and_counts_are_typed_errors() {
     ));
 }
 
+#[test]
+fn duplicate_content_length_headers_are_handled_per_rfc9112() {
+    // Conflicting duplicates: typed Malformed error, never a parse that
+    // picks one of the lengths (the request-smuggling vector).
+    for (a, b) in [(4usize, 11usize), (0, 4), (11, 4)] {
+        let raw = format!(
+            "POST /classify HTTP/1.1\r\nContent-Length: {a}\r\nContent-Length: {b}\r\n\r\n{}",
+            "x".repeat(a.max(b))
+        );
+        match read_request(&mut BufReader::new(raw.as_bytes()), MAX_BODY) {
+            Err(HttpError::Malformed(msg)) => assert!(msg.contains("conflicting"), "{msg}"),
+            other => panic!("({a},{b}): expected Malformed, got {other:?}"),
+        }
+    }
+    // Identical duplicates collapse to one length.
+    let raw = "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}";
+    let req = read_request(&mut BufReader::new(raw.as_bytes()), MAX_BODY)
+        .unwrap()
+        .unwrap();
+    assert_eq!(req.body, b"{}");
+    // Mixed valid/garbage duplicates are malformed, not first-match.
+    let raw = "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: zz\r\n\r\n{}";
+    assert!(matches!(
+        read_request(&mut BufReader::new(raw.as_bytes()), MAX_BODY),
+        Err(HttpError::Malformed(_))
+    ));
+}
+
 /// End-to-end: mutated requests against a live server must always yield
 /// a well-formed HTTP response (4xx for broken ones) or a clean close —
 /// never a hang (bounded by the socket timeout) and never a server
@@ -227,6 +255,7 @@ fn live_server_answers_garbage_heads_with_400() {
         &b"GET /\r\n\r\n"[..],
         &b"GET / SPDY/3\r\n\r\n"[..],
         &b"POST /classify HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+        &b"POST /classify HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nabcd"[..],
         &b"\xff\xfe\xfd\r\n\r\n"[..],
     ] {
         let mut stream = TcpStream::connect(server.addr()).expect("connect");

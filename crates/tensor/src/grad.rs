@@ -53,6 +53,13 @@ impl GradRaster {
         self.indices.len()
     }
 
+    /// Total entries examined across all steps (the denominator of
+    /// [`density`](Self::density); lets callers aggregate densities
+    /// across samples without losing the per-sample weights).
+    pub fn candidates(&self) -> usize {
+        self.candidates
+    }
+
     /// Fraction of examined entries that survived (0 when nothing has
     /// been recorded) — the "how sparse was this backward pass really?"
     /// diagnostic the kernel bench reports.

@@ -137,15 +137,35 @@ impl Rng {
         }
     }
 
-    /// Poisson sample via inversion (suitable for the small rates used by
-    /// the dataset noise models).
+    /// Rates at or above this switch [`poisson`](Self::poisson) from
+    /// Knuth inversion to the normal approximation. Inversion multiplies
+    /// uniforms down to `exp(-λ)`, which in `f32` loses precision long
+    /// before it underflows at λ ≈ 87 — past underflow the loop can only
+    /// terminate on a zero uniform draw or the iteration cap, returning
+    /// arbitrary counts after thousands of wasted draws. At λ = 32 the
+    /// normal approximation's skew error (~`1/√λ` ≈ 0.18σ) is already
+    /// below the sampling noise of any consumer in this workspace
+    /// (dataset noise rates scale with `steps × channels`, so large λ is
+    /// reachable).
+    pub const POISSON_NORMAL_CUTOFF: f32 = 32.0;
+
+    /// Poisson sample: Knuth inversion below
+    /// [`POISSON_NORMAL_CUTOFF`](Self::POISSON_NORMAL_CUTOFF), the
+    /// rounded normal approximation `N(λ, λ)` clamped at 0 above it.
     pub fn poisson(&mut self, lambda: f32) -> u32 {
         if lambda <= 0.0 {
             return 0;
         }
+        if lambda >= Self::POISSON_NORMAL_CUTOFF {
+            let x = self.normal_with(lambda, lambda.sqrt()).round();
+            return if x <= 0.0 { 0 } else { x as u32 };
+        }
         let limit = (-lambda).exp();
         let mut product: f32 = self.next_f32();
         let mut count = 0u32;
+        // The cap is unreachable for λ below the cutoff (mean λ, and
+        // `limit` is comfortably above f32 underflow); it remains as a
+        // hard backstop against non-finite inputs.
         while product > limit && count < 10_000 {
             count += 1;
             product *= self.next_f32();
@@ -229,6 +249,63 @@ mod tests {
         let mut rng = Rng::seed_from(13);
         assert_eq!(rng.poisson(0.0), 0);
         assert_eq!(rng.poisson(-1.0), 0);
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda_across_the_algorithm_boundary() {
+        // Straddle POISSON_NORMAL_CUTOFF: both algorithms must agree on
+        // the first two moments within sampling noise.
+        for lambda in [
+            Rng::POISSON_NORMAL_CUTOFF - 2.0,
+            Rng::POISSON_NORMAL_CUTOFF,
+            Rng::POISSON_NORMAL_CUTOFF + 2.0,
+        ] {
+            let mut rng = Rng::seed_from(77);
+            let n = 20_000;
+            let samples: Vec<f32> = (0..n).map(|_| rng.poisson(lambda) as f32).collect();
+            let mean = samples.iter().sum::<f32>() / n as f32;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda,
+                "lambda {lambda}: mean {mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.15 * lambda,
+                "lambda {lambda}: var {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_large_lambda_no_longer_underflows() {
+        // Regression: exp(-λ) underflows to 0 in f32 for λ ≳ 87, which
+        // made the old inversion spin to its 10 000-iteration cap (or
+        // stop on a zero uniform draw) and return garbage. The normal
+        // path must track the mean at rates far past underflow.
+        for lambda in [100.0f32, 1_000.0, 50_000.0] {
+            let mut rng = Rng::seed_from(99);
+            let n = 2_000;
+            let mean = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda as f64).abs() < 0.05 * lambda as f64,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        for lambda in [3.0f32, 500.0] {
+            let a: Vec<u32> = {
+                let mut rng = Rng::seed_from(5);
+                (0..32).map(|_| rng.poisson(lambda)).collect()
+            };
+            let b: Vec<u32> = {
+                let mut rng = Rng::seed_from(5);
+                (0..32).map(|_| rng.poisson(lambda)).collect()
+            };
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn main() {
         optimizer: Optimizer::adam(0.02),
         ..TrainerConfig::default()
     });
-    for _ in 0..400 {
+    for _ in 0..600 {
         trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
     }
     let engine = Engine::from_network(net).build();

@@ -6,14 +6,38 @@
 //! repository. Serialization is hand-rolled on top of [`snn_json`]
 //! (shortest-roundtrip float formatting), so weights survive
 //! save → load bit-exactly with no third-party dependencies.
+//!
+//! # Crash safety
+//!
+//! Checkpoints feed hot reload in the serving layer, so a half-written or
+//! bit-rotted file must never be loaded as a model. Two defenses:
+//!
+//! - [`save`] writes atomically: the document goes to a temporary file in
+//!   the target directory, is fsynced, and is renamed over the destination
+//!   (rename within a directory is atomic on POSIX). Readers see either the
+//!   old complete file or the new complete file, never a prefix.
+//! - Saved files end in an integrity trailer
+//!   (`#neurosnn-trailer v1 len=… crc32=…`, see [`snn_json::integrity`]).
+//!   The loader verifies it before parsing and rejects damage with typed
+//!   errors: [`CheckpointError::Truncated`] and
+//!   [`CheckpointError::ChecksumMismatch`]. Trailer-less files (written by
+//!   older versions, or by hand) still load; their damage is only caught
+//!   when it breaks the JSON or the shape checks.
+//!
+//! Non-finite weights (NaN/Inf serialize as `null`) are rejected at load
+//! with [`CheckpointError::NonFinite`] rather than propagating garbage
+//! into inference.
 
 use crate::{DenseLayer, Network, NeuronKind};
+use snn_json::integrity::{self, IntegrityError};
 use snn_json::Json;
 use snn_neuron::NeuronParams;
 use snn_tensor::Matrix;
 use std::fmt;
 use std::fs;
+use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Schema tag written into every checkpoint.
 const FORMAT: &str = "neurosnn-checkpoint-v1";
@@ -25,6 +49,27 @@ pub enum CheckpointError {
     Io(std::io::Error),
     /// Malformed checkpoint contents.
     Parse(String),
+    /// The integrity trailer declares more payload bytes than the file
+    /// holds — the file was cut short (partial write, partial copy).
+    Truncated {
+        /// Payload bytes the trailer declares.
+        expected: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The payload does not hash to the checksum in the integrity
+    /// trailer — the bytes were altered after the checkpoint was sealed.
+    ChecksumMismatch {
+        /// CRC32 the trailer declares.
+        expected: u32,
+        /// CRC32 of the payload as found.
+        actual: u32,
+    },
+    /// A weight in the given layer is NaN or infinite.
+    NonFinite {
+        /// Index of the offending layer.
+        layer: usize,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -32,6 +77,17 @@ impl fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
             CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            CheckpointError::Truncated { expected, actual } => write!(
+                f,
+                "checkpoint truncated: trailer declares {expected} payload bytes, found {actual}"
+            ),
+            CheckpointError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint corrupt: crc32 {actual:08x} does not match trailer {expected:08x}"
+            ),
+            CheckpointError::NonFinite { layer } => {
+                write!(f, "layer {layer}: non-finite weight")
+            }
         }
     }
 }
@@ -40,7 +96,7 @@ impl std::error::Error for CheckpointError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CheckpointError::Io(e) => Some(e),
-            CheckpointError::Parse(_) => None,
+            _ => None,
         }
     }
 }
@@ -48,6 +104,22 @@ impl std::error::Error for CheckpointError {
 impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
         CheckpointError::Io(e)
+    }
+}
+
+impl From<IntegrityError> for CheckpointError {
+    fn from(e: IntegrityError) -> Self {
+        match e {
+            IntegrityError::Truncated { expected, actual } => {
+                CheckpointError::Truncated { expected, actual }
+            }
+            IntegrityError::ChecksumMismatch { expected, actual } => {
+                CheckpointError::ChecksumMismatch { expected, actual }
+            }
+            IntegrityError::MalformedTrailer => {
+                CheckpointError::Parse("unparsable integrity trailer".into())
+            }
+        }
     }
 }
 
@@ -121,11 +193,19 @@ fn f32_field(obj: &Json, key: &str) -> Result<f32, CheckpointError> {
 
 /// Deserializes a network from a JSON string.
 ///
+/// If the document carries an integrity trailer (as written by [`save`]
+/// and [`to_sealed_json`]), it is verified before the JSON is parsed;
+/// trailer-less documents are accepted as-is.
+///
 /// # Errors
 ///
-/// Returns [`CheckpointError::Parse`] on malformed input, an unknown
-/// format tag, inconsistent shapes, or non-finite weights.
+/// [`CheckpointError::Truncated`] / [`CheckpointError::ChecksumMismatch`]
+/// when a trailer disagrees with the payload,
+/// [`CheckpointError::NonFinite`] on NaN/Inf weights, and
+/// [`CheckpointError::Parse`] on malformed input, an unknown format tag,
+/// or inconsistent shapes.
 pub fn from_json(json: &str) -> Result<Network, CheckpointError> {
+    let (json, _sealed) = integrity::verify(json)?;
     let doc = Json::parse(json).map_err(|e| parse_err(e.to_string()))?;
     let format = field(&doc, "format")?
         .as_str()
@@ -174,11 +254,15 @@ pub fn from_json(json: &str) -> Result<Network, CheckpointError> {
         }
         let mut data = Vec::with_capacity(wj.len());
         for w in wj {
+            // NaN/Inf serialize as `null`; both shapes are the same defect.
+            if matches!(w, Json::Null) {
+                return Err(CheckpointError::NonFinite { layer: i });
+            }
             let x = w
                 .as_f32()
                 .ok_or_else(|| parse_err(format!("layer {i}: non-numeric weight")))?;
             if !x.is_finite() {
-                return Err(parse_err(format!("layer {i}: non-finite weight")));
+                return Err(CheckpointError::NonFinite { layer: i });
             }
             data.push(x);
         }
@@ -207,21 +291,79 @@ pub fn from_json(json: &str) -> Result<Network, CheckpointError> {
     Ok(Network::from_layers(layers))
 }
 
-/// Saves a network to a file.
+/// Serializes a network to a JSON string with an integrity trailer
+/// appended (the on-disk format written by [`save`]).
+///
+/// # Errors
+///
+/// Infallible in practice (see [`to_json`]).
+pub fn to_sealed_json(net: &Network) -> Result<String, CheckpointError> {
+    Ok(integrity::seal(&to_json(net)?))
+}
+
+/// Distinguishes temp files of concurrent saves within one process;
+/// the pid in the name distinguishes processes.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory → fsync → rename → best-effort fsync of the directory.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".into());
+    let temp_name = format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    );
+    let temp_path = match dir {
+        Some(d) => d.join(&temp_name),
+        None => Path::new(&temp_name).to_path_buf(),
+    };
+    let result = (|| {
+        let mut file = fs::File::create(&temp_path)?;
+        file.write_all(contents.as_bytes())?;
+        // Data must be durable before the rename publishes it, or a crash
+        // can leave the *destination* name pointing at a hole.
+        file.sync_all()?;
+        fs::rename(&temp_path, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&temp_path);
+        return result;
+    }
+    // Durability of the rename itself needs the directory synced; failure
+    // here does not un-publish the file, so it is best-effort.
+    if let Some(d) = dir {
+        if let Ok(dirfd) = fs::File::open(d) {
+            let _ = dirfd.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Saves a network to a file: sealed with an integrity trailer and
+/// written atomically (write-temp → fsync → rename), so a crash mid-save
+/// leaves either the previous checkpoint or the new one, never a torn
+/// file under the destination name.
 ///
 /// # Errors
 ///
 /// Returns an error if the file cannot be written.
 pub fn save(net: &Network, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    fs::write(path, to_json(net)?)?;
+    write_atomic(path.as_ref(), &to_sealed_json(net)?)?;
     Ok(())
 }
 
-/// Loads a network from a file.
+/// Loads a network from a file, verifying the integrity trailer when
+/// present (see [`from_json`]).
 ///
 /// # Errors
 ///
-/// Returns an error if the file cannot be read or parsed.
+/// Returns an error if the file cannot be read, fails integrity
+/// verification, or cannot be parsed.
 pub fn load(path: impl AsRef<Path>) -> Result<Network, CheckpointError> {
     from_json(&fs::read_to_string(path)?)
 }
@@ -341,5 +483,82 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let err = load("/nonexistent/dir/ckpt.json").unwrap_err();
         assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn non_finite_weight_is_a_typed_error() {
+        let mut net = sample_net();
+        net.layers_mut()[1].weights_mut()[(0, 0)] = f32::INFINITY;
+        let err = from_json(&to_json(&net).unwrap()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::NonFinite { layer: 1 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sealed_roundtrip_verifies_and_loads() {
+        let net = sample_net();
+        let sealed = to_sealed_json(&net).unwrap();
+        assert!(sealed.contains(snn_json::integrity::TRAILER_PREFIX));
+        let restored = from_json(&sealed).unwrap();
+        assert_eq!(net.layers()[0].weights(), restored.layers()[0].weights());
+    }
+
+    #[test]
+    fn tampered_checkpoint_is_a_checksum_mismatch() {
+        let net = sample_net();
+        let sealed = to_sealed_json(&net).unwrap();
+        // Flip one digit somewhere in the weights, keeping length equal.
+        let tampered = sealed.replacen('3', "4", 1);
+        assert_eq!(tampered.len(), sealed.len());
+        let err = from_json(&tampered).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_a_typed_error() {
+        let net = sample_net();
+        let sealed = to_sealed_json(&net).unwrap();
+        // Drop payload bytes but keep the newline + trailer line intact
+        // (torn copy shape).
+        let newline_at = sealed.rfind(snn_json::integrity::TRAILER_PREFIX).unwrap() - 1;
+        assert_eq!(sealed.as_bytes()[newline_at], b'\n');
+        let mangled = format!("{}{}", &sealed[..newline_at - 40], &sealed[newline_at..]);
+        let err = from_json(&mangled).unwrap_err();
+        assert!(matches!(err, CheckpointError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn legacy_unsealed_file_still_loads() {
+        let net = sample_net();
+        let path = std::env::temp_dir().join("neurosnn_legacy_checkpoint_test.json");
+        fs::write(&path, to_json(&net).unwrap()).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(net.layers()[0].weights(), restored.layers()[0].weights());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_is_sealed_and_leaves_no_temp_file() {
+        let net = sample_net();
+        let dir =
+            std::env::temp_dir().join(format!("neurosnn_atomic_save_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        save(&net, &path).unwrap();
+        // Overwrite in place: the save path must also replace atomically.
+        save(&net, &path).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains(snn_json::integrity::TRAILER_PREFIX));
+        let entries: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries, vec!["ckpt.json"], "no temp files left behind");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

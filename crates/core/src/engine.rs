@@ -510,15 +510,23 @@ impl SessionPool {
         PooledSession {
             pool: self,
             buf: Some(buf),
+            poisoned: false,
         }
     }
 }
 
 /// A session checked out of a [`SessionPool`]; its buffers return to the
 /// pool on drop. Same hot-path surface as [`Session`].
+///
+/// A supervisor that catches a panic mid-inference should call
+/// [`poison`](Self::poison) before dropping the session: the buffers may
+/// hold a half-updated state, so they are quarantined (discarded) instead
+/// of being recycled, and the pool lazily respawns a fresh set on the
+/// next [`acquire`](SessionPool::acquire).
 pub struct PooledSession<'p> {
     pool: &'p SessionPool,
     buf: Option<SessionBuffers>,
+    poisoned: bool,
 }
 
 impl fmt::Debug for PooledSession<'_> {
@@ -565,11 +573,26 @@ impl PooledSession<'_> {
         let backend = self.pool.engine.backend();
         self.buffers().classify_with_probs(backend, input)
     }
+
+    /// Marks the session's buffers as unrecoverable: they are discarded
+    /// on drop instead of returning to the pool.
+    ///
+    /// Call this after catching a panic that unwound through an inference
+    /// call on this session — the buffers may be in a half-updated state,
+    /// and recycling them would leak the corruption into later requests.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
 }
 
 impl Drop for PooledSession<'_> {
     fn drop(&mut self) {
         if let Some(buf) = self.buf.take() {
+            // Quarantine poisoned buffers: drop them on the floor and let
+            // the pool allocate a fresh set on the next acquire.
+            if self.poisoned {
+                return;
+            }
             // A poisoned pool just drops the buffers: the next acquire
             // would panic anyway, and Drop must not.
             if let Ok(mut idle) = self.pool.idle.lock() {
@@ -855,6 +878,27 @@ mod tests {
             }
         });
         assert!(pool.idle() >= 1 && pool.idle() <= 4);
+    }
+
+    #[test]
+    fn poisoned_session_buffers_are_quarantined_not_recycled() {
+        let net = small_net(21);
+        let inputs = random_inputs(2, 22);
+        let engine = Engine::from_network(net).build();
+        let expected = engine.classify_batch(&inputs);
+        let pool = SessionPool::new(engine);
+        {
+            let mut session = pool.acquire();
+            session.classify(&inputs[0]);
+            session.poison();
+        }
+        // The poisoned buffers were discarded, not parked.
+        assert_eq!(pool.idle(), 0);
+        // The pool respawns a fresh set and keeps serving correctly.
+        let mut fresh = pool.acquire();
+        assert_eq!(fresh.classify(&inputs[1]), expected[1]);
+        drop(fresh);
+        assert_eq!(pool.idle(), 1);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! assert_eq!(rram.backend().label(), "hardware");
 //! ```
 
+pub use snn_core::checkpoint::{self, CheckpointError};
 pub use snn_core::engine::{
     classify_batch_with, evaluate_with, Backend, BackendFactory, DenseBackend, Engine,
     EngineBuilder, InferenceBackend, PooledSession, Session, SessionPool, SparseBackend,

@@ -1,0 +1,254 @@
+//! Integrity trailers for text artifacts: a CRC32 + payload-length
+//! trailer line that turns "the file parsed" into "the file is exactly
+//! the bytes the writer produced".
+//!
+//! JSON checkpoints are written by one process and read by another —
+//! possibly after a crash, a partial copy, or bit rot. A parse error
+//! catches most truncations, but a corrupted digit still parses as a
+//! perfectly plausible weight. Sealing the document with
+//! [`seal`] appends one comment-style line:
+//!
+//! ```text
+//! {"format": "...", ...}
+//! #neurosnn-trailer v1 len=12345 crc32=89abcdef
+//! ```
+//!
+//! [`verify`] strips and checks the trailer: a payload whose length or
+//! CRC32 does not match is rejected with a typed [`IntegrityError`]
+//! before any of it is interpreted. Documents without a trailer are
+//! passed through untouched (legacy files keep loading).
+//!
+//! The checksum is the standard CRC-32/ISO-HDLC (the zlib/PNG polynomial,
+//! reflected, init and xorout `0xFFFFFFFF`), implemented in-tree with a
+//! compile-time table — the workspace builds with zero third-party
+//! dependencies.
+
+use std::fmt;
+
+/// Marker prefix of the trailer line (followed by `len=<n> crc32=<8hex>`).
+pub const TRAILER_PREFIX: &str = "#neurosnn-trailer v1 ";
+
+/// Why a trailed document failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// The trailer declares a payload length the document does not have —
+    /// the file was truncated or padded after sealing.
+    Truncated {
+        /// Payload bytes the trailer declares.
+        expected: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// Payload length matches but the checksum does not — the bytes were
+    /// altered after sealing.
+    ChecksumMismatch {
+        /// CRC32 the trailer declares.
+        expected: u32,
+        /// CRC32 of the payload as found.
+        actual: u32,
+    },
+    /// A line carrying the trailer marker could not be parsed.
+    MalformedTrailer,
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityError::Truncated { expected, actual } => write!(
+                f,
+                "trailer declares {expected} payload bytes, found {actual}"
+            ),
+            IntegrityError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "crc32 mismatch: trailer declares {expected:08x}, payload hashes to {actual:08x}"
+            ),
+            IntegrityError::MalformedTrailer => write!(f, "unparsable integrity trailer"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32/ISO-HDLC of `bytes` (the zlib/PNG checksum).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Appends the integrity trailer to `payload`.
+pub fn seal(payload: &str) -> String {
+    format!(
+        "{payload}\n{TRAILER_PREFIX}len={} crc32={:08x}\n",
+        payload.len(),
+        crc32(payload.as_bytes())
+    )
+}
+
+/// Splits a document into its payload and (if present) verified trailer.
+///
+/// Returns `(payload, true)` when a trailer was present and verified, and
+/// `(text, false)` when no trailer line exists (legacy document).
+///
+/// # Errors
+///
+/// [`IntegrityError::Truncated`] / [`IntegrityError::ChecksumMismatch`]
+/// when the trailer disagrees with the payload,
+/// [`IntegrityError::MalformedTrailer`] when the marker line is present
+/// but unparsable.
+pub fn verify(text: &str) -> Result<(&str, bool), IntegrityError> {
+    let stripped = text.strip_suffix('\n').unwrap_or(text);
+    let Some(newline) = stripped.rfind('\n') else {
+        return Ok((text, false));
+    };
+    let (payload, last_line) = (&stripped[..newline], &stripped[newline + 1..]);
+    let Some(fields) = last_line.strip_prefix(TRAILER_PREFIX) else {
+        return Ok((text, false));
+    };
+    let mut declared_len: Option<usize> = None;
+    let mut declared_crc: Option<u32> = None;
+    for field in fields.split_ascii_whitespace() {
+        if let Some(v) = field.strip_prefix("len=") {
+            declared_len = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("crc32=") {
+            declared_crc = u32::from_str_radix(v, 16).ok();
+        }
+    }
+    let (Some(expected_len), Some(expected_crc)) = (declared_len, declared_crc) else {
+        return Err(IntegrityError::MalformedTrailer);
+    };
+    if payload.len() != expected_len {
+        return Err(IntegrityError::Truncated {
+            expected: expected_len,
+            actual: payload.len(),
+        });
+    }
+    let actual_crc = crc32(payload.as_bytes());
+    if actual_crc != expected_crc {
+        return Err(IntegrityError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    Ok((payload, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The CRC-32/ISO-HDLC check value from the catalogue of
+        // parametrised CRC algorithms.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn seal_verify_roundtrip() {
+        let payload = "{\"format\": \"x\", \"weights\": [1, 2, 3]}";
+        let sealed = seal(payload);
+        assert!(sealed.starts_with(payload));
+        assert!(sealed.contains(TRAILER_PREFIX));
+        let (restored, verified) = verify(&sealed).unwrap();
+        assert_eq!(restored, payload);
+        assert!(verified);
+    }
+
+    #[test]
+    fn untrailed_text_passes_through() {
+        for text in ["{\"a\": 1}", "{\"a\": 1}\n", "line1\nline2\n", "", "x"] {
+            let (payload, verified) = verify(text).unwrap();
+            assert_eq!(payload, text);
+            assert!(!verified);
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_mismatch() {
+        let sealed = seal("{\"weights\": [1.5, 2.5]}");
+        let tampered = sealed.replace("1.5", "1.6");
+        assert_eq!(tampered.len(), sealed.len(), "same-length tamper");
+        match verify(&tampered) {
+            Err(IntegrityError::ChecksumMismatch { expected, actual }) => {
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shortened_payload_is_truncated() {
+        let payload = "{\"weights\": [1, 2, 3, 4, 5, 6, 7, 8]}";
+        let sealed = seal(payload);
+        // Cut payload bytes but keep the separator newline and trailer
+        // line intact (a partial overwrite / corrupted copy shape).
+        let newline_at = sealed.rfind(TRAILER_PREFIX).unwrap() - 1;
+        assert_eq!(sealed.as_bytes()[newline_at], b'\n');
+        let mangled = format!("{}{}", &sealed[..newline_at - 10], &sealed[newline_at..]);
+        match verify(&mangled) {
+            Err(IntegrityError::Truncated { expected, actual }) => {
+                assert_eq!(expected, payload.len());
+                assert!(actual < expected);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unparsable_trailer_line_is_malformed() {
+        let text = format!("{{}}\n{TRAILER_PREFIX}len=abc crc32=zz\n");
+        assert_eq!(verify(&text), Err(IntegrityError::MalformedTrailer));
+        let text = format!("{{}}\n{TRAILER_PREFIX}\n");
+        assert_eq!(verify(&text), Err(IntegrityError::MalformedTrailer));
+    }
+
+    #[test]
+    fn multiline_payload_seals_cleanly() {
+        let payload = "{\n  \"a\": 1,\n  \"b\": 2\n}";
+        let sealed = seal(payload);
+        let (restored, verified) = verify(&sealed).unwrap();
+        assert_eq!(restored, payload);
+        assert!(verified);
+    }
+
+    #[test]
+    fn errors_display_their_numbers() {
+        let e = IntegrityError::Truncated {
+            expected: 100,
+            actual: 60,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = IntegrityError::ChecksumMismatch {
+            expected: 0xDEAD_BEEF,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("deadbeef"));
+    }
+}

@@ -20,6 +20,8 @@
 
 use std::fmt;
 
+pub mod integrity;
+
 /// A JSON value.
 ///
 /// Objects preserve insertion order (they are stored as a vector of

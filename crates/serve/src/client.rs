@@ -1,10 +1,18 @@
 //! A minimal blocking HTTP client for the serving API — the load
 //! generator behind `bench_serve`, the CI smoke test, and the e2e test
 //! suite. One [`Client`] owns one keep-alive connection.
+//!
+//! For fault-tolerant calling, wrap operations in a [`Retrier`]: seeded
+//! full-jitter exponential backoff with a total retry budget, honoring
+//! the server's `Retry-After` hint on 503s and transparently
+//! reconnecting after transport failures. Determinism note: the *delays*
+//! are seeded and reproducible; which attempt succeeds still depends on
+//! the server's live state.
 
 use crate::http::{self, HttpError, ParsedResponse};
 use snn_core::SpikeRaster;
 use snn_json::Json;
+use snn_tensor::Rng;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -20,6 +28,8 @@ pub enum ClientError {
         status: u16,
         /// Response body (usually `{"error": …}`).
         body: String,
+        /// Parsed `Retry-After` header (whole seconds), when present.
+        retry_after: Option<u64>,
     },
     /// The server answered 200 but the payload was not the expected
     /// shape.
@@ -30,7 +40,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Http(e) => write!(f, "transport error: {e}"),
-            ClientError::Status { status, body } => write!(f, "server answered {status}: {body}"),
+            ClientError::Status { status, body, .. } => {
+                write!(f, "server answered {status}: {body}")
+            }
             ClientError::Payload(msg) => write!(f, "unexpected payload: {msg}"),
         }
     }
@@ -58,13 +70,33 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// The server's `Retry-After` hint in seconds, when it sent one.
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            ClientError::Status { retry_after, .. } => *retry_after,
+            _ => None,
+        }
+    }
+}
+
+fn status_error(resp: &ParsedResponse) -> ClientError {
+    ClientError::Status {
+        status: resp.status,
+        body: resp.body_str(),
+        retry_after: resp
+            .header("retry-after")
+            .and_then(|v| v.trim().parse().ok()),
+    }
 }
 
 /// One keep-alive connection to a serving endpoint.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addr: SocketAddr,
     host: String,
+    timeout: Option<Duration>,
     max_body_bytes: usize,
 }
 
@@ -87,7 +119,9 @@ impl Client {
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            addr,
             host: addr.to_string(),
+            timeout: None,
             max_body_bytes: 16 * 1024 * 1024,
         })
     }
@@ -98,7 +132,26 @@ impl Client {
     ///
     /// Propagates the socket-option error.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeout = timeout;
         self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Drops the current connection and dials a fresh one to the same
+    /// address, reapplying the configured timeout. The retry layer calls
+    /// this after a transport failure (a keep-alive connection that died
+    /// mid-exchange cannot be resynchronized).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let fresh = Self::connect(self.addr)?;
+        self.reader = fresh.reader;
+        self.writer = fresh.writer;
+        if self.timeout.is_some() {
+            self.reader.get_ref().set_read_timeout(self.timeout)?;
+        }
+        Ok(())
     }
 
     /// Sends one request and reads the response.
@@ -113,6 +166,22 @@ impl Client {
         path: &str,
         body: &[u8],
     ) -> Result<ParsedResponse, ClientError> {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// Like [`request`](Self::request), with extra request headers (e.g.
+    /// `X-Deadline-Ms`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        headers: &[(&str, &str)],
+    ) -> Result<ParsedResponse, ClientError> {
         let mut head = format!(
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n",
             self.host,
@@ -120,6 +189,12 @@ impl Client {
         );
         if !body.is_empty() {
             head.push_str("Content-Type: application/json\r\n");
+        }
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
         }
         head.push_str("\r\n");
         let mut message = head.into_bytes();
@@ -140,10 +215,7 @@ impl Client {
 
     fn expect_ok(resp: ParsedResponse) -> Result<Json, ClientError> {
         if resp.status != 200 {
-            return Err(ClientError::Status {
-                status: resp.status,
-                body: resp.body_str(),
-            });
+            return Err(status_error(&resp));
         }
         Json::parse(&resp.body_str()).map_err(|e| ClientError::Payload(e.to_string()))
     }
@@ -195,6 +267,20 @@ impl Client {
             .ok_or_else(|| ClientError::Payload("missing \"status\"".to_string()))
     }
 
+    /// `GET /healthz/ready`, returning the readiness status string
+    /// (`"ok"` or `"degraded"`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] on non-200.
+    pub fn ready(&mut self) -> Result<String, ClientError> {
+        let doc = Self::expect_ok(self.get("/healthz/ready")?)?;
+        doc.get("status")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Payload("missing \"status\"".to_string()))
+    }
+
     /// `GET /metrics`, returning the Prometheus text body.
     ///
     /// # Errors
@@ -203,11 +289,165 @@ impl Client {
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         let resp = self.get("/metrics")?;
         if resp.status != 200 {
-            return Err(ClientError::Status {
-                status: resp.status,
-                body: resp.body_str(),
-            });
+            return Err(status_error(&resp));
         }
         Ok(resp.body_str())
+    }
+}
+
+/// Backoff and budget knobs for a [`Retrier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try + retries).
+    pub max_attempts: u32,
+    /// Backoff cap before jitter for the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff delay.
+    pub max_backoff: Duration,
+    /// Total time one operation may spend sleeping between retries; once
+    /// exhausted, the last error is returned immediately.
+    pub retry_budget: Duration,
+    /// Seed for the jitter draws (reproducible backoff schedules).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            retry_budget: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// This policy with the given jitter seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Seeded retrying wrapper around client operations: full-jitter
+/// exponential backoff with a retry budget, honoring `Retry-After`.
+///
+/// Retryable failures are transport errors (the connection is re-dialed)
+/// and 503 responses (backpressure or a supervised worker failure —
+/// both transient by contract). Everything else — 4xx, 404, 504
+/// deadline exceeded — is returned immediately: retrying a request the
+/// server *rejected* wastes the budget, retrying one the server *shed at
+/// its deadline* is the client's deadline policy, not the transport's.
+///
+/// # Examples
+///
+/// ```no_run
+/// use snn_serve::{Client, RetryPolicy, Retrier};
+/// # use snn_core::SpikeRaster;
+/// # fn demo(addr: std::net::SocketAddr, raster: &SpikeRaster) {
+/// let mut client = Client::connect(addr).unwrap();
+/// let mut retrier = Retrier::new(RetryPolicy::default().seeded(7));
+/// let class = retrier.classify(&mut client, raster).unwrap();
+/// # let _ = class;
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Retrier {
+    policy: RetryPolicy,
+    rng: Rng,
+    retries: u64,
+    slept: Duration,
+}
+
+impl Retrier {
+    /// A fresh retrier; jitter is seeded from `policy.seed`.
+    pub fn new(policy: RetryPolicy) -> Self {
+        Self {
+            policy,
+            rng: Rng::seed_from(policy.seed ^ 0x5EED_BACC_0FF5_EED5),
+            retries: 0,
+            slept: Duration::ZERO,
+        }
+    }
+
+    /// Retries performed across all operations so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Whether this failure is worth retrying.
+    fn retryable(err: &ClientError) -> bool {
+        match err {
+            ClientError::Http(_) => true,
+            ClientError::Status { status, .. } => *status == 503,
+            ClientError::Payload(_) => false,
+        }
+    }
+
+    /// Full-jitter delay for retry number `attempt` (1-based), floored
+    /// by the server's `Retry-After` hint when present.
+    fn backoff(&mut self, attempt: u32, retry_after: Option<u64>) -> Duration {
+        let cap = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.policy.max_backoff);
+        let jittered = cap.mul_f64(f64::from(self.rng.uniform(0.0, 1.0)));
+        match retry_after {
+            Some(secs) => jittered.max(Duration::from_secs(secs)),
+            None => jittered,
+        }
+    }
+
+    /// Runs `op` against `client`, retrying per the policy. Transport
+    /// failures trigger a reconnect before the next attempt.
+    ///
+    /// # Errors
+    ///
+    /// The final [`ClientError`] once attempts or budget are exhausted,
+    /// or immediately for non-retryable failures.
+    pub fn run<T>(
+        &mut self,
+        client: &mut Client,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 1u32;
+        loop {
+            let err = match op(client) {
+                Ok(value) => return Ok(value),
+                Err(err) => err,
+            };
+            if !Self::retryable(&err) || attempt >= self.policy.max_attempts.max(1) {
+                return Err(err);
+            }
+            let delay = self.backoff(attempt, err.retry_after());
+            if self.slept + delay > self.policy.retry_budget {
+                return Err(err);
+            }
+            std::thread::sleep(delay);
+            self.slept += delay;
+            self.retries += 1;
+            if matches!(err, ClientError::Http(_)) {
+                // The dead connection cannot be reused; a failed re-dial
+                // is left for the next attempt to report.
+                let _ = client.reconnect();
+            }
+            attempt += 1;
+        }
+    }
+
+    /// [`Client::classify`] with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn classify(
+        &mut self,
+        client: &mut Client,
+        raster: &SpikeRaster,
+    ) -> Result<usize, ClientError> {
+        self.run(client, |c| c.classify(raster))
     }
 }

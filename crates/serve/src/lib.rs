@@ -21,11 +21,23 @@
 //!   [`SessionPool`](snn_engine::SessionPool)-checked-out sessions —
 //!   warm, allocation-free buffers on any [`Backend`](snn_engine::Backend)
 //!   (sparse, dense, or RRAM hardware).
-//! * `/healthz` and `/metrics` expose liveness and the counters and
-//!   latency/batch-size histograms in [`ServeMetrics`].
+//! * `/healthz` (+ `/healthz/live`, `/healthz/ready`) and `/metrics`
+//!   expose liveness, readiness (`degraded` during reloads and after
+//!   worker panics), and the counters and latency/batch-size histograms
+//!   in [`ServeMetrics`].
 //! * [`ServerHandle::shutdown`] is graceful: admission closes, queued
 //!   samples drain through final batches, and every accepted request is
 //!   answered before threads join.
+//!
+//! The serving layer is also **fault-tolerant**: workers run under
+//! `catch_unwind` supervision (panicked sessions are quarantined and the
+//! job retried on a fresh one), `POST /admin/reload` hot-swaps in a new
+//! checkpoint without dropping in-flight requests, per-request deadlines
+//! shed expired work before it costs inference time, and the
+//! [`Retrier`] client wrapper adds seeded jittered backoff with a retry
+//! budget. All of it is exercised deterministically through
+//! [`FaultPlan`] (seeded panic/latency/corruption schedules) by the
+//! chaos tests and `bench_serve --soak`.
 //!
 //! Because each sample is classified independently on a deterministic
 //! session, **predictions never depend on how the scheduler happened to
@@ -88,14 +100,18 @@
 //! ```
 
 pub mod client;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Retrier, RetryPolicy};
+pub use fault::{silence_injected_panics, FaultPlan, INJECTED_PANIC};
 pub use metrics::{Counter, Gauge, Histogram, ServeMetrics};
-pub use scheduler::{BatchPolicy, Scheduler, SubmitError, Ticket, TicketError};
+pub use scheduler::{
+    BatchPolicy, EngineSwapError, JobError, Scheduler, SubmitError, Ticket, TicketError,
+};
 pub use server::{serve, serve_at, ServerConfig, ServerHandle};
 
 /// Appends `s` as a JSON string literal (with escaping) to `out`.

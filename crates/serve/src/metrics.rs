@@ -180,8 +180,22 @@ pub struct ServeMetrics {
     pub jobs_total: Counter,
     /// Micro-batches dispatched to workers.
     pub batches_total: Counter,
+    /// Worker panics caught by the supervisor (injected or real).
+    pub worker_panics_total: Counter,
+    /// Pooled sessions quarantined (buffers discarded) after a panic.
+    pub sessions_quarantined_total: Counter,
+    /// Jobs retried in-place on a fresh session after a worker panic.
+    pub jobs_retried_total: Counter,
+    /// Jobs shed because their deadline expired before execution.
+    pub jobs_expired_total: Counter,
+    /// Successful hot checkpoint reloads.
+    pub reloads_total: Counter,
+    /// Rejected or failed hot-reload attempts.
+    pub reload_failures_total: Counter,
     /// Current admission-queue depth.
     pub queue_depth: Gauge,
+    /// 1 while a hot reload is being applied, else 0.
+    pub reload_in_flight: Gauge,
     /// Distribution of dispatched micro-batch sizes.
     pub batch_size: Histogram,
     /// Per-sample scheduler latency in microseconds (submit → classified).
@@ -208,7 +222,14 @@ impl ServeMetrics {
             rejected_shutting_down: Counter::default(),
             jobs_total: Counter::default(),
             batches_total: Counter::default(),
+            worker_panics_total: Counter::default(),
+            sessions_quarantined_total: Counter::default(),
+            jobs_retried_total: Counter::default(),
+            jobs_expired_total: Counter::default(),
+            reloads_total: Counter::default(),
+            reload_failures_total: Counter::default(),
             queue_depth: Gauge::default(),
+            reload_in_flight: Gauge::default(),
             batch_size: Histogram::pow2(4096),
             // 1 µs .. ~64 s covers everything from loopback no-ops to a
             // fully backed-up queue.
@@ -245,12 +266,23 @@ impl ServeMetrics {
             ),
             ("snn_jobs_total", &self.jobs_total),
             ("snn_batches_total", &self.batches_total),
+            ("snn_worker_panics_total", &self.worker_panics_total),
+            (
+                "snn_sessions_quarantined_total",
+                &self.sessions_quarantined_total,
+            ),
+            ("snn_jobs_retried_total", &self.jobs_retried_total),
+            ("snn_jobs_expired_total", &self.jobs_expired_total),
+            ("snn_reloads_total", &self.reloads_total),
+            ("snn_reload_failures_total", &self.reload_failures_total),
         ] {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", counter.get());
         }
         let _ = writeln!(out, "# TYPE snn_queue_depth gauge");
         let _ = writeln!(out, "snn_queue_depth {}", self.queue_depth.get());
+        let _ = writeln!(out, "# TYPE snn_reload_in_flight gauge");
+        let _ = writeln!(out, "snn_reload_in_flight {}", self.reload_in_flight.get());
         self.batch_size.render_into(&mut out, "snn_batch_size");
         self.job_latency_us
             .render_into(&mut out, "snn_job_latency_us");
@@ -446,6 +478,11 @@ mod tests {
         assert!(text.contains("snn_batch_size_bucket{le=\"8\"}"));
         assert!(text.contains("snn_batch_size_count 1"));
         assert!(text.contains("snn_request_latency_us_p99"));
+        assert!(text.contains("snn_worker_panics_total 0"));
+        assert!(text.contains("snn_sessions_quarantined_total 0"));
+        assert!(text.contains("snn_jobs_expired_total 0"));
+        assert!(text.contains("snn_reloads_total 0"));
+        assert!(text.contains("snn_reload_in_flight 0"));
         assert!((m.mean_batch_size() - 8.0).abs() < 1e-9);
     }
 }

@@ -26,18 +26,55 @@
 //! request can never change its answer** (property-tested in
 //! `tests/proptests.rs`).
 //!
+//! # Fault tolerance
+//!
+//! The scheduler is also the fault-containment boundary of the server:
+//!
+//! * **Worker supervision** — each job executes inside
+//!   [`catch_unwind`]. A panic poisons the
+//!   session (its buffers are quarantined, not recycled — see
+//!   [`PooledSession::poison`](snn_engine::PooledSession::poison)), the
+//!   worker respawns a fresh session from the pool and retries the job
+//!   once; a second panic surfaces as [`TicketError::Failed`] (HTTP 503)
+//!   for that one request while the worker, the batch, and the process
+//!   keep going. Panic/quarantine/retry counts are exported in
+//!   `/metrics`.
+//! * **Deadline shedding** — [`submit_with_deadline`](Scheduler::submit_with_deadline)
+//!   attaches a deadline; the collator sheds already-expired jobs before
+//!   dispatch and workers re-check right before execution, so a backed-up
+//!   queue spends no inference time on answers nobody is waiting for
+//!   ([`TicketError::Expired`] → HTTP 504).
+//! * **Hot engine swap** — the worker pool runs against an atomically
+//!   swappable [`SessionPool`]. [`swap_engine`](Scheduler::swap_engine)
+//!   installs a freshly built engine; in-flight batches finish on the old
+//!   pool (their `Arc` keeps it alive), new batches pick up the new one,
+//!   and the old pool's warm buffers drain as the references drop. No
+//!   queue is paused and no request is dropped.
+//! * **Deterministic fault injection** — a test-only
+//!   [`FaultPlan`] hook
+//!   ([`start_with_faults`](Scheduler::start_with_faults)) injects seeded
+//!   panics/latency at the supervision boundary, which is how all of the
+//!   above is exercised in tests and `bench_serve --soak`.
+//!
 //! [`shutdown`](Scheduler::shutdown) is graceful by construction:
 //! admission closes first, then the collator drains every already-queued
 //! sample into final batches and the workers finish them, so no accepted
 //! request is ever dropped without a response.
 
+use crate::fault::FaultPlan;
 use crate::metrics::ServeMetrics;
 use snn_core::SpikeRaster;
 use snn_engine::{Engine, SessionPool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Attempts a job gets before its panic is surfaced to the client: the
+/// first execution plus one supervised retry on a fresh session.
+const MAX_JOB_ATTEMPTS: u32 = 2;
 
 /// Micro-batching policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,23 +134,77 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// One queued sample: the raster, its submission time (for latency
-/// accounting), and the channel its class is delivered through.
+/// Why [`Scheduler::swap_engine`] refused the replacement engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSwapError {
+    /// The replacement's input/output widths differ from the serving
+    /// engine's — clients would silently get answers from a different
+    /// problem.
+    ShapeMismatch {
+        /// (inputs, outputs) of the engine currently serving.
+        current: (usize, usize),
+        /// (inputs, outputs) of the rejected replacement.
+        offered: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for EngineSwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineSwapError::ShapeMismatch { current, offered } => write!(
+                f,
+                "engine shape mismatch: serving {}x{}, offered {}x{}",
+                current.0, current.1, offered.0, offered.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineSwapError {}
+
+/// What the worker reports back for a job that produced no class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's deadline passed before it was executed; the work was
+    /// shed.
+    Expired,
+    /// Every supervised execution attempt panicked.
+    Failed,
+}
+
+/// One queued sample: the raster, its bookkeeping, and the channel its
+/// class is delivered through.
 struct Job {
+    /// Global admission sequence number — the key fault injection
+    /// schedules by.
+    seq: u64,
     raster: SpikeRaster,
     submitted_at: Instant,
-    result_tx: mpsc::Sender<usize>,
+    deadline: Option<Instant>,
+    result_tx: mpsc::Sender<Result<usize, JobError>>,
+}
+
+impl Job {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 /// Why a [`Ticket`] could not be redeemed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TicketError {
-    /// The executing worker died without answering (a panic in the
-    /// backend). An accepted job is otherwise always answered, including
-    /// across graceful shutdown.
+    /// The executing worker died without answering. An accepted job is
+    /// otherwise always answered, including across graceful shutdown and
+    /// supervised worker panics.
     Lost,
     /// [`Ticket::wait_timeout`] gave up before the answer arrived.
     Timeout,
+    /// The job's deadline expired before execution; it was shed without
+    /// running (HTTP 504).
+    Expired,
+    /// Every supervised execution attempt panicked; the request failed
+    /// while the server kept serving (HTTP 503, retryable).
+    Failed,
 }
 
 impl std::fmt::Display for TicketError {
@@ -121,6 +212,8 @@ impl std::fmt::Display for TicketError {
         match self {
             TicketError::Lost => write!(f, "worker died before answering"),
             TicketError::Timeout => write!(f, "timed out waiting for the answer"),
+            TicketError::Expired => write!(f, "deadline expired before execution"),
+            TicketError::Failed => write!(f, "execution failed after supervised retries"),
         }
     }
 }
@@ -131,33 +224,82 @@ impl std::error::Error for TicketError {}
 /// [`wait`](Ticket::wait).
 #[derive(Debug)]
 pub struct Ticket {
-    result_rx: mpsc::Receiver<usize>,
+    result_rx: mpsc::Receiver<Result<usize, JobError>>,
 }
 
 impl Ticket {
+    fn resolve(result: Result<Result<usize, JobError>, TicketError>) -> Result<usize, TicketError> {
+        match result {
+            Ok(Ok(class)) => Ok(class),
+            Ok(Err(JobError::Expired)) => Err(TicketError::Expired),
+            Ok(Err(JobError::Failed)) => Err(TicketError::Failed),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Blocks until the sample's predicted class is available.
     ///
     /// # Errors
     ///
-    /// [`TicketError::Lost`] if the executing worker died without
-    /// answering.
+    /// [`TicketError::Expired`] if the job was shed at its deadline,
+    /// [`TicketError::Failed`] if every supervised execution attempt
+    /// panicked, [`TicketError::Lost`] if the executing worker died
+    /// without answering.
     pub fn wait(self) -> Result<usize, TicketError> {
-        self.result_rx.recv().map_err(|_| TicketError::Lost)
+        Self::resolve(self.result_rx.recv().map_err(|_| TicketError::Lost))
     }
 
     /// Like [`wait`](Self::wait), but gives up after `timeout`.
     ///
     /// # Errors
     ///
-    /// [`TicketError::Lost`] on worker death, [`TicketError::Timeout`]
-    /// on expiry.
+    /// As [`wait`](Self::wait), plus [`TicketError::Timeout`] on expiry.
     pub fn wait_timeout(self, timeout: Duration) -> Result<usize, TicketError> {
-        self.result_rx.recv_timeout(timeout).map_err(|e| match e {
+        Self::resolve(self.result_rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => TicketError::Timeout,
             RecvTimeoutError::Disconnected => TicketError::Lost,
-        })
+        }))
     }
 }
+
+/// Supervision state shared between the workers and the health endpoint:
+/// when the last worker panic happened, as milliseconds since scheduler
+/// start (`u64::MAX` = never).
+struct Supervision {
+    started: Instant,
+    last_panic_ms: AtomicU64,
+}
+
+impl Supervision {
+    fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            last_panic_ms: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn note_panic(&self) {
+        let ms = self.started.elapsed().as_millis() as u64;
+        self.last_panic_ms.store(ms, Ordering::Relaxed);
+    }
+
+    fn last_panic_age(&self) -> Option<Duration> {
+        let ms = self.last_panic_ms.load(Ordering::Relaxed);
+        if ms == u64::MAX {
+            return None;
+        }
+        Some(
+            self.started
+                .elapsed()
+                .saturating_sub(Duration::from_millis(ms)),
+        )
+    }
+}
+
+/// The swappable engine slot the workers serve from. Workers take the
+/// read lock only long enough to clone the inner `Arc`, so a pending
+/// write (hot reload) never waits on inference.
+type EngineSlot = RwLock<Arc<SessionPool>>;
 
 /// The running micro-batching scheduler: one collator thread, a worker
 /// pool, and a bounded admission queue in front.
@@ -187,7 +329,9 @@ impl Ticket {
 pub struct Scheduler {
     queue_tx: Mutex<Option<SyncSender<Job>>>,
     metrics: Arc<ServeMetrics>,
-    pool: Arc<SessionPool>,
+    engine_slot: Arc<EngineSlot>,
+    supervision: Arc<Supervision>,
+    seq: AtomicU64,
     collator: Mutex<Option<JoinHandle<()>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -195,7 +339,7 @@ pub struct Scheduler {
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
-            .field("engine", self.pool.engine())
+            .field("engine", &self.engine())
             .field("queue_depth", &self.metrics.queue_depth.get())
             .finish_non_exhaustive()
     }
@@ -215,6 +359,21 @@ impl Scheduler {
         policy: BatchPolicy,
         metrics: Arc<ServeMetrics>,
     ) -> Self {
+        Self::start_with_faults(engine, policy, metrics, None)
+    }
+
+    /// Starts the scheduler with a deterministic [`FaultPlan`] injected
+    /// at the worker supervision boundary — the test-only hook behind the
+    /// chaos suite and `bench_serve --soak`. Production paths pass
+    /// `None` (via [`start`](Self::start) /
+    /// [`start_with_metrics`](Self::start_with_metrics)) and never
+    /// consult the plan.
+    pub fn start_with_faults(
+        engine: Engine,
+        policy: BatchPolicy,
+        metrics: Arc<ServeMetrics>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let max_batch = policy.max_batch.max(1);
         let max_wait = policy.max_wait;
         let queue_capacity = policy.queue_capacity.max(1);
@@ -223,7 +382,8 @@ impl Scheduler {
             n => n,
         };
 
-        let pool = Arc::new(SessionPool::new(engine));
+        let engine_slot = Arc::new(RwLock::new(Arc::new(SessionPool::new(engine))));
+        let supervision = Arc::new(Supervision::new());
         let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(queue_capacity);
         // Rendezvous dispatch: the collator hands a batch directly to a
         // free worker. While every worker is busy the collator blocks
@@ -244,11 +404,15 @@ impl Scheduler {
         let workers = (0..n_workers)
             .map(|i| {
                 let rx = Arc::clone(&dispatch_rx);
-                let pool = Arc::clone(&pool);
+                let slot = Arc::clone(&engine_slot);
                 let metrics = Arc::clone(&metrics);
+                let supervision = Arc::clone(&supervision);
+                let faults = faults.clone();
                 std::thread::Builder::new()
                     .name(format!("snn-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &pool, &metrics))
+                    .spawn(move || {
+                        worker_loop(&rx, &slot, &metrics, &supervision, faults.as_deref())
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -256,7 +420,9 @@ impl Scheduler {
         Self {
             queue_tx: Mutex::new(Some(queue_tx)),
             metrics,
-            pool,
+            engine_slot,
+            supervision,
+            seq: AtomicU64::new(0),
             collator: Mutex::new(Some(collator)),
             workers: Mutex::new(workers),
         }
@@ -267,9 +433,49 @@ impl Scheduler {
         &self.metrics
     }
 
-    /// The engine being served.
-    pub fn engine(&self) -> &Engine {
-        self.pool.engine()
+    /// The engine currently being served (a cheap clone of the shared
+    /// handle; it stays valid across [`swap_engine`](Self::swap_engine),
+    /// it just stops being the one new batches use).
+    pub fn engine(&self) -> Engine {
+        self.engine_slot
+            .read()
+            .expect("engine slot poisoned")
+            .engine()
+            .clone()
+    }
+
+    /// Time since a worker last caught a panic, if any ever did — the
+    /// readiness endpoint reports `degraded` while this is recent.
+    pub fn last_panic_age(&self) -> Option<Duration> {
+        self.supervision.last_panic_age()
+    }
+
+    /// Atomically replaces the serving engine — the hot-reload primitive.
+    ///
+    /// In-flight batches finish on the old engine (their clone of the
+    /// session pool keeps it alive); every batch dispatched after the
+    /// swap runs on the new one. The old pool's warm buffers are freed as
+    /// the last in-flight reference drops. No request is paused, dropped,
+    /// or answered by a half-swapped engine.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineSwapError::ShapeMismatch`] if the replacement's
+    /// input/output widths differ from the current engine's; the old
+    /// engine keeps serving.
+    pub fn swap_engine(&self, engine: Engine) -> Result<(), EngineSwapError> {
+        let current = self.engine();
+        let cur_shape = (current.network().n_in(), current.network().n_out());
+        let new_shape = (engine.network().n_in(), engine.network().n_out());
+        if cur_shape != new_shape {
+            return Err(EngineSwapError::ShapeMismatch {
+                current: cur_shape,
+                offered: new_shape,
+            });
+        }
+        let fresh = Arc::new(SessionPool::new(engine));
+        *self.engine_slot.write().expect("engine slot poisoned") = fresh;
+        Ok(())
     }
 
     /// Submits one sample for classification.
@@ -283,10 +489,27 @@ impl Scheduler {
     ///
     /// See [`SubmitError`].
     pub fn submit(&self, raster: SpikeRaster) -> Result<Ticket, SubmitError> {
+        self.submit_with_deadline(raster, None)
+    }
+
+    /// Like [`submit`](Self::submit), with a deadline: if it passes
+    /// before the sample is executed, the work is shed (no inference
+    /// time spent) and the ticket resolves to [`TicketError::Expired`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit_with_deadline(
+        &self,
+        raster: SpikeRaster,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         let (result_tx, result_rx) = mpsc::channel();
         let job = Job {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
             raster,
             submitted_at: Instant::now(),
+            deadline,
             result_tx,
         };
         let guard = self.queue_tx.lock().expect("queue sender poisoned");
@@ -345,7 +568,8 @@ impl Drop for Scheduler {
 }
 
 /// Collator loop: drain the admission queue into micro-batches under the
-/// `max_batch` / `max_wait` policy.
+/// `max_batch` / `max_wait` policy, shedding expired jobs before
+/// dispatch.
 fn collate(
     queue_rx: Receiver<Job>,
     dispatch_tx: SyncSender<Vec<Job>>,
@@ -395,12 +619,25 @@ fn collate(
                 }
             }
         }
-        metrics.batches_total.inc();
-        metrics.batch_size.observe(batch.len() as u64);
-        if dispatch_tx.send(batch).is_err() {
-            // Workers are gone (only happens if they all panicked);
-            // nothing left to do but stop collating.
-            return;
+        // Shed expired work before it costs a worker anything: answer
+        // those tickets 504 now and dispatch only live jobs.
+        let now = Instant::now();
+        batch.retain(|job| {
+            if job.expired(now) {
+                metrics.jobs_expired_total.inc();
+                let _ = job.result_tx.send(Err(JobError::Expired));
+                return false;
+            }
+            true
+        });
+        if !batch.is_empty() {
+            metrics.batches_total.inc();
+            metrics.batch_size.observe(batch.len() as u64);
+            if dispatch_tx.send(batch).is_err() {
+                // Workers are gone (only happens if they all panicked
+                // outside supervision); nothing left to do but stop.
+                return;
+            }
         }
         if disconnected {
             return;
@@ -409,11 +646,14 @@ fn collate(
 }
 
 /// Worker loop: take a batch, classify each sample on a pooled session,
-/// deliver each class through its ticket.
+/// deliver each result through its ticket. Panics are caught per job;
+/// see the module docs for the supervision contract.
 fn worker_loop(
     dispatch_rx: &Mutex<Receiver<Vec<Job>>>,
-    pool: &SessionPool,
+    engine_slot: &EngineSlot,
     metrics: &ServeMetrics,
+    supervision: &Supervision,
+    faults: Option<&FaultPlan>,
 ) {
     loop {
         // Standard shared-receiver pattern: the lock is held only while
@@ -426,15 +666,55 @@ fn worker_loop(
                 Err(_) => return, // collator gone and channel drained
             }
         };
+        // Clone the pool handle and release the slot immediately: a hot
+        // reload swapping the slot mid-batch never waits on this batch,
+        // and this batch finishes coherently on the engine it started
+        // with.
+        let pool = Arc::clone(&engine_slot.read().expect("engine slot poisoned"));
         let mut session = pool.acquire();
         for job in batch {
-            let class = session.classify(&job.raster);
-            metrics
-                .job_latency_us
-                .observe(job.submitted_at.elapsed().as_micros() as u64);
+            // Deadlines are re-checked at execution: a job can expire
+            // between collation and its turn within the batch.
+            if job.expired(Instant::now()) {
+                metrics.jobs_expired_total.inc();
+                let _ = job.result_tx.send(Err(JobError::Expired));
+                continue;
+            }
+            let mut attempt = 0u32;
+            let result = loop {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = faults {
+                        plan.apply(job.seq, attempt);
+                    }
+                    session.classify(&job.raster)
+                }));
+                match outcome {
+                    Ok(class) => break Ok(class),
+                    Err(_) => {
+                        // Supervision: count it, quarantine the possibly
+                        // half-updated session buffers, respawn a fresh
+                        // session, and retry the job in place.
+                        metrics.worker_panics_total.inc();
+                        supervision.note_panic();
+                        session.poison();
+                        metrics.sessions_quarantined_total.inc();
+                        session = pool.acquire();
+                        attempt += 1;
+                        if attempt >= MAX_JOB_ATTEMPTS {
+                            break Err(JobError::Failed);
+                        }
+                        metrics.jobs_retried_total.inc();
+                    }
+                }
+            };
+            if result.is_ok() {
+                metrics
+                    .job_latency_us
+                    .observe(job.submitted_at.elapsed().as_micros() as u64);
+            }
             // A dropped receiver (client went away) is not an error; the
             // work is already done.
-            let _ = job.result_tx.send(class);
+            let _ = job.result_tx.send(result);
         }
     }
 }

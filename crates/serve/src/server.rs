@@ -1,6 +1,6 @@
 //! The TCP front end: accepts connections, parses HTTP requests, routes
-//! them through the [`Scheduler`], and exposes health and metrics
-//! endpoints.
+//! them through the [`Scheduler`], and exposes health, metrics, and
+//! admin endpoints.
 //!
 //! Routes:
 //!
@@ -8,19 +8,31 @@
 //! |---|---|---|---|
 //! | `/classify` | POST | one wire-format raster | `{"class": k}` |
 //! | `/classify_batch` | POST | `{"rasters": [...]}` | `{"classes": [...]}` |
-//! | `/healthz` | GET | — | `{"status": "ok", ...}` |
+//! | `/healthz`, `/healthz/live` | GET | — | liveness: `{"status": "ok", ...}` |
+//! | `/healthz/ready` | GET | — | readiness: `"ok"` or `"degraded"` |
 //! | `/metrics` | GET | — | Prometheus text format |
+//! | `/admin/reload` | POST | `{"path": "..."}` (optional) | hot checkpoint reload |
 //!
 //! Admission control: a full scheduler queue answers `503` with a
 //! `Retry-After` header instead of buffering; oversized bodies and
 //! rasters answer `413`/`400` before any allocation proportional to the
-//! claimed size.
+//! claimed size. Requests may carry an `X-Deadline-Ms` header (or
+//! inherit [`ServerConfig::default_deadline_ms`]); work that expires
+//! before execution is shed and answered `504`.
+//!
+//! `/admin/reload` builds a fresh [`Engine`] from a checkpoint on the
+//! connection thread — off the worker path — verifies its integrity
+//! trailer and shape, and atomically swaps it into the scheduler
+//! ([`Scheduler::swap_engine`]). A bad checkpoint answers `400`, a shape
+//! mismatch or concurrent reload answers `409`, and in every failure
+//! case the old engine keeps serving untouched.
 
 use crate::http::{self, HttpError, Request, Response};
 use crate::metrics::ServeMetrics;
-use crate::scheduler::{BatchPolicy, Scheduler, SubmitError};
+use crate::scheduler::{BatchPolicy, EngineSwapError, Scheduler, SubmitError, TicketError};
+use crate::FaultPlan;
 use snn_core::SpikeRaster;
-use snn_engine::Engine;
+use snn_engine::{CheckpointError, Engine};
 use snn_json::Json;
 use std::collections::HashMap;
 use std::io::{self, BufReader};
@@ -50,6 +62,18 @@ pub struct ServerConfig {
     /// answered `503` and closed instead of spawning ever more handler
     /// threads.
     pub max_connections: usize,
+    /// Default checkpoint for `POST /admin/reload` when the request body
+    /// names none.
+    pub checkpoint_path: Option<String>,
+    /// Deadline applied to requests that carry no `X-Deadline-Ms` header
+    /// (`None` = no deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// How long after a caught worker panic `/healthz/ready` keeps
+    /// reporting `degraded`.
+    pub degraded_window: Duration,
+    /// Test-only deterministic fault injection threaded into the
+    /// scheduler (see [`FaultPlan`]); `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -61,8 +85,21 @@ impl Default for ServerConfig {
             max_raster_cells: 1 << 22,
             max_batch_request: 1024,
             max_connections: 1024,
+            checkpoint_path: None,
+            default_deadline_ms: None,
+            degraded_window: Duration::from_secs(2),
+            faults: None,
         }
     }
+}
+
+/// Shared per-server state the connection handlers route against.
+struct Ctx {
+    scheduler: Arc<Scheduler>,
+    config: ServerConfig,
+    /// Serializes `/admin/reload`: a second concurrent reload answers
+    /// `409` instead of racing the first.
+    reload_busy: AtomicBool,
 }
 
 /// A running server; dropping it (or calling
@@ -70,7 +107,7 @@ impl Default for ServerConfig {
 /// in-flight work, and joins every thread.
 pub struct ServerHandle {
     addr: SocketAddr,
-    scheduler: Arc<Scheduler>,
+    ctx: Arc<Ctx>,
     metrics: Arc<ServeMetrics>,
     shutting_down: Arc<AtomicBool>,
     conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
@@ -82,7 +119,7 @@ impl std::fmt::Debug for ServerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHandle")
             .field("addr", &self.addr)
-            .field("engine", self.scheduler.engine())
+            .field("engine", &self.ctx.scheduler.engine())
             .finish_non_exhaustive()
     }
 }
@@ -96,21 +133,26 @@ pub fn serve(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let metrics = Arc::new(ServeMetrics::new());
-    let scheduler = Arc::new(Scheduler::start_with_metrics(
+    let scheduler = Arc::new(Scheduler::start_with_faults(
         engine,
         config.policy,
         Arc::clone(&metrics),
+        config.faults.clone(),
     ));
+    let ctx = Arc::new(Ctx {
+        scheduler,
+        config,
+        reload_busy: AtomicBool::new(false),
+    });
     let shutting_down = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
     let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
     let acceptor = {
-        let scheduler = Arc::clone(&scheduler);
+        let ctx = Arc::clone(&ctx);
         let shutting_down = Arc::clone(&shutting_down);
         let conns = Arc::clone(&conns);
         let conn_threads = Arc::clone(&conn_threads);
-        let config = config.clone();
         std::thread::Builder::new()
             .name("snn-serve-acceptor".into())
             .spawn(move || {
@@ -122,7 +164,7 @@ pub fn serve(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
                     let Ok(mut stream) = stream else { continue };
                     // Connection-level admission control: refuse past the
                     // cap rather than spawning unbounded handler threads.
-                    if conns.lock().expect("conn registry").len() >= config.max_connections {
+                    if conns.lock().expect("conn registry").len() >= ctx.config.max_connections {
                         let _ = Response::error(503, "too many connections")
                             .with_header("Retry-After", "1")
                             .write_to(&mut stream, false);
@@ -139,13 +181,12 @@ pub fn serve(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
                     if let Ok(clone) = stream.try_clone() {
                         conns.lock().expect("conn registry").insert(id, clone);
                     }
-                    let scheduler = Arc::clone(&scheduler);
+                    let ctx = Arc::clone(&ctx);
                     let conns = Arc::clone(&conns);
-                    let config = config.clone();
                     let handle = std::thread::Builder::new()
                         .name(format!("snn-serve-conn-{id}"))
                         .spawn(move || {
-                            let _ = handle_connection(stream, &scheduler, &config);
+                            let _ = handle_connection(stream, &ctx);
                             conns.lock().expect("conn registry").remove(&id);
                         });
                     if let Ok(handle) = handle {
@@ -158,7 +199,7 @@ pub fn serve(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
 
     Ok(ServerHandle {
         addr,
-        scheduler,
+        ctx,
         metrics,
         shutting_down,
         conns,
@@ -180,7 +221,7 @@ impl ServerHandle {
 
     /// The embedded scheduler.
     pub fn scheduler(&self) -> &Scheduler {
-        &self.scheduler
+        &self.ctx.scheduler
     }
 
     /// Gracefully shuts the server down:
@@ -206,7 +247,7 @@ impl ServerHandle {
         }
         // Drain in-flight batches: connection handlers holding tickets
         // get their answers and write their responses.
-        self.scheduler.shutdown();
+        self.ctx.scheduler.shutdown();
         // Grace period for handlers to finish writing, then force-close
         // whatever is left (idle keep-alive connections blocked in read).
         let deadline = Instant::now() + Duration::from_secs(2);
@@ -238,17 +279,13 @@ impl Drop for ServerHandle {
 }
 
 /// Serves one connection until close, EOF, or protocol error.
-fn handle_connection(
-    stream: TcpStream,
-    scheduler: &Scheduler,
-    config: &ServerConfig,
-) -> io::Result<()> {
+fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let metrics = scheduler.metrics();
+    let metrics = ctx.scheduler.metrics();
     loop {
-        let request = match http::read_request(&mut reader, config.max_body_bytes) {
+        let request = match http::read_request(&mut reader, ctx.config.max_body_bytes) {
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()), // clean close
             Err(HttpError::Io(e)) => return Err(e),
@@ -275,7 +312,7 @@ fn handle_connection(
         metrics.requests_total.inc();
         let started = Instant::now();
         let keep_alive = request.keep_alive;
-        let response = route(&request, scheduler, config);
+        let response = route(&request, ctx);
         count_response(metrics, response.status);
         metrics
             .request_latency_us
@@ -296,40 +333,40 @@ fn count_response(metrics: &ServeMetrics, status: u16) {
 }
 
 /// Dispatches one parsed request to its route handler.
-fn route(request: &Request, scheduler: &Scheduler, config: &ServerConfig) -> Response {
+fn route(request: &Request, ctx: &Ctx) -> Response {
     match (request.method.as_str(), request.path()) {
-        ("POST", "/classify") => classify_one(&request.body, scheduler, config),
-        ("POST", "/classify_batch") => classify_batch(&request.body, scheduler, config),
-        ("GET", "/healthz") => healthz(scheduler),
-        ("GET", "/metrics") => Response::text(200, scheduler.metrics().render()),
-        (_, "/classify" | "/classify_batch") => Response::error(405, "use POST"),
-        (_, "/healthz" | "/metrics") => Response::error(405, "use GET"),
+        ("POST", "/classify") => classify_one(request, ctx),
+        ("POST", "/classify_batch") => classify_batch(request, ctx),
+        ("POST", "/admin/reload") => admin_reload(&request.body, ctx),
+        ("GET", "/healthz" | "/healthz/live") => liveness(ctx),
+        ("GET", "/healthz/ready") => readiness(ctx),
+        ("GET", "/metrics") => Response::text(200, ctx.scheduler.metrics().render()),
+        (_, "/classify" | "/classify_batch" | "/admin/reload") => Response::error(405, "use POST"),
+        (_, "/healthz" | "/healthz/live" | "/healthz/ready" | "/metrics") => {
+            Response::error(405, "use GET")
+        }
         _ => Response::error(404, "unknown route"),
     }
 }
 
 /// Parses one wire-format raster, enforcing the declared-size cap before
 /// any proportional allocation and the engine's input width.
-fn parse_raster(
-    v: &Json,
-    scheduler: &Scheduler,
-    config: &ServerConfig,
-) -> Result<SpikeRaster, Response> {
+fn parse_raster(v: &Json, ctx: &Ctx) -> Result<SpikeRaster, Response> {
     let steps = v.get("steps").and_then(Json::as_usize).unwrap_or(0);
     let channels = v.get("channels").and_then(Json::as_usize).unwrap_or(0);
     let cells = steps.saturating_mul(channels);
-    if cells > config.max_raster_cells {
+    if cells > ctx.config.max_raster_cells {
         return Err(Response::error(
             400,
             &format!(
                 "raster of {steps}x{channels} cells exceeds limit of {} cells",
-                config.max_raster_cells
+                ctx.config.max_raster_cells
             ),
         ));
     }
     let raster = SpikeRaster::from_json(v)
         .map_err(|e| Response::error(400, &format!("invalid raster: {e}")))?;
-    let expected = scheduler.engine().network().n_in();
+    let expected = ctx.scheduler.engine().network().n_in();
     if raster.channels() != expected {
         return Err(Response::error(
             400,
@@ -342,6 +379,24 @@ fn parse_raster(
     Ok(raster)
 }
 
+/// Resolves the request's execution deadline: `X-Deadline-Ms` header if
+/// present (must be a positive integer), else the configured default.
+fn request_deadline(request: &Request, ctx: &Ctx) -> Result<Option<Instant>, Response> {
+    let ms = match request.header("x-deadline-ms") {
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Some(ms),
+            _ => {
+                return Err(Response::error(
+                    400,
+                    &format!("invalid X-Deadline-Ms value {raw:?}"),
+                ))
+            }
+        },
+        None => ctx.config.default_deadline_ms,
+    };
+    Ok(ms.map(|ms| Instant::now() + Duration::from_millis(ms)))
+}
+
 fn submit_error_response(err: SubmitError) -> Response {
     match err {
         SubmitError::QueueFull => Response::error(503, "admission queue full, retry later")
@@ -350,59 +405,78 @@ fn submit_error_response(err: SubmitError) -> Response {
     }
 }
 
+fn ticket_error_response(err: TicketError) -> Response {
+    match err {
+        TicketError::Expired => Response::error(504, "deadline exceeded"),
+        // A supervised execution failure is transient (the session was
+        // respawned) and job-specific, not a load signal: 503 so the
+        // client retries, but no Retry-After floor slowing it down.
+        TicketError::Failed => Response::error(503, "execution failed, retry later"),
+        TicketError::Lost | TicketError::Timeout => Response::error(500, "worker failed"),
+    }
+}
+
 /// `POST /classify` — one raster in, one class out.
-fn classify_one(body: &[u8], scheduler: &Scheduler, config: &ServerConfig) -> Response {
-    let doc = match parse_json_body(body) {
+fn classify_one(request: &Request, ctx: &Ctx) -> Response {
+    let doc = match parse_json_body(&request.body) {
         Ok(doc) => doc,
         Err(resp) => return resp,
     };
-    let raster = match parse_raster(&doc, scheduler, config) {
+    let raster = match parse_raster(&doc, ctx) {
         Ok(r) => r,
         Err(resp) => return resp,
     };
-    let ticket = match scheduler.submit(raster) {
+    let deadline = match request_deadline(request, ctx) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let ticket = match ctx.scheduler.submit_with_deadline(raster, deadline) {
         Ok(t) => t,
         Err(e) => return submit_error_response(e),
     };
     match ticket.wait() {
         Ok(class) => Response::json(200, format!("{{\"class\": {class}}}")),
-        Err(_) => Response::error(500, "worker failed"),
+        Err(e) => ticket_error_response(e),
     }
 }
 
 /// `POST /classify_batch` — a caller-assembled batch; each sample still
 /// flows through the scheduler, so it shares admission control and may be
 /// collated with other requests' samples.
-fn classify_batch(body: &[u8], scheduler: &Scheduler, config: &ServerConfig) -> Response {
-    let doc = match parse_json_body(body) {
+fn classify_batch(request: &Request, ctx: &Ctx) -> Response {
+    let doc = match parse_json_body(&request.body) {
         Ok(doc) => doc,
         Err(resp) => return resp,
     };
     let Some(rasters) = doc.get("rasters").and_then(Json::as_array) else {
         return Response::error(400, "missing \"rasters\" array");
     };
-    if rasters.len() > config.max_batch_request {
+    if rasters.len() > ctx.config.max_batch_request {
         return Response::error(
             400,
             &format!(
                 "batch of {} samples exceeds limit of {}",
                 rasters.len(),
-                config.max_batch_request
+                ctx.config.max_batch_request
             ),
         );
     }
     let mut parsed = Vec::with_capacity(rasters.len());
     for v in rasters {
-        match parse_raster(v, scheduler, config) {
+        match parse_raster(v, ctx) {
             Ok(r) => parsed.push(r),
             Err(resp) => return resp,
         }
     }
+    let deadline = match request_deadline(request, ctx) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
     // All-or-nothing admission keeps the response shape simple: a batch
     // either gets `classes` for every sample or a single 503.
     let mut tickets = Vec::with_capacity(parsed.len());
     for raster in parsed {
-        match scheduler.submit(raster) {
+        match ctx.scheduler.submit_with_deadline(raster, deadline) {
             Ok(t) => tickets.push(t),
             Err(e) => {
                 // Already-submitted samples still run (their tickets are
@@ -415,21 +489,113 @@ fn classify_batch(body: &[u8], scheduler: &Scheduler, config: &ServerConfig) -> 
     for ticket in tickets {
         match ticket.wait() {
             Ok(class) => classes.push(class),
-            Err(_) => return Response::error(500, "worker failed"),
+            Err(e) => return ticket_error_response(e),
         }
     }
     let body: Vec<String> = classes.iter().map(|c| c.to_string()).collect();
     Response::json(200, format!("{{\"classes\": [{}]}}", body.join(", ")))
 }
 
-/// `GET /healthz` — liveness plus a queue-depth snapshot.
-fn healthz(scheduler: &Scheduler) -> Response {
-    let metrics = scheduler.metrics();
+/// `POST /admin/reload` — hot checkpoint reload. The new engine is built
+/// on this connection thread (inference workers never stall on it),
+/// integrity-verified by the checkpoint loader, shape-checked, and then
+/// atomically swapped into the scheduler. On any failure the old engine
+/// keeps serving.
+fn admin_reload(body: &[u8], ctx: &Ctx) -> Response {
+    let metrics = ctx.scheduler.metrics();
+    let path = match reload_path(body, ctx) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    if ctx.reload_busy.swap(true, Ordering::SeqCst) {
+        return Response::error(409, "reload already in flight");
+    }
+    metrics.reload_in_flight.inc();
+    let response = match load_and_swap(&path, ctx) {
+        Ok(()) => {
+            metrics.reloads_total.inc();
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\": \"reloaded\", \"path\": {}}}",
+                    Json::from(path.as_str())
+                ),
+            )
+        }
+        Err(resp) => {
+            metrics.reload_failures_total.inc();
+            resp
+        }
+    };
+    metrics.reload_in_flight.dec();
+    ctx.reload_busy.store(false, Ordering::SeqCst);
+    response
+}
+
+fn reload_path(body: &[u8], ctx: &Ctx) -> Result<String, Response> {
+    let from_body = if body.is_empty() {
+        None
+    } else {
+        let doc = parse_json_body(body)?;
+        doc.get("path").and_then(Json::as_str).map(str::to_string)
+    };
+    from_body
+        .or_else(|| ctx.config.checkpoint_path.clone())
+        .ok_or_else(|| {
+            Response::error(
+                400,
+                "no checkpoint path: pass {\"path\": ...} or configure checkpoint_path",
+            )
+        })
+}
+
+fn load_and_swap(path: &str, ctx: &Ctx) -> Result<(), Response> {
+    let threads = ctx.scheduler.engine().threads();
+    let engine = Engine::load(path)
+        .map_err(|e: CheckpointError| Response::error(400, &format!("checkpoint rejected: {e}")))?
+        .threads(threads)
+        .build();
+    ctx.scheduler.swap_engine(engine).map_err(|e| match e {
+        EngineSwapError::ShapeMismatch { .. } => Response::error(409, &format!("{e}")),
+    })
+}
+
+/// `GET /healthz` and `/healthz/live` — liveness: the process is up and
+/// routing requests. Never reports `degraded`; restart decisions belong
+/// to readiness consumers, not liveness ones.
+fn liveness(ctx: &Ctx) -> Response {
+    let metrics = ctx.scheduler.metrics();
     Response::json(
         200,
         format!(
             "{{\"status\": \"ok\", \"backend\": \"{}\", \"queue_depth\": {}}}",
-            scheduler.engine().backend().label(),
+            ctx.scheduler.engine().backend().label(),
+            metrics.queue_depth.get(),
+        ),
+    )
+}
+
+/// `GET /healthz/ready` — readiness: `degraded` while a hot reload is in
+/// flight or a worker panic was caught within the configured window, so
+/// load balancers can steer traffic away while the server heals, without
+/// the process getting restarted (it is still live).
+fn readiness(ctx: &Ctx) -> Response {
+    let metrics = ctx.scheduler.metrics();
+    let reload_in_flight = metrics.reload_in_flight.get() > 0;
+    let recent_panic = ctx
+        .scheduler
+        .last_panic_age()
+        .is_some_and(|age| age <= ctx.config.degraded_window);
+    let status = if reload_in_flight || recent_panic {
+        "degraded"
+    } else {
+        "ok"
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\": \"{status}\", \"reload_in_flight\": {reload_in_flight}, \
+             \"recent_worker_panic\": {recent_panic}, \"queue_depth\": {}}}",
             metrics.queue_depth.get(),
         ),
     )

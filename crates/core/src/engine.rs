@@ -83,6 +83,34 @@ pub trait InferenceBackend: Send + Sync {
 
     /// Runs one input through the backend into reusable buffers.
     fn forward_into(&self, input: &SpikeRaster, fwd: &mut Forward, scratch: &mut ScratchSpace);
+
+    /// How a [`StreamSession`](crate::stream::StreamSession) must step
+    /// this backend to stay bitwise-identical to
+    /// [`forward_into`](Self::forward_into).
+    ///
+    /// The default is [`StreamMode::Sparse`], correct for any backend
+    /// whose `forward_into` bottoms out in the event-driven
+    /// [`Network::forward_into`] rollout (the bare network, the sparse
+    /// backend, and the hardware backend, which replays its *effective*
+    /// network through the sparse kernels). Backends with a different
+    /// arithmetic path must override — the dense reference does, because
+    /// its per-step matrix–vector products order the floating-point
+    /// reductions differently.
+    fn stream_mode(&self) -> StreamMode {
+        StreamMode::Sparse
+    }
+}
+
+/// Which per-step arithmetic a [`StreamSession`](crate::stream::StreamSession)
+/// replays for a backend (see [`InferenceBackend::stream_mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// Event-driven stepping (`DenseLayer::step_events`), matching the
+    /// sparse rollout bitwise.
+    Sparse,
+    /// Dense per-row matrix–vector stepping (`DenseLayer::step_dense`),
+    /// matching the dense reference rollout bitwise.
+    Dense,
 }
 
 /// A bare [`Network`] is the sparse (event-driven) backend: this impl is
@@ -156,6 +184,10 @@ impl InferenceBackend for DenseBackend {
 
     fn forward_into(&self, input: &SpikeRaster, fwd: &mut Forward, scratch: &mut ScratchSpace) {
         self.net.forward_dense_into(input, fwd, scratch);
+    }
+
+    fn stream_mode(&self) -> StreamMode {
+        StreamMode::Dense
     }
 }
 
@@ -299,6 +331,14 @@ impl Engine {
     /// buffers. Sessions are independent; open one per worker.
     pub fn session(&self) -> Session<'_> {
         Session::new(&*self.backend)
+    }
+
+    /// Opens a stateful streaming session: membrane and trace state stay
+    /// resident between event chunks, and the rollout is bitwise
+    /// identical to replaying the concatenated raster through
+    /// [`session`](Self::session). See [`crate::stream`].
+    pub fn stream_session(&self) -> crate::stream::StreamSession {
+        crate::stream::StreamSession::new(self)
     }
 
     /// Classifies a batch, fanning chunks of [`BATCH_CHUNK`] samples

@@ -500,6 +500,155 @@ impl DenseLayer {
             }
         }
     }
+
+    /// One event-driven timestep over **carried** state — the streaming
+    /// form of [`forward_steps`](Self::forward_steps).
+    ///
+    /// `active` lists this step's input spike channels (ascending),
+    /// `prev_fired` this layer's own output spikes from the previous
+    /// step (empty at stream start), and `scratch` carries the layer
+    /// state (`trace_out`, `drive`) across calls — the caller owns it,
+    /// sizes it for this layer before the first step, and never resizes
+    /// it mid-stream. `fired` is cleared and receives this step's output
+    /// spikes (ascending).
+    ///
+    /// The loop body is op-for-op identical to one iteration of the
+    /// [`forward_steps`](Self::forward_steps) rollout minus the BPTT
+    /// record writes (which feed no dynamics), so a step-at-a-time
+    /// rollout over a stream of chunks is **bitwise identical** to the
+    /// batch rollout over the concatenated raster. The input trace
+    /// `trace_in` is not maintained here: in the event-driven path it
+    /// exists only for the training record.
+    pub fn step_events(
+        &self,
+        active: &[usize],
+        prev_fired: &[usize],
+        scratch: &mut LayerScratch,
+        fired: &mut Vec<usize>,
+    ) {
+        let n_out = self.n_out();
+        let mirror = self.fresh_mirror();
+        fired.clear();
+        match self.kind {
+            NeuronKind::Adaptive => {
+                let alpha = self.params.synapse_decay();
+                let beta = self.params.reset_decay();
+                let (theta, v_th) = (self.params.theta, self.params.v_th);
+                let LayerScratch {
+                    trace_out: h,
+                    drive: g,
+                    ..
+                } = scratch;
+                // g[t] = α·g[t−1] + Σ active columns  (eq. 7, factored)
+                kernels::scale(alpha, g);
+                mirror.cols.accumulate_columns(active, g);
+                kernels::scale(beta, h); // eq. 8 decay
+                for &i in prev_fired {
+                    h[i] += 1.0; // eq. 8: last step's spikes charge h
+                }
+                for i in 0..n_out {
+                    let vi = g[i] - theta * h[i]; // eq. 6
+                    if vi >= v_th {
+                        fired.push(i); // eq. 10
+                    }
+                }
+            }
+            NeuronKind::HardReset | NeuronKind::HardResetMatched => {
+                let lambda = self.params.synapse_decay();
+                let gain = self.kind.input_gain(&self.params);
+                let v_th = self.params.v_th;
+                let LayerScratch {
+                    trace_out: vm,
+                    drive: current,
+                    ..
+                } = scratch;
+                current.fill(0.0);
+                mirror.cols.accumulate_columns(active, current);
+                for i in 0..n_out {
+                    let vi = lambda * vm[i] + gain * current[i];
+                    if vi >= v_th {
+                        fired.push(i);
+                        vm[i] = 0.0; // eq. 1b: hard reset
+                    } else {
+                        vm[i] = vi;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One dense timestep over **carried** state — the streaming form of
+    /// [`forward_dense_into`](Self::forward_dense_into).
+    ///
+    /// `input` is this step's dense input row (length `n_in`),
+    /// `prev_out` this layer's own output row from the previous step
+    /// (all zeros at stream start), and `out` receives this step's 0/1
+    /// output row (length `n_out`). `scratch` carries the layer state
+    /// across calls under the same rules as
+    /// [`step_events`](Self::step_events).
+    ///
+    /// Bitwise identical to the batch rollout: the only divergence from
+    /// the [`forward_dense_into`](Self::forward_dense_into) loop body is
+    /// that the `t = 0` reset-trace charge is an add of an all-zero row
+    /// instead of a skip, and `x + 0.0 == x` bitwise for every value the
+    /// non-negative trace can hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the layer shape.
+    pub fn step_dense(
+        &self,
+        input: &[f32],
+        prev_out: &[f32],
+        scratch: &mut LayerScratch,
+        out: &mut [f32],
+    ) {
+        let n_out = self.n_out();
+        assert_eq!(input.len(), self.n_in(), "input row width mismatch");
+        assert_eq!(prev_out.len(), n_out, "prev output row width mismatch");
+        assert_eq!(out.len(), n_out, "output row width mismatch");
+        match self.kind {
+            NeuronKind::Adaptive => {
+                let alpha = self.params.synapse_decay();
+                let beta = self.params.reset_decay();
+                let (theta, v_th) = (self.params.theta, self.params.v_th);
+                let LayerScratch {
+                    trace_in: k,
+                    trace_out: h,
+                    drive: g,
+                } = scratch;
+                for (ki, &xi) in k.iter_mut().zip(input) {
+                    *ki = alpha * *ki + xi; // eq. 9
+                }
+                self.weights.matvec_into(k, g); // eq. 7, dense product
+                kernels::scale(beta, h); // eq. 8 decay
+                for (hi, &o) in h.iter_mut().zip(prev_out) {
+                    *hi += o; // eq. 8: last step's spikes charge h
+                }
+                for i in 0..n_out {
+                    let vi = g[i] - theta * h[i]; // eq. 6
+                    out[i] = if vi >= v_th { 1.0 } else { 0.0 }; // eq. 10
+                }
+            }
+            NeuronKind::HardReset | NeuronKind::HardResetMatched => {
+                let lambda = self.params.synapse_decay();
+                let gain = self.kind.input_gain(&self.params);
+                let v_th = self.params.v_th;
+                let LayerScratch {
+                    trace_out: vm,
+                    drive: current,
+                    ..
+                } = scratch;
+                self.weights.matvec_into(input, current);
+                for i in 0..n_out {
+                    let vi = lambda * vm[i] + gain * current[i];
+                    let fired = vi >= v_th;
+                    out[i] = if fired { 1.0 } else { 0.0 };
+                    vm[i] = if fired { 0.0 } else { vi }; // eq. 1b: hard reset
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

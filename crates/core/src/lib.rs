@@ -69,6 +69,7 @@ pub mod metrics;
 mod network;
 mod scratch;
 pub mod spike;
+pub mod stream;
 pub mod train;
 
 pub use layer::{DenseLayer, LayerRecord, NeuronKind};

@@ -250,6 +250,55 @@ impl SpikeRaster {
         Ok(r)
     }
 
+    /// Encodes the raster as `(dt, channel)` event deltas — the payload
+    /// of the binary streaming wire format (`snn-serve` `EVENTS`
+    /// frames). `dt` is the timestep delta from the previous event (the
+    /// first event's delta is from step 0), so a time-ordered event
+    /// stream needs only small non-negative integers regardless of the
+    /// raster length.
+    pub fn delta_events(&self) -> Vec<(usize, usize)> {
+        let mut prev = 0usize;
+        self.events()
+            .into_iter()
+            .map(|(t, c)| {
+                let dt = t - prev;
+                prev = t;
+                (dt, c)
+            })
+            .collect()
+    }
+
+    /// Rebuilds a raster from `(dt, channel)` deltas written by
+    /// [`delta_events`](Self::delta_events). Like
+    /// [`from_json`](Self::from_json) this is the strict wire-format
+    /// decoder: an event that lands outside `steps × channels` is a
+    /// protocol error, not a droppable crop artefact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first out-of-range
+    /// event.
+    pub fn from_delta_events(
+        steps: usize,
+        channels: usize,
+        deltas: &[(usize, usize)],
+    ) -> Result<Self, String> {
+        let mut r = Self::zeros(steps, channels);
+        let mut t = 0usize;
+        for (i, &(dt, c)) in deltas.iter().enumerate() {
+            t = t
+                .checked_add(dt)
+                .ok_or_else(|| format!("event {i}: timestep overflow"))?;
+            if t >= steps || c >= channels {
+                return Err(format!(
+                    "event {i} at ({t},{c}) outside {steps}x{channels} raster"
+                ));
+            }
+            r.set(t, c, true);
+        }
+        Ok(r)
+    }
+
     /// Renders a textual raster plot (`time →` on x, channels on y),
     /// used by the figure harnesses. Channels are downsampled to at most
     /// `max_rows` rows.
@@ -740,6 +789,28 @@ mod tests {
             let err = SpikeRaster::from_json(&Json::parse(src).unwrap()).unwrap_err();
             assert!(err.contains(why), "{src}: {err}");
         }
+    }
+
+    #[test]
+    fn delta_events_roundtrip() {
+        let r = SpikeRaster::from_events(12, 5, &[(0, 1), (0, 4), (3, 0), (3, 2), (11, 3)]);
+        let deltas = r.delta_events();
+        assert_eq!(deltas, vec![(0, 1), (0, 4), (3, 0), (0, 2), (8, 3)]);
+        let back = SpikeRaster::from_delta_events(12, 5, &deltas).unwrap();
+        assert_eq!(back, r);
+        let empty = SpikeRaster::zeros(4, 3);
+        let back = SpikeRaster::from_delta_events(4, 3, &empty.delta_events()).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn delta_events_rejects_out_of_range() {
+        let err = SpikeRaster::from_delta_events(3, 2, &[(0, 0), (3, 1)]).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+        let err = SpikeRaster::from_delta_events(3, 2, &[(0, 2)]).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+        let err = SpikeRaster::from_delta_events(3, 2, &[(1, 0), (usize::MAX, 0)]).unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
     }
 
     #[test]

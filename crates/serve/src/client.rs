@@ -10,6 +10,7 @@
 //! the server's live state.
 
 use crate::http::{self, HttpError, ParsedResponse};
+use crate::wire::{self, ErrorCode, Frame, Reply, WireError};
 use snn_core::SpikeRaster;
 use snn_json::Json;
 use snn_tensor::Rng;
@@ -341,6 +342,14 @@ impl RetryPolicy {
 /// server *rejected* wastes the budget, retrying one the server *shed at
 /// its deadline* is the client's deadline policy, not the transport's.
 ///
+/// **Not applicable mid-stream.** A [`StreamClient`] session carries
+/// resident membrane state on one sticky server worker; a failed stream
+/// cannot be transparently replayed, because the already-fed events are
+/// gone with the state. The server answers a typed `SESSION_LOST` /
+/// `EVICTED` error instead, and recovery — reopening a fresh session and
+/// re-feeding from the caller's own event source — is an application
+/// decision, not a transport retry.
+///
 /// # Examples
 ///
 /// ```no_run
@@ -449,5 +458,256 @@ impl Retrier {
         raster: &SpikeRaster,
     ) -> Result<usize, ClientError> {
         self.run(client, |c| c.classify(raster))
+    }
+}
+
+/// Most `(dt, channel)` pairs one `EVENTS` frame can carry under
+/// [`wire::MAX_FRAME_PAYLOAD`]; [`StreamClient::feed`] chunks larger
+/// batches transparently (delta encoding is cumulative, so a split at
+/// any boundary preserves meaning).
+const MAX_EVENTS_PER_FRAME: usize = (wire::MAX_FRAME_PAYLOAD - 4) / 4;
+
+/// Error talking to the binary streaming endpoint.
+#[derive(Debug)]
+pub enum StreamClientError {
+    /// Transport or framing failure.
+    Transport(WireError),
+    /// The server answered with a typed `ERROR` frame.
+    Server {
+        /// Typed error code (e.g. [`ErrorCode::SessionLost`]).
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server broke the reply protocol (wrong reply type, or the
+    /// connection closed where a reply was due).
+    Protocol(String),
+}
+
+impl std::fmt::Display for StreamClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamClientError::Transport(e) => write!(f, "stream transport error: {e}"),
+            StreamClientError::Server { code, message } => {
+                write!(f, "server answered {code}: {message}")
+            }
+            StreamClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamClientError {}
+
+impl From<WireError> for StreamClientError {
+    fn from(e: WireError) -> Self {
+        StreamClientError::Transport(e)
+    }
+}
+
+impl From<io::Error> for StreamClientError {
+    fn from(e: io::Error) -> Self {
+        StreamClientError::Transport(WireError::Io(e))
+    }
+}
+
+impl StreamClientError {
+    /// The typed server error code, when the server did answer one.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            StreamClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// One streaming session over one connection, speaking the binary wire
+/// protocol (see [`crate::wire`]).
+///
+/// [`open`](Self::open) performs the `HELLO` handshake; afterwards
+/// [`feed`](Self::feed) and [`tick`](Self::tick) pipeline
+/// unacknowledged event and advance frames, and the synchronous calls —
+/// [`readout`](Self::readout), [`reset`](Self::reset),
+/// [`close`](Self::close) — surface any error the server latched while
+/// processing them. There is no retry layer for streams (see
+/// [`Retrier`]); a [`StreamClientError::Server`] with
+/// [`ErrorCode::SessionLost`] or [`ErrorCode::Evicted`] means the
+/// resident state is gone and the caller must reopen and re-feed.
+pub struct StreamClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    session_id: u64,
+    n_in: u32,
+    n_out: u32,
+}
+
+impl std::fmt::Debug for StreamClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamClient")
+            .field("session_id", &self.session_id)
+            .field("n_in", &self.n_in)
+            .field("n_out", &self.n_out)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamClient {
+    /// Connects and opens a session for `n_in` input channels.
+    /// `max_pending` caps how far ahead of the committed frontier events
+    /// may be buffered server-side (`0` = server default).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamClientError::Server`] with [`ErrorCode::Shape`] on an
+    /// input-width mismatch or [`ErrorCode::Capacity`] when the server
+    /// is at its resident-session cap; transport failures otherwise.
+    pub fn open(addr: SocketAddr, n_in: u32, max_pending: u32) -> Result<Self, StreamClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut client = Self {
+            reader: BufReader::new(stream),
+            writer,
+            session_id: 0,
+            n_in: 0,
+            n_out: 0,
+        };
+        client.writer.write_all(&wire::MAGIC)?;
+        Frame::Hello { n_in, max_pending }.write_to(&mut client.writer)?;
+        client.writer.flush()?;
+        match client.read_reply()? {
+            Reply::HelloOk {
+                session_id,
+                n_in,
+                n_out,
+            } => {
+                client.session_id = session_id;
+                client.n_in = n_in;
+                client.n_out = n_out;
+                Ok(client)
+            }
+            Reply::Error { code, message } => Err(StreamClientError::Server { code, message }),
+            other => Err(StreamClientError::Protocol(format!(
+                "expected HELLO_OK, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Input channels the session expects.
+    pub fn n_in(&self) -> u32 {
+        self.n_in
+    }
+
+    /// Output classes the model produces.
+    pub fn n_out(&self) -> u32 {
+        self.n_out
+    }
+
+    /// Sets a read timeout for synchronous replies (`None` blocks
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option error.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Pipelines `(dt, channel)` event deltas (the
+    /// [`SpikeRaster::delta_events`] encoding) without waiting for an
+    /// acknowledgement; batches larger than one frame are split
+    /// transparently. Decode errors (bad channel, event in the past) are
+    /// latched server-side and surface at the next synchronous call.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn feed(&mut self, deltas: &[(u16, u16)]) -> Result<(), StreamClientError> {
+        for chunk in deltas.chunks(MAX_EVENTS_PER_FRAME.max(1)) {
+            Frame::Events(chunk.to_vec()).write_to(&mut self.writer)?;
+        }
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Pipelines a `TICK` frame committing `advance` timesteps through
+    /// the network (unacknowledged, like [`feed`](Self::feed)).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn tick(&mut self, advance: u32) -> Result<(), StreamClientError> {
+        Frame::Tick { advance }.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Synchronous readout: `(argmax class, committed steps)` from the
+    /// session's accumulated output spike counts.
+    ///
+    /// # Errors
+    ///
+    /// Any error latched by earlier [`feed`](Self::feed) /
+    /// [`tick`](Self::tick) frames, a typed session-loss error, or a
+    /// transport failure.
+    pub fn readout(&mut self) -> Result<(u32, u64), StreamClientError> {
+        Frame::Readout.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        match self.read_reply()? {
+            Reply::Readout { class, steps } => Ok((class, steps)),
+            Reply::Error { code, message } => Err(StreamClientError::Server { code, message }),
+            other => Err(StreamClientError::Protocol(format!(
+                "expected READOUT_REPLY, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Synchronously resets the session to its freshly-opened state
+    /// (keeping it resident).
+    ///
+    /// # Errors
+    ///
+    /// Like [`readout`](Self::readout).
+    pub fn reset(&mut self) -> Result<(), StreamClientError> {
+        Frame::Reset.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        self.expect_ok("RESET")
+    }
+
+    /// Closes the session, releasing its resident state, and consumes
+    /// the client. Dropping a [`StreamClient`] without calling this is
+    /// safe — the server reclaims the session when the connection drops
+    /// — but closing surfaces any error still latched.
+    ///
+    /// # Errors
+    ///
+    /// Like [`readout`](Self::readout).
+    pub fn close(mut self) -> Result<(), StreamClientError> {
+        Frame::Close.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        self.expect_ok("CLOSE")
+    }
+
+    fn expect_ok(&mut self, what: &str) -> Result<(), StreamClientError> {
+        match self.read_reply()? {
+            Reply::Ok => Ok(()),
+            Reply::Error { code, message } => Err(StreamClientError::Server { code, message }),
+            other => Err(StreamClientError::Protocol(format!(
+                "expected OK to {what}, got {other:?}"
+            ))),
+        }
+    }
+
+    fn read_reply(&mut self) -> Result<Reply, StreamClientError> {
+        match Reply::read_from(&mut self.reader)? {
+            Some(reply) => Ok(reply),
+            None => Err(StreamClientError::Protocol(
+                "connection closed where a reply was due".to_string(),
+            )),
+        }
     }
 }

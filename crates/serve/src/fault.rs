@@ -58,6 +58,11 @@ pub struct FaultPlan {
     /// means both in-process attempts fail and the request surfaces as a
     /// 503.
     pub panic_attempts: u32,
+    /// Probability that a stream worker command panics mid-stream —
+    /// stateful streams are never retried (the resident state is what
+    /// panicked), so every scheduled panic quarantines the worker's
+    /// sessions and surfaces as a typed `SESSION_LOST` frame.
+    pub stream_panic_rate: f64,
 }
 
 impl FaultPlan {
@@ -70,6 +75,7 @@ impl FaultPlan {
             latency: Duration::from_millis(2),
             corrupt_rate: 0.0,
             panic_attempts: 1,
+            stream_panic_rate: 0.0,
         }
     }
 
@@ -96,6 +102,13 @@ impl FaultPlan {
     /// [`panic_attempts`](Self::panic_attempts)).
     pub fn with_panic_attempts(mut self, attempts: u32) -> Self {
         self.panic_attempts = attempts;
+        self
+    }
+
+    /// Sets the stream-worker panic probability (see
+    /// [`stream_panic_rate`](Self::stream_panic_rate)).
+    pub fn with_stream_panic_rate(mut self, rate: f64) -> Self {
+        self.stream_panic_rate = rate;
         self
     }
 
@@ -150,6 +163,22 @@ impl FaultPlan {
     /// `snn_worker_panics_total` a run must report.
     pub fn count_panics(&self, n: u64) -> u64 {
         (0..n).filter(|&seq| self.injects_panic(seq, 0)).count() as u64
+    }
+
+    /// Whether stream command `seq` (a per-session command counter mixed
+    /// with the session id) is scheduled to panic its worker.
+    pub fn injects_stream_panic(&self, seq: u64) -> bool {
+        self.unit(seq, 4) < self.stream_panic_rate
+    }
+
+    /// Executes the stream fault scheduled for `seq`: panics (with the
+    /// [`INJECTED_PANIC`] marker) if scheduled. Called by stream workers
+    /// inside their supervision boundary; there is no retry — the panic
+    /// quarantines every session resident on the worker.
+    pub fn apply_stream(&self, seq: u64) {
+        if self.injects_stream_panic(seq) {
+            panic!("{INJECTED_PANIC}: stream command {seq}");
+        }
     }
 }
 
@@ -244,8 +273,25 @@ mod tests {
             assert!(!plan.injects_panic(seq, 0));
             assert!(plan.injected_latency(seq).is_none());
             assert!(!plan.corrupts_frame(seq));
+            assert!(!plan.injects_stream_panic(seq));
             plan.apply(seq, 0); // must be a no-op, not a panic
+            plan.apply_stream(seq);
         }
+    }
+
+    #[test]
+    fn stream_panics_are_an_independent_salt() {
+        let plan = FaultPlan::seeded(13)
+            .with_panic_rate(0.5)
+            .with_stream_panic_rate(0.5);
+        let n = 4096u64;
+        let stream = (0..n).filter(|&s| plan.injects_stream_panic(s)).count() as f64 / n as f64;
+        assert!((stream - 0.5).abs() < 0.05, "stream rate {stream}");
+        let both = (0..n)
+            .filter(|&s| plan.injects_panic(s, 0) && plan.injects_stream_panic(s))
+            .count();
+        // Independent draws land near a quarter, not half or zero.
+        assert!((800..=1250).contains(&both), "joint count {both}");
     }
 
     #[test]

@@ -105,14 +105,18 @@ pub mod http;
 pub mod metrics;
 pub mod scheduler;
 pub mod server;
+pub mod stream;
+pub mod wire;
 
-pub use client::{Client, ClientError, Retrier, RetryPolicy};
+pub use client::{Client, ClientError, Retrier, RetryPolicy, StreamClient, StreamClientError};
 pub use fault::{silence_injected_panics, FaultPlan, INJECTED_PANIC};
 pub use metrics::{Counter, Gauge, Histogram, ServeMetrics};
 pub use scheduler::{
     BatchPolicy, EngineSwapError, JobError, Scheduler, SubmitError, Ticket, TicketError,
 };
 pub use server::{serve, serve_at, ServerConfig, ServerHandle};
+pub use stream::{StreamConfig, StreamRouter};
+pub use wire::{ErrorCode, Frame, Reply, WireError};
 
 /// Appends `s` as a JSON string literal (with escaping) to `out`.
 pub(crate) fn json_string(out: &mut String, s: &str) {

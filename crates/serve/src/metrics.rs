@@ -192,16 +192,31 @@ pub struct ServeMetrics {
     pub reloads_total: Counter,
     /// Rejected or failed hot-reload attempts.
     pub reload_failures_total: Counter,
+    /// Stream events accepted into resident sessions.
+    pub stream_events_total: Counter,
+    /// Stream sessions evicted (idle timeout or LRU capacity pressure).
+    pub stream_evictions_total: Counter,
+    /// Stream sessions invalidated (worker panic or engine hot-reload);
+    /// each answered a typed `SESSION_LOST` frame.
+    pub stream_sessions_lost_total: Counter,
+    /// Stream opens refused with a typed `CAPACITY` frame (the binary
+    /// 429) because the resident cap was reached.
+    pub stream_rejected_capacity_total: Counter,
     /// Current admission-queue depth.
     pub queue_depth: Gauge,
     /// 1 while a hot reload is being applied, else 0.
     pub reload_in_flight: Gauge,
+    /// Stream sessions currently resident on stream workers.
+    pub stream_sessions_resident: Gauge,
     /// Distribution of dispatched micro-batch sizes.
     pub batch_size: Histogram,
     /// Per-sample scheduler latency in microseconds (submit → classified).
     pub job_latency_us: Histogram,
     /// Per-request HTTP latency in microseconds (parsed → response written).
     pub request_latency_us: Histogram,
+    /// Per-chunk stream latency in microseconds (frame accepted → events
+    /// applied to the resident session).
+    pub stream_chunk_latency_us: Histogram,
 }
 
 impl Default for ServeMetrics {
@@ -228,13 +243,19 @@ impl ServeMetrics {
             jobs_expired_total: Counter::default(),
             reloads_total: Counter::default(),
             reload_failures_total: Counter::default(),
+            stream_events_total: Counter::default(),
+            stream_evictions_total: Counter::default(),
+            stream_sessions_lost_total: Counter::default(),
+            stream_rejected_capacity_total: Counter::default(),
             queue_depth: Gauge::default(),
             reload_in_flight: Gauge::default(),
+            stream_sessions_resident: Gauge::default(),
             batch_size: Histogram::pow2(4096),
             // 1 µs .. ~64 s covers everything from loopback no-ops to a
             // fully backed-up queue.
             job_latency_us: Histogram::pow2(1 << 26),
             request_latency_us: Histogram::pow2(1 << 26),
+            stream_chunk_latency_us: Histogram::pow2(1 << 26),
         }
     }
 
@@ -275,6 +296,16 @@ impl ServeMetrics {
             ("snn_jobs_expired_total", &self.jobs_expired_total),
             ("snn_reloads_total", &self.reloads_total),
             ("snn_reload_failures_total", &self.reload_failures_total),
+            ("snn_stream_events_total", &self.stream_events_total),
+            ("snn_stream_evictions_total", &self.stream_evictions_total),
+            (
+                "snn_stream_sessions_lost_total",
+                &self.stream_sessions_lost_total,
+            ),
+            (
+                "snn_stream_rejected_capacity_total",
+                &self.stream_rejected_capacity_total,
+            ),
         ] {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", counter.get());
@@ -283,14 +314,23 @@ impl ServeMetrics {
         let _ = writeln!(out, "snn_queue_depth {}", self.queue_depth.get());
         let _ = writeln!(out, "# TYPE snn_reload_in_flight gauge");
         let _ = writeln!(out, "snn_reload_in_flight {}", self.reload_in_flight.get());
+        let _ = writeln!(out, "# TYPE snn_stream_sessions_resident gauge");
+        let _ = writeln!(
+            out,
+            "snn_stream_sessions_resident {}",
+            self.stream_sessions_resident.get()
+        );
         self.batch_size.render_into(&mut out, "snn_batch_size");
         self.job_latency_us
             .render_into(&mut out, "snn_job_latency_us");
         self.request_latency_us
             .render_into(&mut out, "snn_request_latency_us");
+        self.stream_chunk_latency_us
+            .render_into(&mut out, "snn_stream_chunk_latency_us");
         for (name, h) in [
             ("snn_job_latency_us", &self.job_latency_us),
             ("snn_request_latency_us", &self.request_latency_us),
+            ("snn_stream_chunk_latency_us", &self.stream_chunk_latency_us),
         ] {
             for (label, q) in [("p50", 0.50), ("p99", 0.99)] {
                 let _ = writeln!(out, "# TYPE {name}_{label} gauge");
@@ -484,5 +524,45 @@ mod tests {
         assert!(text.contains("snn_reloads_total 0"));
         assert!(text.contains("snn_reload_in_flight 0"));
         assert!((m.mean_batch_size() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_series_render_alongside_the_http_ones() {
+        let m = ServeMetrics::new();
+        m.stream_sessions_resident.inc();
+        m.stream_events_total.add(42);
+        m.stream_evictions_total.inc();
+        m.stream_sessions_lost_total.inc();
+        m.stream_rejected_capacity_total.inc();
+        m.stream_chunk_latency_us.observe(100);
+        m.stream_chunk_latency_us.observe(7);
+        let text = m.render();
+        assert!(text.contains("# TYPE snn_stream_sessions_resident gauge"));
+        assert!(text.contains("snn_stream_sessions_resident 1"));
+        assert!(text.contains("# TYPE snn_stream_events_total counter"));
+        assert!(text.contains("snn_stream_events_total 42"));
+        assert!(text.contains("snn_stream_evictions_total 1"));
+        assert!(text.contains("snn_stream_sessions_lost_total 1"));
+        assert!(text.contains("snn_stream_rejected_capacity_total 1"));
+        assert!(text.contains("# TYPE snn_stream_chunk_latency_us histogram"));
+        assert!(text.contains("snn_stream_chunk_latency_us_count 2"));
+        assert!(text.contains("snn_stream_chunk_latency_us_sum 107"));
+        assert!(text.contains("snn_stream_chunk_latency_us_p99"));
+    }
+
+    #[test]
+    fn stream_chunk_latency_histogram_quantiles() {
+        let m = ServeMetrics::new();
+        // 99 one-microsecond chunks and one 2 ms straggler: p50 stays in
+        // the fast bucket, p99 too (nearest-rank), the max reaches the
+        // straggler's bucket.
+        for _ in 0..99 {
+            m.stream_chunk_latency_us.observe(1);
+        }
+        m.stream_chunk_latency_us.observe(2000);
+        assert_eq!(m.stream_chunk_latency_us.quantile(0.5), 1);
+        assert_eq!(m.stream_chunk_latency_us.quantile(0.99), 1);
+        assert_eq!(m.stream_chunk_latency_us.quantile(1.0), 2048);
+        assert_eq!(m.stream_chunk_latency_us.count(), 100);
     }
 }

@@ -63,6 +63,7 @@
 
 use crate::fault::FaultPlan;
 use crate::metrics::ServeMetrics;
+use crate::stream::{StreamConfig, StreamRouter};
 use snn_core::SpikeRaster;
 use snn_engine::{Engine, SessionPool};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -262,23 +263,23 @@ impl Ticket {
     }
 }
 
-/// Supervision state shared between the workers and the health endpoint:
-/// when the last worker panic happened, as milliseconds since scheduler
-/// start (`u64::MAX` = never).
-struct Supervision {
+/// Supervision state shared between the workers (batch and stream) and
+/// the health endpoint: when the last worker panic happened, as
+/// milliseconds since scheduler start (`u64::MAX` = never).
+pub(crate) struct Supervision {
     started: Instant,
     last_panic_ms: AtomicU64,
 }
 
 impl Supervision {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             started: Instant::now(),
             last_panic_ms: AtomicU64::new(u64::MAX),
         }
     }
 
-    fn note_panic(&self) {
+    pub(crate) fn note_panic(&self) {
         let ms = self.started.elapsed().as_millis() as u64;
         self.last_panic_ms.store(ms, Ordering::Relaxed);
     }
@@ -299,7 +300,7 @@ impl Supervision {
 /// The swappable engine slot the workers serve from. Workers take the
 /// read lock only long enough to clone the inner `Arc`, so a pending
 /// write (hot reload) never waits on inference.
-type EngineSlot = RwLock<Arc<SessionPool>>;
+pub(crate) type EngineSlot = RwLock<Arc<SessionPool>>;
 
 /// The running micro-batching scheduler: one collator thread, a worker
 /// pool, and a bounded admission queue in front.
@@ -331,6 +332,7 @@ pub struct Scheduler {
     metrics: Arc<ServeMetrics>,
     engine_slot: Arc<EngineSlot>,
     supervision: Arc<Supervision>,
+    stream: StreamRouter,
     seq: AtomicU64,
     collator: Mutex<Option<JoinHandle<()>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -373,6 +375,20 @@ impl Scheduler {
         policy: BatchPolicy,
         metrics: Arc<ServeMetrics>,
         faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        Self::start_with_streams(engine, policy, metrics, faults, StreamConfig::default())
+    }
+
+    /// The full constructor: [`start_with_faults`](Self::start_with_faults)
+    /// plus an explicit resident-stream policy for the
+    /// [`StreamRouter`] (the binary streaming protocol's sticky
+    /// scheduler, reachable via [`streams`](Self::streams)).
+    pub fn start_with_streams(
+        engine: Engine,
+        policy: BatchPolicy,
+        metrics: Arc<ServeMetrics>,
+        faults: Option<Arc<FaultPlan>>,
+        stream_cfg: StreamConfig,
     ) -> Self {
         let max_batch = policy.max_batch.max(1);
         let max_wait = policy.max_wait;
@@ -417,15 +433,30 @@ impl Scheduler {
             })
             .collect();
 
+        let stream = StreamRouter::start(
+            stream_cfg,
+            Arc::clone(&engine_slot),
+            Arc::clone(&metrics),
+            Arc::clone(&supervision),
+            faults,
+        );
+
         Self {
             queue_tx: Mutex::new(Some(queue_tx)),
             metrics,
             engine_slot,
             supervision,
+            stream,
             seq: AtomicU64::new(0),
             collator: Mutex::new(Some(collator)),
             workers: Mutex::new(workers),
         }
+    }
+
+    /// The sticky router for resident-state streaming sessions (the
+    /// binary wire protocol's scheduler-side counterpart).
+    pub fn streams(&self) -> &StreamRouter {
+        &self.stream
     }
 
     /// The metrics instance the scheduler reports into.
@@ -475,6 +506,10 @@ impl Scheduler {
         }
         let fresh = Arc::new(SessionPool::new(engine));
         *self.engine_slot.write().expect("engine slot poisoned") = fresh;
+        // Resident streams opened against the old engine are invalidated
+        // by policy: each answers a typed SESSION_LOST at its next frame
+        // instead of silently continuing on weights it never fed.
+        self.stream.note_reload();
         Ok(())
     }
 
@@ -558,6 +593,10 @@ impl Scheduler {
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
+        drop(workers);
+        // Stream workers drain their queues and exit; resident sessions
+        // are dropped (clean shutdown does not depend on clients closing).
+        self.stream.shutdown();
     }
 }
 

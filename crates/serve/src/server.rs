@@ -30,12 +30,13 @@
 use crate::http::{self, HttpError, Request, Response};
 use crate::metrics::ServeMetrics;
 use crate::scheduler::{BatchPolicy, EngineSwapError, Scheduler, SubmitError, TicketError};
-use crate::FaultPlan;
+use crate::stream::StreamConfig;
+use crate::{wire, FaultPlan};
 use snn_core::SpikeRaster;
 use snn_engine::{CheckpointError, Engine};
 use snn_json::Json;
 use std::collections::HashMap;
-use std::io::{self, BufReader};
+use std::io::{self, BufRead, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -74,6 +75,9 @@ pub struct ServerConfig {
     /// Test-only deterministic fault injection threaded into the
     /// scheduler (see [`FaultPlan`]); `None` in production.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Resident-session limits and sticky-worker settings for the binary
+    /// streaming protocol (see [`StreamConfig`]).
+    pub stream: StreamConfig,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +93,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             degraded_window: Duration::from_secs(2),
             faults: None,
+            stream: StreamConfig::default(),
         }
     }
 }
@@ -133,11 +138,12 @@ pub fn serve(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let metrics = Arc::new(ServeMetrics::new());
-    let scheduler = Arc::new(Scheduler::start_with_faults(
+    let scheduler = Arc::new(Scheduler::start_with_streams(
         engine,
         config.policy,
         Arc::clone(&metrics),
         config.faults.clone(),
+        config.stream,
     ));
     let ctx = Arc::new(Ctx {
         scheduler,
@@ -284,6 +290,21 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let metrics = ctx.scheduler.metrics();
+    // One-byte dispatch: the stream protocol's magic starts with `0x7F`,
+    // which never begins an HTTP method, so peeking the buffered reader
+    // routes the connection without consuming anything.
+    match reader.fill_buf() {
+        Ok([]) => return Ok(()), // closed before sending anything
+        Ok(buf) if buf[0] == wire::MAGIC[0] => {
+            return crate::stream::handle_stream_connection(
+                &mut reader,
+                &mut writer,
+                ctx.scheduler.streams(),
+            );
+        }
+        Ok(_) => {}
+        Err(e) => return Err(e),
+    }
     loop {
         let request = match http::read_request(&mut reader, ctx.config.max_body_bytes) {
             Ok(Some(request)) => request,

@@ -1,0 +1,686 @@
+//! Binary event-stream wire protocol: compact length-prefixed frames
+//! for stateful streaming inference.
+//!
+//! JSON-per-raster serving replays all `T` timesteps per request and is
+//! parse-bound on small models; the streaming protocol instead treats
+//! the connection as a *code stream*: a client opens a resident
+//! [`StreamSession`](snn_engine::StreamSession) with [`Frame::Hello`],
+//! pushes `(dt, channel)` event deltas and `TICK` advances as data
+//! arrives, and asks for a classification whenever it wants one. JSON
+//! stays as the debug surface; this is the production path.
+//!
+//! # Framing
+//!
+//! A streaming connection begins with the 4-byte magic preamble
+//! [`MAGIC`] (`0x7F 'S' 'N' 'N'` — `0x7F` never starts an HTTP method,
+//! so one buffered byte tells the server which protocol a connection
+//! speaks). After the preamble, both directions carry frames:
+//!
+//! ```text
+//! [type: u8] [payload length: u32 LE] [payload bytes]
+//! ```
+//!
+//! Payloads are capped at [`MAX_FRAME_PAYLOAD`] bytes; all integers are
+//! little-endian. Client→server frames:
+//!
+//! | type | frame     | payload |
+//! |------|-----------|---------|
+//! | 0x01 | `HELLO`   | `n_in: u32`, `max_pending: u32` (0 = server default) |
+//! | 0x02 | `EVENTS`  | `count: u32`, then `count × (dt: u16, channel: u16)` |
+//! | 0x03 | `TICK`    | `advance: u32` timesteps to commit |
+//! | 0x04 | `READOUT` | empty |
+//! | 0x05 | `RESET`   | empty |
+//! | 0x06 | `CLOSE`   | empty |
+//!
+//! Server→client replies:
+//!
+//! | type | reply           | payload |
+//! |------|-----------------|---------|
+//! | 0x81 | `HELLO_OK`      | `session_id: u64`, `n_in: u32`, `n_out: u32` |
+//! | 0x82 | `OK`            | empty (answers `RESET` and `CLOSE`) |
+//! | 0x83 | `READOUT_REPLY` | `class: u32`, `steps: u64` committed |
+//! | 0xEE | `ERROR`         | `code: u16` ([`ErrorCode`]), then UTF-8 message |
+//!
+//! `EVENTS` and `TICK` are **unacknowledged** — clients pipeline them
+//! back-to-back for throughput, and feed errors surface as an `ERROR`
+//! reply at the next synchronous frame (`READOUT`/`RESET`/`CLOSE`),
+//! after which the server closes the connection. `dt` deltas follow
+//! [`SpikeRaster::delta_events`](snn_core::SpikeRaster::delta_events):
+//! relative to the previous event, with the base moved up to the commit
+//! frontier after each `TICK`.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Connection preamble identifying the binary streaming protocol.
+pub const MAGIC: [u8; 4] = [0x7F, b'S', b'N', b'N'];
+
+/// Hard cap on a frame's declared payload length. Bounds per-connection
+/// read buffers no matter what a client declares (an `EVENTS` frame at
+/// this cap carries ~16k events).
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 16;
+
+/// Typed error codes carried by `ERROR` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Structurally invalid frame (unknown type, bad length, bad payload).
+    BadFrame = 1,
+    /// Valid frame at the wrong point in the session lifecycle (e.g.
+    /// `EVENTS` before `HELLO`, or a second `HELLO`).
+    Protocol = 2,
+    /// `HELLO` shape does not match the served model.
+    Shape = 3,
+    /// Event channel outside the model's input width.
+    ChannelRange = 4,
+    /// Event targets an already-committed timestep.
+    EventInPast = 5,
+    /// Event lies beyond the session's pending-step horizon.
+    Horizon = 6,
+    /// Resident-session capacity exhausted — the binary-protocol
+    /// equivalent of HTTP 429; retry later or evict idle streams.
+    Capacity = 7,
+    /// The session's resident state was invalidated (worker panic or
+    /// engine hot-reload); the stream must be reopened and replayed.
+    /// Never answered with a possibly-wrong readout.
+    SessionLost = 8,
+    /// The session was evicted (idle timeout or LRU under capacity
+    /// pressure) before this frame arrived.
+    Evicted = 9,
+    /// Server-side failure unrelated to the client's frames.
+    Internal = 10,
+}
+
+impl ErrorCode {
+    /// Decodes a wire code.
+    pub fn from_u16(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::Protocol,
+            3 => ErrorCode::Shape,
+            4 => ErrorCode::ChannelRange,
+            5 => ErrorCode::EventInPast,
+            6 => ErrorCode::Horizon,
+            7 => ErrorCode::Capacity,
+            8 => ErrorCode::SessionLost,
+            9 => ErrorCode::Evicted,
+            10 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::BadFrame => "BAD_FRAME",
+            ErrorCode::Protocol => "PROTOCOL",
+            ErrorCode::Shape => "SHAPE",
+            ErrorCode::ChannelRange => "CHANNEL_RANGE",
+            ErrorCode::EventInPast => "EVENT_IN_PAST",
+            ErrorCode::Horizon => "HORIZON",
+            ErrorCode::Capacity => "CAPACITY",
+            ErrorCode::SessionLost => "SESSION_LOST",
+            ErrorCode::Evicted => "EVICTED",
+            ErrorCode::Internal => "INTERNAL",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A wire-level failure while reading or decoding a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport failure (includes truncation mid-frame).
+    Io(io::Error),
+    /// Structurally invalid frame; the message describes the first
+    /// violation.
+    Malformed(String),
+    /// Declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    TooLarge {
+        /// Length the frame header declared.
+        declared: usize,
+        /// The enforced cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            WireError::TooLarge { declared, limit } => {
+                write!(f, "frame payload {declared} exceeds cap {limit}")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Opens a stream: declares the input width and the pending-step
+    /// horizon (`0` = server default).
+    Hello {
+        /// Expected model input width (validated against the engine).
+        n_in: u32,
+        /// Requested pending-step horizon; `0` picks the server default.
+        max_pending: u32,
+    },
+    /// `(dt, channel)` event deltas, unacknowledged.
+    Events(Vec<(u16, u16)>),
+    /// Commits `advance` timesteps, unacknowledged.
+    Tick {
+        /// Timesteps to commit.
+        advance: u32,
+    },
+    /// Requests a classification of everything committed so far.
+    Readout,
+    /// Clears resident state and counters, keeping the session open.
+    Reset,
+    /// Ends the stream; the server replies `OK` and closes.
+    Close,
+}
+
+const T_HELLO: u8 = 0x01;
+const T_EVENTS: u8 = 0x02;
+const T_TICK: u8 = 0x03;
+const T_READOUT: u8 = 0x04;
+const T_RESET: u8 = 0x05;
+const T_CLOSE: u8 = 0x06;
+const T_HELLO_OK: u8 = 0x81;
+const T_OK: u8 = 0x82;
+const T_READOUT_REPLY: u8 = 0x83;
+const T_ERROR: u8 = 0xEE;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u16(p: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([p[at], p[at + 1]])
+}
+
+fn take_u32(p: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([p[at], p[at + 1], p[at + 2], p[at + 3]])
+}
+
+fn take_u64(p: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&p[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn write_raw(w: &mut impl Write, ty: u8, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
+    let mut header = [0u8; 5];
+    header[0] = ty;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+/// Reads one raw frame into `payload` (reused across calls), returning
+/// the frame type, or `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] if the header declares more than
+/// [`MAX_FRAME_PAYLOAD`] bytes; [`WireError::Io`] on transport failure,
+/// including truncation mid-frame.
+pub fn read_raw_frame(
+    r: &mut impl BufRead,
+    payload: &mut Vec<u8>,
+) -> Result<Option<u8>, WireError> {
+    let mut ty = [0u8; 1];
+    match r.read_exact(&mut ty) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let declared = u32::from_le_bytes(len) as usize;
+    if declared > MAX_FRAME_PAYLOAD {
+        return Err(WireError::TooLarge {
+            declared,
+            limit: MAX_FRAME_PAYLOAD,
+        });
+    }
+    payload.clear();
+    payload.resize(declared, 0);
+    r.read_exact(payload)?;
+    Ok(Some(ty[0]))
+}
+
+fn expect_len(ty: &str, payload: &[u8], want: usize) -> Result<(), WireError> {
+    if payload.len() != want {
+        return Err(WireError::Malformed(format!(
+            "{ty} payload is {} bytes, expected {want}",
+            payload.len()
+        )));
+    }
+    Ok(())
+}
+
+impl Frame {
+    /// Decodes a client→server frame from a raw type + payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] on an unknown type or a payload whose
+    /// length disagrees with its contents.
+    pub fn parse(ty: u8, payload: &[u8]) -> Result<Frame, WireError> {
+        match ty {
+            T_HELLO => {
+                expect_len("HELLO", payload, 8)?;
+                Ok(Frame::Hello {
+                    n_in: take_u32(payload, 0),
+                    max_pending: take_u32(payload, 4),
+                })
+            }
+            T_EVENTS => {
+                if payload.len() < 4 {
+                    return Err(WireError::Malformed(
+                        "EVENTS payload shorter than its count field".into(),
+                    ));
+                }
+                let count = take_u32(payload, 0) as usize;
+                let want = 4 + count * 4;
+                expect_len("EVENTS", payload, want)?;
+                let events = (0..count)
+                    .map(|i| (take_u16(payload, 4 + i * 4), take_u16(payload, 6 + i * 4)))
+                    .collect();
+                Ok(Frame::Events(events))
+            }
+            T_TICK => {
+                expect_len("TICK", payload, 4)?;
+                Ok(Frame::Tick {
+                    advance: take_u32(payload, 0),
+                })
+            }
+            T_READOUT => {
+                expect_len("READOUT", payload, 0)?;
+                Ok(Frame::Readout)
+            }
+            T_RESET => {
+                expect_len("RESET", payload, 0)?;
+                Ok(Frame::Reset)
+            }
+            T_CLOSE => {
+                expect_len("CLOSE", payload, 0)?;
+                Ok(Frame::Close)
+            }
+            other => Err(WireError::Malformed(format!(
+                "unknown client frame type 0x{other:02x}"
+            ))),
+        }
+    }
+
+    /// Reads and decodes one frame; `Ok(None)` on clean EOF at a frame
+    /// boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`read_raw_frame`] errors plus
+    /// [`WireError::Malformed`] from [`parse`](Self::parse).
+    pub fn read_from(r: &mut impl BufRead) -> Result<Option<Frame>, WireError> {
+        let mut payload = Vec::new();
+        match read_raw_frame(r, &mut payload)? {
+            Some(ty) => Ok(Some(Frame::parse(ty, &payload)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Encodes and writes the frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `EVENTS` frame carries more events than fit under
+    /// [`MAX_FRAME_PAYLOAD`] (callers chunk at the cap).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut buf = Vec::new();
+        match self {
+            Frame::Hello { n_in, max_pending } => {
+                put_u32(&mut buf, *n_in);
+                put_u32(&mut buf, *max_pending);
+                write_raw(w, T_HELLO, &buf)
+            }
+            Frame::Events(events) => {
+                assert!(
+                    4 + events.len() * 4 <= MAX_FRAME_PAYLOAD,
+                    "EVENTS frame over payload cap; chunk the event list"
+                );
+                put_u32(&mut buf, events.len() as u32);
+                for &(dt, ch) in events {
+                    put_u16(&mut buf, dt);
+                    put_u16(&mut buf, ch);
+                }
+                write_raw(w, T_EVENTS, &buf)
+            }
+            Frame::Tick { advance } => {
+                put_u32(&mut buf, *advance);
+                write_raw(w, T_TICK, &buf)
+            }
+            Frame::Readout => write_raw(w, T_READOUT, &[]),
+            Frame::Reset => write_raw(w, T_RESET, &[]),
+            Frame::Close => write_raw(w, T_CLOSE, &[]),
+        }
+    }
+}
+
+/// A server→client reply frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Stream opened; carries the session id and the model shape.
+    HelloOk {
+        /// Server-assigned session id (drives sticky worker routing).
+        session_id: u64,
+        /// Model input width.
+        n_in: u32,
+        /// Model output width (number of classes).
+        n_out: u32,
+    },
+    /// Acknowledges `RESET` / `CLOSE`.
+    Ok,
+    /// Classification of everything committed so far.
+    Readout {
+        /// Predicted class.
+        class: u32,
+        /// Timesteps committed at readout.
+        steps: u64,
+    },
+    /// Typed failure; the server closes the connection after sending it.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Decodes a server→client reply from a raw type + payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] on an unknown type, a bad length, an
+    /// unknown error code, or a non-UTF-8 error message.
+    pub fn parse(ty: u8, payload: &[u8]) -> Result<Reply, WireError> {
+        match ty {
+            T_HELLO_OK => {
+                expect_len("HELLO_OK", payload, 16)?;
+                Ok(Reply::HelloOk {
+                    session_id: take_u64(payload, 0),
+                    n_in: take_u32(payload, 8),
+                    n_out: take_u32(payload, 12),
+                })
+            }
+            T_OK => {
+                expect_len("OK", payload, 0)?;
+                Ok(Reply::Ok)
+            }
+            T_READOUT_REPLY => {
+                expect_len("READOUT_REPLY", payload, 12)?;
+                Ok(Reply::Readout {
+                    class: take_u32(payload, 0),
+                    steps: take_u64(payload, 4),
+                })
+            }
+            T_ERROR => {
+                if payload.len() < 2 {
+                    return Err(WireError::Malformed(
+                        "ERROR payload shorter than its code field".into(),
+                    ));
+                }
+                let raw = take_u16(payload, 0);
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| WireError::Malformed(format!("unknown error code {raw}")))?;
+                let message = std::str::from_utf8(&payload[2..])
+                    .map_err(|_| WireError::Malformed("non-UTF-8 error message".into()))?
+                    .to_string();
+                Ok(Reply::Error { code, message })
+            }
+            other => Err(WireError::Malformed(format!(
+                "unknown reply frame type 0x{other:02x}"
+            ))),
+        }
+    }
+
+    /// Reads and decodes one reply; `Ok(None)` on clean EOF at a frame
+    /// boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`read_raw_frame`] errors plus
+    /// [`WireError::Malformed`] from [`parse`](Self::parse).
+    pub fn read_from(r: &mut impl BufRead) -> Result<Option<Reply>, WireError> {
+        let mut payload = Vec::new();
+        match read_raw_frame(r, &mut payload)? {
+            Some(ty) => Ok(Some(Reply::parse(ty, &payload)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Encodes and writes the reply. Error messages are truncated to fit
+    /// the payload cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut buf = Vec::new();
+        match self {
+            Reply::HelloOk {
+                session_id,
+                n_in,
+                n_out,
+            } => {
+                put_u64(&mut buf, *session_id);
+                put_u32(&mut buf, *n_in);
+                put_u32(&mut buf, *n_out);
+                write_raw(w, T_HELLO_OK, &buf)
+            }
+            Reply::Ok => write_raw(w, T_OK, &[]),
+            Reply::Readout { class, steps } => {
+                put_u32(&mut buf, *class);
+                put_u64(&mut buf, *steps);
+                write_raw(w, T_READOUT_REPLY, &buf)
+            }
+            Reply::Error { code, message } => {
+                put_u16(&mut buf, *code as u16);
+                let mut msg = message.as_str();
+                while msg.len() > MAX_FRAME_PAYLOAD - 2 {
+                    let mut cut = MAX_FRAME_PAYLOAD - 2;
+                    while !msg.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    msg = &msg[..cut];
+                }
+                buf.extend_from_slice(msg.as_bytes());
+                write_raw(w, T_ERROR, &buf)
+            }
+        }
+    }
+}
+
+/// Consumes and validates the 4-byte [`MAGIC`] preamble.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] if the bytes are not the preamble,
+/// [`WireError::Io`] on transport failure.
+pub fn read_magic(r: &mut impl Read) -> Result<(), WireError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    if buf != MAGIC {
+        return Err(WireError::Malformed(format!(
+            "bad stream preamble {buf:02x?}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_frame(f: &Frame) -> Frame {
+        let mut bytes = Vec::new();
+        f.write_to(&mut bytes).unwrap();
+        let mut r = BufReader::new(&bytes[..]);
+        let back = Frame::read_from(&mut r).unwrap().unwrap();
+        assert!(Frame::read_from(&mut r).unwrap().is_none(), "trailing data");
+        back
+    }
+
+    fn roundtrip_reply(f: &Reply) -> Reply {
+        let mut bytes = Vec::new();
+        f.write_to(&mut bytes).unwrap();
+        let mut r = BufReader::new(&bytes[..]);
+        let back = Reply::read_from(&mut r).unwrap().unwrap();
+        assert!(Reply::read_from(&mut r).unwrap().is_none(), "trailing data");
+        back
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        for f in [
+            Frame::Hello {
+                n_in: 700,
+                max_pending: 0,
+            },
+            Frame::Events(vec![]),
+            Frame::Events(vec![(0, 1), (3, 699), (65535, 65535)]),
+            Frame::Tick { advance: 10 },
+            Frame::Readout,
+            Frame::Reset,
+            Frame::Close,
+        ] {
+            assert_eq!(roundtrip_frame(&f), f);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        for f in [
+            Reply::HelloOk {
+                session_id: u64::MAX,
+                n_in: 16,
+                n_out: 10,
+            },
+            Reply::Ok,
+            Reply::Readout {
+                class: 3,
+                steps: 1_000_000,
+            },
+            Reply::Error {
+                code: ErrorCode::SessionLost,
+                message: "worker panicked".into(),
+            },
+        ] {
+            assert_eq!(roundtrip_reply(&f), f);
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected() {
+        let mut bytes = vec![T_EVENTS];
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = Frame::read_from(&mut BufReader::new(&bytes[..])).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut bytes = Vec::new();
+        Frame::Events(vec![(1, 2), (3, 4)])
+            .write_to(&mut bytes)
+            .unwrap();
+        for cut in 1..bytes.len() {
+            let err = Frame::read_from(&mut BufReader::new(&bytes[..cut])).unwrap_err();
+            assert!(matches!(err, WireError::Io(_)), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn events_count_must_match_payload() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 5); // claims 5 events, carries 1
+        put_u16(&mut buf, 0);
+        put_u16(&mut buf, 1);
+        let err = Frame::parse(T_EVENTS, &buf).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_types_and_codes_are_malformed() {
+        assert!(matches!(
+            Frame::parse(0x7f, &[]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Reply::parse(0x42, &[]),
+            Err(WireError::Malformed(_))
+        ));
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 999);
+        assert!(matches!(
+            Reply::parse(T_ERROR, &buf),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn magic_is_checked() {
+        let mut ok = &MAGIC[..];
+        read_magic(&mut ok).unwrap();
+        let bad = [b'G', b'E', b'T', b' '];
+        let err = read_magic(&mut &bad[..]).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn long_error_messages_are_truncated_to_cap() {
+        let reply = Reply::Error {
+            code: ErrorCode::Internal,
+            message: "x".repeat(MAX_FRAME_PAYLOAD * 2),
+        };
+        let mut bytes = Vec::new();
+        reply.write_to(&mut bytes).unwrap();
+        assert!(bytes.len() <= 5 + MAX_FRAME_PAYLOAD);
+        let back = Reply::read_from(&mut BufReader::new(&bytes[..]))
+            .unwrap()
+            .unwrap();
+        match back {
+            Reply::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Internal);
+                assert_eq!(message.len(), MAX_FRAME_PAYLOAD - 2);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+}

@@ -12,8 +12,8 @@ use snn_core::{Network, NeuronKind, SpikeRaster};
 use snn_engine::Engine;
 use snn_neuron::NeuronParams;
 use snn_serve::{
-    serve, silence_injected_panics, BatchPolicy, Client, FaultPlan, Retrier, RetryPolicy,
-    Scheduler, ServerConfig, ServerHandle, TicketError,
+    serve, silence_injected_panics, BatchPolicy, Client, ErrorCode, FaultPlan, Retrier,
+    RetryPolicy, Scheduler, ServerConfig, ServerHandle, StreamClient, TicketError,
 };
 use snn_tensor::Rng;
 use std::sync::Arc;
@@ -313,6 +313,93 @@ fn chaos_storm_with_mid_run_reloads_loses_nothing() {
         m.worker_panics_total.get() > 0,
         "seed {seed} must inject at least one panic over 48+ jobs"
     );
+    server.shutdown();
+    let _ = std::fs::remove_file(&checkpoint);
+}
+
+fn stream_deltas(raster: &SpikeRaster) -> Vec<(u16, u16)> {
+    raster
+        .delta_events()
+        .iter()
+        .map(|&(dt, ch)| (dt as u16, ch as u16))
+        .collect()
+}
+
+#[test]
+fn mid_stream_worker_panic_is_a_typed_session_lost() {
+    // Every stream command panics its worker. Resident streams must be
+    // quarantined and answer a typed SESSION_LOST — never a readout from
+    // half-stepped membrane state — while the batch path (whose fault
+    // salt is independent and zeroed) keeps answering correctly.
+    let server = start_with_faults(
+        30,
+        FaultPlan::seeded(40).with_stream_panic_rate(1.0),
+        ServerConfig::default(),
+    );
+    let samples = inputs(4, 31);
+    let expected = engine(30).classify_batch(&samples);
+
+    let mut stream = StreamClient::open(server.addr(), 6, 0).unwrap();
+    stream.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.feed(&stream_deltas(&samples[0])).unwrap(); // panics the worker
+    let err = stream.readout().unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::SessionLost), "{err}");
+
+    // Non-streaming traffic is unaffected by the quarantine.
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    for (raster, &want) in samples.iter().zip(&expected) {
+        assert_eq!(client.classify(raster).unwrap(), want);
+    }
+    let m = server.metrics();
+    assert!(m.worker_panics_total.get() >= 1);
+    assert!(m.stream_sessions_lost_total.get() >= 1);
+    assert_eq!(m.stream_sessions_resident.get(), 0);
+    assert_eq!(m.responses_server_error.get(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_hot_reload_is_a_typed_session_lost() {
+    // A hot reload invalidates resident streams by policy: their state
+    // was computed by the old engine, so continuing under the new one
+    // could blend weights. The next sync frame answers SESSION_LOST and
+    // a fresh session serves the new engine.
+    let checkpoint = std::env::temp_dir().join("neurosnn_chaos_stream_reload_ckpt.json");
+    snn_core::checkpoint::save(&network(32), &checkpoint).unwrap();
+    let server = serve(
+        engine(32),
+        ServerConfig {
+            checkpoint_path: Some(checkpoint.to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let samples = inputs(2, 33);
+
+    let mut stream = StreamClient::open(server.addr(), 6, 0).unwrap();
+    stream.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.feed(&stream_deltas(&samples[0])).unwrap();
+    stream.tick(samples[0].steps() as u32).unwrap();
+
+    let mut admin = Client::connect(server.addr()).unwrap();
+    admin.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let resp = admin.request("POST", "/admin/reload", b"").unwrap();
+    assert_eq!(resp.status, 200, "reload failed: {}", resp.body_str());
+
+    let err = stream.readout().unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::SessionLost), "{err}");
+
+    // A fresh stream on the reloaded engine agrees with /classify.
+    let mut fresh = StreamClient::open(server.addr(), 6, 0).unwrap();
+    fresh.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    fresh.feed(&stream_deltas(&samples[1])).unwrap();
+    fresh.tick(samples[1].steps() as u32).unwrap();
+    let (class, _) = fresh.readout().unwrap();
+    assert_eq!(class as usize, admin.classify(&samples[1]).unwrap());
+    fresh.close().unwrap();
+
+    assert!(server.metrics().stream_sessions_lost_total.get() >= 1);
     server.shutdown();
     let _ = std::fs::remove_file(&checkpoint);
 }

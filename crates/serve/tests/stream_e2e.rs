@@ -1,0 +1,164 @@
+//! End-to-end tests for the binary streaming protocol over real TCP:
+//! a [`StreamClient`] session chunk-feeding events must agree exactly
+//! with the stateless `/classify` route on the same connection-shared
+//! server, resident-state limits must answer typed errors, and every
+//! way a connection can end must release its session.
+
+use snn_core::{Network, NeuronKind, SpikeRaster};
+use snn_engine::Engine;
+use snn_neuron::NeuronParams;
+use snn_serve::stream::StreamConfig;
+use snn_serve::{serve, Client, ErrorCode, ServerConfig, ServerHandle, StreamClient};
+use snn_tensor::Rng;
+use std::time::{Duration, Instant};
+
+fn engine(seed: u64) -> Engine {
+    let mut rng = Rng::seed_from(seed);
+    let net = Network::mlp(
+        &[6, 12, 4],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.4),
+        &mut rng,
+    );
+    Engine::from_network(net).build()
+}
+
+fn inputs(n: usize, seed: u64) -> Vec<SpikeRaster> {
+    let mut rng = Rng::seed_from(seed);
+    (0..n)
+        .map(|_| {
+            let mut r = SpikeRaster::zeros(12, 6);
+            for t in 0..12 {
+                for c in 0..6 {
+                    if rng.coin(0.3) {
+                        r.set(t, c, true);
+                    }
+                }
+            }
+            r
+        })
+        .collect()
+}
+
+fn deltas(raster: &SpikeRaster) -> Vec<(u16, u16)> {
+    raster
+        .delta_events()
+        .iter()
+        .map(|&(dt, ch)| (dt as u16, ch as u16))
+        .collect()
+}
+
+fn start(config: ServerConfig) -> ServerHandle {
+    serve(engine(1), config).expect("bind ephemeral port")
+}
+
+#[test]
+fn streaming_agrees_with_classify_over_tcp() {
+    let server = start(ServerConfig::default());
+    let samples = inputs(6, 2);
+    let mut http = Client::connect(server.addr()).unwrap();
+    http.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // One resident session, reset between samples: the stateful path
+    // must agree with the stateless one on every input.
+    let mut stream = StreamClient::open(server.addr(), 6, 0).unwrap();
+    stream.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    assert_eq!((stream.n_in(), stream.n_out()), (6, 4));
+    for raster in &samples {
+        stream.feed(&deltas(raster)).unwrap();
+        stream.tick(raster.steps() as u32).unwrap();
+        let (class, steps) = stream.readout().unwrap();
+        assert_eq!(steps, raster.steps() as u64);
+        assert_eq!(class as usize, http.classify(raster).unwrap());
+        stream.reset().unwrap();
+    }
+    stream.close().unwrap();
+
+    // Chunked feeding (events split across many frames, interleaved
+    // ticks) on a fresh session gives the same answer again.
+    let raster = &samples[0];
+    let events = deltas(raster);
+    let mut chunked = StreamClient::open(server.addr(), 6, 0).unwrap();
+    chunked.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    for chunk in events.chunks(2) {
+        chunked.feed(chunk).unwrap();
+    }
+    // Two partial ticks instead of one full one.
+    let steps = raster.steps() as u32;
+    chunked.tick(steps / 2).unwrap();
+    chunked.tick(steps - steps / 2).unwrap();
+    let (class, _) = chunked.readout().unwrap();
+    assert_eq!(class as usize, http.classify(raster).unwrap());
+    chunked.close().unwrap();
+
+    let m = server.metrics();
+    assert!(m.stream_events_total.get() > 0);
+    assert_eq!(m.stream_sessions_resident.get(), 0, "sessions leaked");
+    assert_eq!(m.responses_server_error.get(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn shape_mismatch_is_a_typed_shape_error() {
+    let server = start(ServerConfig::default());
+    let err = StreamClient::open(server.addr(), 5, 0).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Shape));
+    server.shutdown();
+}
+
+#[test]
+fn resident_cap_answers_a_typed_capacity_error() {
+    // One resident slot and an hour of LRU grace: the second open has
+    // nothing it may evict and must be refused, typed — the streaming
+    // equivalent of a 429.
+    let server = start(ServerConfig {
+        stream: StreamConfig {
+            max_resident: 1,
+            idle_timeout: Duration::from_secs(3600),
+            lru_grace: Duration::from_secs(3600),
+            ..StreamConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let first = StreamClient::open(server.addr(), 6, 0).unwrap();
+    let err = StreamClient::open(server.addr(), 6, 0).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Capacity));
+    assert_eq!(server.metrics().stream_rejected_capacity_total.get(), 1);
+
+    // Closing the resident session frees the slot.
+    first.close().unwrap();
+    let reopened = StreamClient::open(server.addr(), 6, 0).unwrap();
+    reopened.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn feed_errors_surface_typed_at_the_next_sync_frame() {
+    let server = start(ServerConfig::default());
+    let mut stream = StreamClient::open(server.addr(), 6, 0).unwrap();
+    stream.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Channel 6 is out of range for a 6-input model; the EVENTS frame is
+    // unacknowledged, so the error must latch and answer the readout.
+    stream.feed(&[(0, 6)]).unwrap();
+    let err = stream.readout().unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::ChannelRange));
+    server.shutdown();
+}
+
+#[test]
+fn dropped_connection_releases_its_resident_session() {
+    let server = start(ServerConfig::default());
+    {
+        let mut stream = StreamClient::open(server.addr(), 6, 0).unwrap();
+        let raster = &inputs(1, 3)[0];
+        stream.feed(&deltas(raster)).unwrap();
+        // Dropped without CLOSE: the disconnect itself must reclaim the
+        // session.
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.metrics().stream_sessions_resident.get() != 0 {
+        assert!(Instant::now() < deadline, "session never reclaimed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,116 @@
+//! Stream events into a resident stateful session over the binary wire
+//! protocol — the serving shape for live event-camera feeds, where
+//! per-sample HTTP requests would re-send and re-parse the whole window
+//! every time.
+//!
+//! ```bash
+//! cargo run --release --example serve_stream
+//! ```
+//!
+//! The example trains the quickstart timing task, starts the server on
+//! an ephemeral port, and then drives one [`StreamClient`] session
+//! end-to-end: HELLO handshake, chunked unacknowledged EVENTS/TICK
+//! frames, mid-stream READOUTs (the resident membrane state carries
+//! across chunks), a RESET, and a clean CLOSE.
+
+use neurosnn::core::train::{Optimizer, RateCrossEntropy, Trainer, TrainerConfig};
+use neurosnn::core::{Network, NeuronKind, SpikeRaster};
+use neurosnn::engine::Engine;
+use neurosnn::neuron::NeuronParams;
+use neurosnn::serve::{serve_at, BatchPolicy, StreamClient};
+use neurosnn::tensor::Rng;
+
+fn main() {
+    // Train the timing-only task from the quickstart: class 0 spikes
+    // early on channel 0 and late on channel 1; class 1 is the reverse.
+    let mut rng = Rng::seed_from(0);
+    let mut net = Network::mlp(
+        &[2, 24, 2],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.3),
+        &mut rng,
+    );
+    let mut a = SpikeRaster::zeros(20, 2);
+    let mut b = SpikeRaster::zeros(20, 2);
+    for s in 0..4 {
+        a.set(s, 0, true);
+        a.set(19 - s, 1, true);
+        b.set(s, 1, true);
+        b.set(19 - s, 0, true);
+    }
+    let data = vec![(a.clone(), 0), (b.clone(), 1)];
+    let mut trainer = Trainer::new(TrainerConfig {
+        batch_size: 2,
+        optimizer: Optimizer::adam(0.02),
+        ..TrainerConfig::default()
+    });
+    for _ in 0..600 {
+        trainer.epoch_classification(&mut net, &data, &RateCrossEntropy);
+    }
+    let engine = Engine::from_network(net).build();
+    assert_eq!(
+        engine.evaluate(&data),
+        1.0,
+        "training must separate classes"
+    );
+
+    let server =
+        serve_at(engine, "127.0.0.1:0", BatchPolicy::default()).expect("bind serving port");
+    println!(
+        "serving on {} (binary stream + HTTP on one port)\n",
+        server.addr()
+    );
+
+    // One resident session; the server keeps membrane and trace state
+    // between our frames, so events arrive in chunks as they "happen".
+    let mut stream = StreamClient::open(server.addr(), 2, 0).expect("open stream");
+    println!(
+        "HELLO -> session {} ({} in, {} out)",
+        stream.session_id(),
+        stream.n_in(),
+        stream.n_out()
+    );
+
+    // Class 0, fed as two temporal chunks with a peek in between.
+    let events = a.delta_events();
+    let (early, late) = events.split_at(events.len() / 2);
+    let as_wire = |evs: &[(usize, usize)]| -> Vec<(u16, u16)> {
+        evs.iter().map(|&(dt, ch)| (dt as u16, ch as u16)).collect()
+    };
+
+    stream.feed(&as_wire(early)).expect("feed early chunk");
+    stream.tick(10).expect("tick 10");
+    let (class, steps) = stream.readout().expect("mid-stream readout");
+    println!(
+        "EVENTS x{} + TICK 10 -> READOUT class {class} after {steps} steps",
+        early.len()
+    );
+
+    stream.feed(&as_wire(late)).expect("feed late chunk");
+    stream.tick(10).expect("tick 10");
+    let (class, steps) = stream.readout().expect("full readout");
+    println!(
+        "EVENTS x{} + TICK 10 -> READOUT class {class} after {steps} steps",
+        late.len()
+    );
+    assert_eq!(class, 0, "full window resolves to class 0");
+
+    // RESET keeps the session resident but clears its state; the
+    // reversed pattern then resolves to the other class.
+    stream.reset().expect("reset");
+    stream
+        .feed(&as_wire(&b.delta_events()))
+        .expect("feed class 1");
+    stream.tick(20).expect("tick 20");
+    let (class, steps) = stream.readout().expect("class-1 readout");
+    println!("RESET, EVENTS + TICK 20 -> READOUT class {class} after {steps} steps");
+    assert_eq!(class, 1, "reversed timing resolves to class 1");
+
+    stream.close().expect("close");
+    println!(
+        "CLOSE -> ok; resident sessions now {}",
+        server.metrics().stream_sessions_resident.get()
+    );
+    server.shutdown();
+    println!("server shut down cleanly");
+}

@@ -199,6 +199,8 @@ struct CellResult {
     mean_backward_density: f64,
     train_secs: f64,
     eval_secs: f64,
+    /// Where the run's JSONL provenance manifest was written.
+    manifest_path: String,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -231,6 +233,12 @@ fn run_cell(
     if policy.dense_backward {
         trainer_config = trainer_config.with_dense_backward();
     }
+    // Each cell leaves a JSONL provenance manifest (config, host, per-
+    // epoch metrics); its path is embedded in `BENCH_train.json`.
+    let manifest = std::env::temp_dir().join(format!(
+        "neurosnn_{}_{}_{seed}.manifest.jsonl",
+        workload.name, policy.name
+    ));
     let experiment = ExperimentConfig {
         epochs,
         lr_schedule: LrSchedule::cosine(epochs.max(2), 0.2),
@@ -238,7 +246,8 @@ fn run_cell(
         progress,
         ..ExperimentConfig::default()
     }
-    .with_early_stopping(2, 1e-3);
+    .with_early_stopping(2, 1e-3)
+    .with_manifest(manifest);
     let result = run_classification(
         &mut net,
         &workload.split.train,
@@ -266,6 +275,10 @@ fn run_cell(
         mean_backward_density: densities.iter().sum::<f64>() / densities.len() as f64,
         train_secs: result.records.iter().map(|r| r.train_secs).sum(),
         eval_secs: result.records.iter().map(|r| r.eval_secs).sum(),
+        manifest_path: result
+            .manifest_path
+            .map(|p| p.display().to_string())
+            .unwrap_or_default(),
     }
 }
 
@@ -281,6 +294,7 @@ fn cell_json(c: &CellResult) -> Json {
         ("mean_backward_density", Json::from(c.mean_backward_density)),
         ("train_secs", Json::from(c.train_secs)),
         ("eval_secs", Json::from(c.eval_secs)),
+        ("manifest", Json::from(c.manifest_path.as_str())),
     ])
 }
 

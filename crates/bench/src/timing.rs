@@ -17,6 +17,14 @@ pub struct Measurement {
     pub ns_per_iter: f64,
     /// Iterations per timed sample.
     pub iters: u64,
+    /// Median per-iteration time across samples (p50; equals the best
+    /// sample when only one sample was taken).
+    pub p50_ns: f64,
+    /// Tail per-iteration time across samples (p99 by nearest-rank; the
+    /// worst sample for small sample counts).
+    pub p99_ns: f64,
+    /// Number of timed samples the percentiles were taken over.
+    pub samples: u32,
 }
 
 impl Measurement {
@@ -51,20 +59,33 @@ pub fn bench_with<F: FnMut()>(name: &str, budget_ms: f64, samples: u32, mut f: F
         }
         iters *= 2;
     }
-    let mut best = f64::INFINITY;
+    let mut times = Vec::with_capacity(samples.max(1) as usize);
     for _ in 0..samples.max(1) {
         let start = Instant::now();
         for _ in 0..iters {
             f();
         }
-        let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
-        best = best.min(ns);
+        times.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
     }
+    let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+    times.sort_by(f64::total_cmp);
     Measurement {
         name: name.to_string(),
         ns_per_iter: best,
         iters,
+        p50_ns: percentile(&times, 50.0),
+        p99_ns: percentile(&times, 99.0),
+        samples: times.len() as u32,
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// [`bench_with`] with the default budget (50 ms/sample, 3 samples).
@@ -78,6 +99,7 @@ pub fn bench<F: FnMut()>(name: &str, f: F) -> Measurement {
 pub struct Report {
     measurements: Vec<Measurement>,
     metrics: Vec<(String, f64)>,
+    notes: Vec<(String, String)>,
 }
 
 impl Report {
@@ -100,6 +122,13 @@ impl Report {
         self.metrics.push((name.to_string(), value));
     }
 
+    /// Records a string annotation (artifact paths, provenance) into the
+    /// report's `notes` object.
+    pub fn note(&mut self, name: &str, value: &str) {
+        println!("{name:<44} {value}");
+        self.notes.push((name.to_string(), value.to_string()));
+    }
+
     /// Looks up a recorded measurement by name.
     pub fn get(&self, name: &str) -> Option<&Measurement> {
         self.measurements.iter().find(|m| m.name == name)
@@ -118,6 +147,9 @@ impl Report {
                                 ("name", Json::from(m.name.as_str())),
                                 ("ns_per_iter", Json::from(m.ns_per_iter)),
                                 ("iters", Json::from(m.iters as usize)),
+                                ("p50_ns", Json::from(m.p50_ns)),
+                                ("p99_ns", Json::from(m.p99_ns)),
+                                ("samples", Json::from(m.samples as usize)),
                             ])
                         })
                         .collect(),
@@ -129,6 +161,15 @@ impl Report {
                     self.metrics
                         .iter()
                         .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "notes",
+                Json::Obj(
+                    self.notes
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
                         .collect(),
                 ),
             ),
@@ -161,6 +202,19 @@ mod tests {
         assert!(m.ns_per_iter >= 0.0 && m.ns_per_iter.is_finite());
         assert!(m.iters >= 1);
         assert!(m.per_second() > 0.0);
+        // Percentiles bracket the best-of-N sample.
+        assert_eq!(m.samples, 2);
+        assert!(m.p50_ns >= m.ns_per_iter);
+        assert!(m.p99_ns >= m.p50_ns);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 50.0), 2.0);
+        assert_eq!(percentile(&sorted, 99.0), 4.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
     }
 
     #[test]
@@ -170,11 +224,21 @@ mod tests {
             std::hint::black_box(42u64);
         });
         r.metric("speedup", 3.5);
+        r.note("manifest", "/tmp/run.manifest.jsonl");
         let j = r.to_json();
         assert!(j.get("benchmarks").unwrap().as_array().unwrap().len() == 1);
         assert_eq!(
             j.get("metrics").unwrap().get("speedup").unwrap().as_f64(),
             Some(3.5)
+        );
+        let bench = &j.get("benchmarks").unwrap().as_array().unwrap()[0];
+        assert!(bench.get("p50_ns").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            j.get("notes")
+                .unwrap()
+                .get("manifest")
+                .and_then(Json::as_str),
+            Some("/tmp/run.manifest.jsonl")
         );
         assert!(r.get("spin").is_some());
         assert!(r.get("missing").is_none());

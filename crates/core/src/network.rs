@@ -6,6 +6,50 @@ use crate::{DenseLayer, LayerRecord, NeuronKind, SpikeRaster};
 use snn_neuron::NeuronParams;
 use snn_tensor::{stats, Matrix, Rng};
 
+/// Span names for the per-layer forward tracing hooks. The flight
+/// recorder interns `&'static str` names only, so networks deeper than
+/// the table clamp to the last entry instead of allocating.
+pub(crate) const LAYER_FORWARD_NAMES: [&str; 8] = [
+    "layer0_forward",
+    "layer1_forward",
+    "layer2_forward",
+    "layer3_forward",
+    "layer4_forward",
+    "layer5_forward",
+    "layer6_forward",
+    "layer7_forward",
+];
+
+/// Span names for the per-layer backward (BPTT) tracing hooks.
+pub(crate) const LAYER_BACKWARD_NAMES: [&str; 8] = [
+    "layer0_backward",
+    "layer1_backward",
+    "layer2_backward",
+    "layer3_backward",
+    "layer4_backward",
+    "layer5_backward",
+    "layer6_backward",
+    "layer7_backward",
+];
+
+/// Resolves layer `l`'s span name from a name table, clamping deep
+/// networks to the table's last entry.
+pub(crate) fn layer_span_name(l: usize, names: [&'static str; 8]) -> &'static str {
+    names[l.min(names.len() - 1)]
+}
+
+/// Records layer `l`'s output-spike density into the cross-crate obs
+/// gauges (scraped by serving's `/metrics`) and returns the packed span
+/// payload (`steps << 32 | density_ppm`).
+fn note_layer_density(l: usize, rec: &LayerRecord) -> u64 {
+    let o = &rec.o;
+    let cells = o.rows() * o.cols();
+    let nnz = o.as_slice().iter().filter(|&&x| x != 0.0).count();
+    let ppm = snn_obs::density_ppm(nnz, cells);
+    snn_obs::record_layer_density(l, ppm);
+    snn_obs::pack_density_payload(o.rows(), ppm)
+}
+
 /// Forward pass result: one [`LayerRecord`] per layer, bottom to top.
 #[derive(Debug, Clone, Default)]
 pub struct Forward {
@@ -212,6 +256,9 @@ impl Network {
         fwd.records
             .resize_with(self.layers.len(), LayerRecord::empty);
         for (l, layer) in self.layers.iter().enumerate() {
+            // Disarmed (one relaxed atomic load + a cell read) unless an
+            // ambient trace context was installed by the caller.
+            let mut span = snn_obs::span(layer_span_name(l, LAYER_FORWARD_NAMES));
             let (head, tail) = scratch.active.split_at_mut(l + 1);
             layer.forward_steps(
                 &head[l],
@@ -219,6 +266,9 @@ impl Network {
                 &mut scratch.layers[l],
                 &mut tail[0],
             );
+            if span.is_armed() {
+                span.set_payload(note_layer_density(l, &fwd.records[l]));
+            }
         }
     }
 
@@ -273,6 +323,7 @@ impl Network {
         fwd.records
             .resize_with(self.layers.len(), LayerRecord::empty);
         for (l, layer) in self.layers.iter().enumerate() {
+            let mut span = snn_obs::span(layer_span_name(l, LAYER_FORWARD_NAMES));
             let (head, tail) = fwd.records.split_at_mut(l);
             let x = if l == 0 {
                 &scratch.dense_input
@@ -280,6 +331,9 @@ impl Network {
                 &head[l - 1].o
             };
             layer.forward_dense_into(x, &mut tail[0], &mut scratch.layers[l]);
+            if span.is_armed() {
+                span.set_payload(note_layer_density(l, &fwd.records[l]));
+            }
         }
     }
 

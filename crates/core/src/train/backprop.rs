@@ -269,9 +269,18 @@ pub fn backward_into(
     d_o.as_mut_slice().copy_from_slice(d_output.as_slice());
 
     for l in (0..layers.len()).rev() {
+        // Disarmed unless the caller installed an ambient trace context
+        // (see `snn_obs::with_trace`); records on drop at loop end.
+        let mut span = snn_obs::span(crate::network::layer_span_name(
+            l,
+            crate::network::LAYER_BACKWARD_NAMES,
+        ));
         let layer = &layers[l];
         let rec = &fwd.records[l];
         let t_steps = rec.steps();
+        if span.is_armed() {
+            span.set_payload(t_steps as u64);
+        }
         let (n_in, n_out) = (layer.n_in(), layer.n_out());
         let params = layer.params();
         let v_th = params.v_th;
@@ -427,9 +436,16 @@ pub fn backward_sparse_into(
     d_o.as_mut_slice().copy_from_slice(d_output.as_slice());
 
     for l in (0..layers.len()).rev() {
+        let mut span = snn_obs::span(crate::network::layer_span_name(
+            l,
+            crate::network::LAYER_BACKWARD_NAMES,
+        ));
         let layer = &layers[l];
         let rec = &fwd.records[l];
         let t_steps = rec.steps();
+        if span.is_armed() {
+            span.set_payload(t_steps as u64);
+        }
         let (n_in, n_out) = (layer.n_in(), layer.n_out());
         let params = layer.params();
         let v_th = params.v_th;

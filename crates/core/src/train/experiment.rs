@@ -16,13 +16,28 @@
 //!   when the run ends and optionally persisted to (and resumed from)
 //!   a checkpoint file,
 //! * per-epoch metrics: train/test loss and accuracy, the backward
-//!   pass's surviving error-event density, and wall-clock per phase.
+//!   pass's surviving error-event density, and wall-clock per phase,
+//! * a structured **run manifest**: a JSONL provenance record (config,
+//!   seed, policy, host info, per-epoch metrics, outcome) written next
+//!   to the checkpoint — or wherever
+//!   [`ExperimentConfig::manifest_path`] points — one flushed line per
+//!   event, so even an interrupted run leaves a parseable record.
+//!
+//! Manifest schema (`neurosnn.run.v1`), one JSON object per line:
+//!
+//! | `record` | When | Carries |
+//! |---|---|---|
+//! | `"run"` | at start | schema tag, start time, full config, host info |
+//! | `"epoch"` | per epoch | every [`EpochRecord`] field |
+//! | `"summary"` | at end | best epoch/accuracy, early-stop flag, wall-clock |
 
 use crate::checkpoint::{self, CheckpointError};
 use crate::train::{ClassificationLoss, LrSchedule, Trainer, TrainerConfig};
 use crate::{Forward, Network, ScratchSpace, SpikeRaster};
+use snn_json::Json;
 use snn_tensor::{stats, Matrix, Rng};
-use std::path::PathBuf;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Stop when the validation metric has not improved for more than
@@ -57,6 +72,10 @@ pub struct ExperimentConfig {
     /// exists (resume a previous run; silently starts fresh when it
     /// does not exist yet).
     pub resume: bool,
+    /// Where to write the JSONL run manifest. `None` derives the path
+    /// from `checkpoint_path` (sibling file with a `.manifest.jsonl`
+    /// extension); when both are `None` no manifest is written.
+    pub manifest_path: Option<PathBuf>,
     /// Print a one-line summary per epoch (for the harness binaries).
     pub progress: bool,
 }
@@ -70,6 +89,7 @@ impl Default for ExperimentConfig {
             shuffle_seed: 0,
             checkpoint_path: None,
             resume: false,
+            manifest_path: None,
             progress: false,
         }
     }
@@ -103,6 +123,24 @@ impl ExperimentConfig {
         self.checkpoint_path = Some(path.into());
         self.resume = resume;
         self
+    }
+
+    /// Returns a copy writing the JSONL run manifest to an explicit
+    /// path (instead of the checkpoint-derived default).
+    pub fn with_manifest(mut self, path: impl Into<PathBuf>) -> Self {
+        self.manifest_path = Some(path.into());
+        self
+    }
+
+    /// The manifest path this configuration resolves to: the explicit
+    /// [`manifest_path`](Self::manifest_path) if set, else a sibling of
+    /// the checkpoint with a `.manifest.jsonl` extension, else `None`.
+    pub fn resolved_manifest_path(&self) -> Option<PathBuf> {
+        self.manifest_path.clone().or_else(|| {
+            self.checkpoint_path
+                .as_ref()
+                .map(|p| p.with_extension("manifest.jsonl"))
+        })
     }
 }
 
@@ -145,6 +183,135 @@ pub struct ExperimentResult {
     pub stopped_early: bool,
     /// Whether the run warm-started from an existing checkpoint file.
     pub resumed: bool,
+    /// Where the JSONL run manifest was written, when one was.
+    pub manifest_path: Option<PathBuf>,
+}
+
+/// Streams the JSONL run manifest: one flushed line per event, so an
+/// interrupted run still leaves a parseable provenance record.
+struct ManifestWriter {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl ManifestWriter {
+    fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            file: std::fs::File::create(path)?,
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn line(&mut self, doc: &Json) -> std::io::Result<()> {
+        writeln!(self.file, "{doc}")?;
+        self.file.flush()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_header(
+        &mut self,
+        cfg: &ExperimentConfig,
+        trainer_config: &TrainerConfig,
+        base_lr: f32,
+        train_samples: usize,
+        test_samples: usize,
+        layer_widths: &[usize],
+        resumed: bool,
+    ) -> std::io::Result<()> {
+        let host = snn_obs::provenance::host_info();
+        let started_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let doc = Json::obj(vec![
+            ("record", Json::from("run")),
+            ("schema", Json::from("neurosnn.run.v1")),
+            ("started_unix", Json::from(started_unix as f64)),
+            ("epochs", Json::from(cfg.epochs)),
+            ("shuffle_seed", Json::from(cfg.shuffle_seed as f64)),
+            (
+                "lr_schedule",
+                Json::from(format!("{:?}", cfg.lr_schedule).as_str()),
+            ),
+            ("base_lr", Json::from(base_lr)),
+            ("batch_size", Json::from(trainer_config.batch_size)),
+            ("num_threads", Json::from(trainer_config.num_threads)),
+            (
+                "sparsity",
+                Json::from(format!("{:?}", trainer_config.sparsity).as_str()),
+            ),
+            (
+                "surrogate",
+                Json::from(format!("{:?}", trainer_config.surrogate).as_str()),
+            ),
+            ("dense_backward", Json::from(trainer_config.dense_backward)),
+            ("train_samples", Json::from(train_samples)),
+            ("test_samples", Json::from(test_samples)),
+            (
+                "layer_widths",
+                Json::Arr(layer_widths.iter().map(|&w| Json::from(w)).collect()),
+            ),
+            (
+                "checkpoint",
+                cfg.checkpoint_path
+                    .as_ref()
+                    .map_or(Json::Null, |p| Json::from(p.display().to_string().as_str())),
+            ),
+            ("resumed", Json::from(resumed)),
+            (
+                "host",
+                Json::obj(vec![
+                    ("hostname", Json::from(host.hostname.as_str())),
+                    ("os", Json::from(host.os)),
+                    ("arch", Json::from(host.arch)),
+                    ("cores", Json::from(host.cores)),
+                    (
+                        "git_revision",
+                        host.git_revision.as_deref().map_or(Json::Null, Json::from),
+                    ),
+                ]),
+            ),
+        ]);
+        self.line(&doc)
+    }
+
+    fn epoch(&mut self, r: &EpochRecord) -> std::io::Result<()> {
+        let doc = Json::obj(vec![
+            ("record", Json::from("epoch")),
+            ("epoch", Json::from(r.epoch)),
+            ("lr", Json::from(r.lr)),
+            ("train_loss", Json::from(r.train_loss)),
+            ("train_accuracy", Json::from(r.train_accuracy)),
+            ("test_loss", Json::from(r.test_loss)),
+            ("test_accuracy", Json::from(r.test_accuracy)),
+            (
+                "backward_event_density",
+                Json::from(r.backward_event_density),
+            ),
+            ("train_secs", Json::from(r.train_secs)),
+            ("eval_secs", Json::from(r.eval_secs)),
+        ]);
+        self.line(&doc)
+    }
+
+    fn summary(
+        &mut self,
+        result_best_epoch: usize,
+        best_accuracy: f32,
+        stopped_early: bool,
+        epochs_run: usize,
+        wall_secs: f64,
+    ) -> std::io::Result<()> {
+        let doc = Json::obj(vec![
+            ("record", Json::from("summary")),
+            ("best_epoch", Json::from(result_best_epoch)),
+            ("best_accuracy", Json::from(best_accuracy)),
+            ("stopped_early", Json::from(stopped_early)),
+            ("epochs_run", Json::from(epochs_run)),
+            ("wall_secs", Json::from(wall_secs)),
+        ]);
+        self.line(&doc)
+    }
 }
 
 /// Mean loss and accuracy on held-out data (no updates).
@@ -236,7 +403,26 @@ pub fn run_classification<L: ClassificationLoss + Sync>(
         }
     }
 
+    let run_start = Instant::now();
     let base_lr = trainer_config.optimizer.learning_rate();
+    let mut manifest = match cfg.resolved_manifest_path() {
+        Some(path) => {
+            let mut writer = ManifestWriter::create(&path)?;
+            let mut widths = vec![net.n_in()];
+            widths.extend(net.layers().iter().map(|l| l.n_out()));
+            writer.run_header(
+                cfg,
+                &trainer_config,
+                base_lr,
+                train.len(),
+                test.len(),
+                &widths,
+                resumed,
+            )?;
+            Some(writer)
+        }
+        None => None,
+    };
     let mut trainer = Trainer::new(trainer_config);
     let mut shuffle_rng = Rng::seed_from(cfg.shuffle_seed);
     // Shuffling swaps (raster, label) pairs in place — the rasters are
@@ -305,6 +491,9 @@ pub fn run_classification<L: ClassificationLoss + Sync>(
                 record.eval_secs,
             );
         }
+        if let Some(writer) = manifest.as_mut() {
+            writer.epoch(&record)?;
+        }
         records.push(record);
 
         let metric = if test.is_empty() {
@@ -336,12 +525,27 @@ pub fn run_classification<L: ClassificationLoss + Sync>(
 
     // Leave the caller holding the best weights, not the last ones.
     *net = checkpoint::from_json(&best_json)?;
+    let best_accuracy = best_accuracy.max(0.0);
+    let manifest_path = match manifest.as_mut() {
+        Some(writer) => {
+            writer.summary(
+                best_epoch,
+                best_accuracy,
+                stopped_early,
+                records.len(),
+                run_start.elapsed().as_secs_f64(),
+            )?;
+            Some(writer.path.clone())
+        }
+        None => None,
+    };
     Ok(ExperimentResult {
         records,
         best_epoch,
-        best_accuracy: best_accuracy.max(0.0),
+        best_accuracy,
         stopped_early,
         resumed,
+        manifest_path,
     })
 }
 
@@ -556,6 +760,88 @@ mod tests {
             first.best_accuracy
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn manifest_records_run_epochs_and_summary() {
+        let dir = std::env::temp_dir().join("neurosnn_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("best.json");
+        let manifest = dir.join("best.manifest.jsonl");
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&manifest);
+
+        let train = toy_data(24, 20);
+        let test = toy_data(9, 21);
+        let mut net = toy_net(22);
+        let result = run_classification(
+            &mut net,
+            &train,
+            &test,
+            &RateCrossEntropy,
+            toy_trainer_config(),
+            &ExperimentConfig::default()
+                .with_epochs(3)
+                .with_checkpoint(&ckpt, false),
+        )
+        .unwrap();
+
+        // The path derives from the checkpoint and is reported back.
+        assert_eq!(result.manifest_path.as_deref(), Some(manifest.as_path()));
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        let lines: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("every manifest line parses"))
+            .collect();
+        assert_eq!(lines.len(), 1 + 3 + 1, "run + 3 epochs + summary");
+
+        let run = &lines[0];
+        assert_eq!(run.get("record").and_then(Json::as_str), Some("run"));
+        assert_eq!(
+            run.get("schema").and_then(Json::as_str),
+            Some("neurosnn.run.v1")
+        );
+        assert_eq!(run.get("train_samples").and_then(Json::as_usize), Some(24));
+        assert!(run.get("host").and_then(|h| h.get("hostname")).is_some());
+        assert_eq!(
+            run.get("layer_widths")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(3)
+        );
+
+        for (i, line) in lines[1..4].iter().enumerate() {
+            assert_eq!(line.get("record").and_then(Json::as_str), Some("epoch"));
+            assert_eq!(line.get("epoch").and_then(Json::as_usize), Some(i));
+        }
+
+        let summary = &lines[4];
+        assert_eq!(
+            summary.get("record").and_then(Json::as_str),
+            Some("summary")
+        );
+        assert_eq!(summary.get("epochs_run").and_then(Json::as_usize), Some(3));
+        let best = summary.get("best_accuracy").and_then(Json::as_f64).unwrap();
+        assert!((best as f32 - result.best_accuracy).abs() < 1e-6);
+
+        let _ = std::fs::remove_file(&ckpt);
+        let _ = std::fs::remove_file(&manifest);
+    }
+
+    #[test]
+    fn no_checkpoint_means_no_manifest() {
+        let train = toy_data(12, 23);
+        let mut net = toy_net(24);
+        let result = run_classification(
+            &mut net,
+            &train,
+            &[],
+            &RateCrossEntropy,
+            toy_trainer_config(),
+            &ExperimentConfig::default().with_epochs(1),
+        )
+        .unwrap();
+        assert!(result.manifest_path.is_none());
     }
 
     #[test]

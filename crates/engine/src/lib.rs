@@ -12,6 +12,13 @@
 //! [`Deployment`] behind the same
 //! trait.
 //!
+//! Every backend routes inference through the core forward kernels,
+//! which carry `snn-obs` flight-recorder hooks: when a caller installs
+//! an ambient trace context (`snn_obs::with_trace`, as the serving
+//! scheduler's workers do per traced job), each layer's rollout records
+//! a span with its output-spike density packed into the payload. With
+//! no context the hooks are disarmed — one relaxed atomic load each.
+//!
 //! # Examples
 //!
 //! Serve one trained network from all three backends:

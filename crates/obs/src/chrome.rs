@@ -1,0 +1,104 @@
+//! Chrome trace-event JSON rendering: turns [`SpanEvent`]s into the
+//! `{"traceEvents": [...]}` object format understood by Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`. Each span becomes
+//! one complete (`"ph": "X"`) event with microsecond timestamps; the
+//! trace ID, span/parent IDs, and raw payload ride along in `args`.
+
+use crate::SpanEvent;
+use std::fmt::Write;
+
+/// Escapes `s` as the contents of a JSON string literal. Span names
+/// are static identifiers, but the exporter must never emit malformed
+/// JSON whatever a future call site passes.
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `events` as a Chrome trace-event JSON document. Timestamps
+/// are microseconds with nanosecond precision (`ts`/`dur` floats);
+/// `tid` is the flight recorder's per-thread ID, `pid` is fixed at 1.
+///
+/// Open the result in Perfetto or `chrome://tracing` directly, or via
+/// the serving layer's `/admin/trace/export` endpoint.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(128 + events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(&mut out, e.name);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"snn\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"trace\":\"{:016x}\",\"span\":{},\"parent\":{},\"payload\":{}}}}}",
+            e.start_ns as f64 / 1_000.0,
+            e.duration_ns() as f64 / 1_000.0,
+            e.thread,
+            e.trace,
+            e.span,
+            e.parent,
+            e.payload,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str) -> SpanEvent {
+        SpanEvent {
+            trace: 0xab,
+            span: 2,
+            parent: 1,
+            name,
+            thread: 3,
+            start_ns: 1_500,
+            end_ns: 4_500,
+            payload: 7,
+        }
+    }
+
+    #[test]
+    fn renders_complete_events() {
+        let json = chrome_trace_json(&[event("inference")]);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"name\":\"inference\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":3.000"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"trace\":\"00000000000000ab\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_input_is_valid_json() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        let json = chrome_trace_json(&[event("a\"b\\c\nd")]);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+}

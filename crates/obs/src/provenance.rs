@@ -1,0 +1,94 @@
+//! Best-effort run provenance: the host facts a run manifest needs so a
+//! result file can be traced back to the machine and code revision that
+//! produced it. Everything here degrades gracefully — no field failing
+//! to resolve ever fails the run.
+
+use std::path::{Path, PathBuf};
+
+/// Facts about the executing host and checkout, for run manifests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// `$HOSTNAME` / `$HOST`, or `"unknown"`.
+    pub hostname: String,
+    /// [`std::env::consts::OS`].
+    pub os: &'static str,
+    /// [`std::env::consts::ARCH`].
+    pub arch: &'static str,
+    /// [`std::thread::available_parallelism`], floored at 1.
+    pub cores: usize,
+    /// Commit hash read from `.git/HEAD` (following one level of
+    /// `ref:` indirection), when the process runs inside a checkout.
+    pub git_revision: Option<String>,
+}
+
+/// Collects [`HostInfo`] for the current process.
+pub fn host_info() -> HostInfo {
+    HostInfo {
+        hostname: std::env::var("HOSTNAME")
+            .or_else(|_| std::env::var("HOST"))
+            .unwrap_or_else(|_| "unknown".to_string()),
+        os: std::env::consts::OS,
+        arch: std::env::consts::ARCH,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        git_revision: git_revision(),
+    }
+}
+
+/// Walks from the current directory upward looking for `.git/HEAD` and
+/// resolves it to a commit hash. Returns `None` outside a checkout or
+/// on any read failure.
+pub fn git_revision() -> Option<String> {
+    let mut dir: PathBuf = std::env::current_dir().ok()?;
+    for _ in 0..8 {
+        let head = dir.join(".git").join("HEAD");
+        if head.is_file() {
+            return resolve_head(&dir.join(".git"), &head);
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    None
+}
+
+fn resolve_head(git_dir: &Path, head: &Path) -> Option<String> {
+    let contents = std::fs::read_to_string(head).ok()?;
+    let contents = contents.trim();
+    if let Some(reference) = contents.strip_prefix("ref: ") {
+        let hash = std::fs::read_to_string(git_dir.join(reference.trim())).ok()?;
+        let hash = hash.trim();
+        looks_like_hash(hash).then(|| hash.to_string())
+    } else {
+        looks_like_hash(contents).then(|| contents.to_string())
+    }
+}
+
+fn looks_like_hash(s: &str) -> bool {
+    s.len() >= 7 && s.chars().all(|c| c.is_ascii_hexdigit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_info_always_resolves() {
+        let info = host_info();
+        assert!(!info.hostname.is_empty());
+        assert!(!info.os.is_empty());
+        assert!(!info.arch.is_empty());
+        assert!(info.cores >= 1);
+        // This test runs inside the repo checkout, so the revision
+        // should resolve to a hash there; elsewhere None is fine.
+        if let Some(rev) = &info.git_revision {
+            assert!(looks_like_hash(rev));
+        }
+    }
+
+    #[test]
+    fn hash_detection() {
+        assert!(looks_like_hash("6e62311aa"));
+        assert!(!looks_like_hash("ref: x"));
+        assert!(!looks_like_hash("6e6231"));
+    }
+}

@@ -110,7 +110,7 @@ pub mod wire;
 
 pub use client::{Client, ClientError, Retrier, RetryPolicy, StreamClient, StreamClientError};
 pub use fault::{silence_injected_panics, FaultPlan, INJECTED_PANIC};
-pub use metrics::{Counter, Gauge, Histogram, ServeMetrics};
+pub use metrics::{escape_label_value, Counter, Gauge, Histogram, ServeMetrics, Stage};
 pub use scheduler::{
     BatchPolicy, EngineSwapError, JobError, Scheduler, SubmitError, Ticket, TicketError,
 };

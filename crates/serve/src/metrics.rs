@@ -5,8 +5,68 @@
 //! Everything here is plain `std::sync::atomic` — hot paths pay one
 //! relaxed atomic add per observation, so instrumentation never contends
 //! with the scheduler it is measuring.
+//!
+//! The exposition is strict-scraper conformant: every series carries
+//! `# HELP` and `# TYPE` lines and label values go through
+//! [`escape_label_value`]. Per-request stage timings land in the
+//! labeled `snn_stage_seconds` histogram family ([`Stage`]), and the
+//! per-layer event densities recorded by the `snn-obs` forward/backward
+//! hooks surface as `snn_layer_event_density` gauges.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One stage of a request's life, as broken down by the tracing spans
+/// and the `snn_stage_seconds` histogram family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// HTTP body + raster JSON decoding, on the connection thread.
+    Parse,
+    /// Admission-queue wait: submit → picked up by the collator.
+    QueueWait,
+    /// Batch-formation wait: collated → execution starts on a worker.
+    BatchWait,
+    /// Forward pass on a pooled session.
+    Inference,
+    /// Response formatting + serialization, on the connection thread.
+    Serialize,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Parse,
+        Stage::QueueWait,
+        Stage::BatchWait,
+        Stage::Inference,
+        Stage::Serialize,
+    ];
+
+    /// The `stage` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::QueueWait => "queue_wait",
+            Stage::BatchWait => "batch_wait",
+            Stage::Inference => "inference",
+            Stage::Serialize => "serialize",
+        }
+    }
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline must be backslash-escaped inside the quoted value.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -145,8 +205,9 @@ impl Histogram {
         self.bounds.last().copied().unwrap_or(0)
     }
 
-    fn render_into(&self, out: &mut String, name: &str) {
+    fn render_into(&self, out: &mut String, name: &str, help: &str) {
         use std::fmt::Write as _;
+        let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (i, bound) in self.bounds.iter().enumerate() {
@@ -157,6 +218,34 @@ impl Histogram {
         let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
         let _ = writeln!(out, "{name}_sum {}", self.sum());
         let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+
+    /// Renders this histogram (of microsecond observations) as one
+    /// `{base}{{stage="..."}}` series of a seconds-valued family — the
+    /// HELP/TYPE header is emitted once by the caller.
+    fn render_stage_into(&self, out: &mut String, base: &str, stage: &str) {
+        use std::fmt::Write as _;
+        let stage = escape_label_value(stage);
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "{base}_bucket{{stage=\"{stage}\",le=\"{}\"}} {cumulative}",
+                *bound as f64 / 1e6
+            );
+        }
+        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "{base}_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "{base}_sum{{stage=\"{stage}\"}} {}",
+            self.sum() as f64 / 1e6
+        );
+        let _ = writeln!(out, "{base}_count{{stage=\"{stage}\"}} {}", self.count());
     }
 }
 
@@ -217,6 +306,13 @@ pub struct ServeMetrics {
     /// Per-chunk stream latency in microseconds (frame accepted → events
     /// applied to the resident session).
     pub stream_chunk_latency_us: Histogram,
+    /// Per-stage request timings in microseconds, indexed by
+    /// [`Stage::ALL`] order; rendered as the seconds-valued
+    /// `snn_stage_seconds{stage="..."}` histogram family.
+    pub stage_us: [Histogram; 5],
+    /// Requests whose wall-clock exceeded the configured slow-request
+    /// threshold (each dumped its trace to stderr).
+    pub slow_requests_total: Counter,
 }
 
 impl Default for ServeMetrics {
@@ -256,7 +352,14 @@ impl ServeMetrics {
             job_latency_us: Histogram::pow2(1 << 26),
             request_latency_us: Histogram::pow2(1 << 26),
             stream_chunk_latency_us: Histogram::pow2(1 << 26),
+            stage_us: std::array::from_fn(|_| Histogram::pow2(1 << 26)),
+            slow_requests_total: Counter::default(),
         }
+    }
+
+    /// Records one per-stage timing observation (microseconds).
+    pub fn observe_stage(&self, stage: Stage, us: u64) {
+        self.stage_us[stage as usize].observe(us);
     }
 
     /// Mean dispatched batch size (0 before the first batch) — the
@@ -266,75 +369,197 @@ impl ServeMetrics {
     }
 
     /// Renders all metrics in the Prometheus text exposition format.
+    /// Every family carries `# HELP` and `# TYPE` lines (strict-scraper
+    /// conformance, pinned by `render_is_prometheus_conformant`).
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::with_capacity(2048);
-        for (name, counter) in [
-            ("snn_requests_total", &self.requests_total),
-            ("snn_responses_ok_total", &self.responses_ok),
+        let mut out = String::with_capacity(4096);
+        for (name, help, counter) in [
+            (
+                "snn_requests_total",
+                "HTTP requests received (all routes).",
+                &self.requests_total,
+            ),
+            (
+                "snn_responses_ok_total",
+                "Responses with 2xx status.",
+                &self.responses_ok,
+            ),
             (
                 "snn_responses_client_error_total",
+                "Responses with 4xx status.",
                 &self.responses_client_error,
             ),
             (
                 "snn_responses_server_error_total",
+                "Responses with 5xx status (including backpressure 503s).",
                 &self.responses_server_error,
             ),
-            ("snn_rejected_queue_full_total", &self.rejected_queue_full),
+            (
+                "snn_rejected_queue_full_total",
+                "Requests rejected with 503: admission queue full.",
+                &self.rejected_queue_full,
+            ),
             (
                 "snn_rejected_shutting_down_total",
+                "Requests rejected with 503: server shutting down.",
                 &self.rejected_shutting_down,
             ),
-            ("snn_jobs_total", &self.jobs_total),
-            ("snn_batches_total", &self.batches_total),
-            ("snn_worker_panics_total", &self.worker_panics_total),
+            (
+                "snn_jobs_total",
+                "Samples accepted into the scheduler queue.",
+                &self.jobs_total,
+            ),
+            (
+                "snn_batches_total",
+                "Micro-batches dispatched to workers.",
+                &self.batches_total,
+            ),
+            (
+                "snn_worker_panics_total",
+                "Worker panics caught by the supervisor.",
+                &self.worker_panics_total,
+            ),
             (
                 "snn_sessions_quarantined_total",
+                "Pooled sessions quarantined after a panic.",
                 &self.sessions_quarantined_total,
             ),
-            ("snn_jobs_retried_total", &self.jobs_retried_total),
-            ("snn_jobs_expired_total", &self.jobs_expired_total),
-            ("snn_reloads_total", &self.reloads_total),
-            ("snn_reload_failures_total", &self.reload_failures_total),
-            ("snn_stream_events_total", &self.stream_events_total),
-            ("snn_stream_evictions_total", &self.stream_evictions_total),
+            (
+                "snn_jobs_retried_total",
+                "Jobs retried on a fresh session after a worker panic.",
+                &self.jobs_retried_total,
+            ),
+            (
+                "snn_jobs_expired_total",
+                "Jobs shed because their deadline expired before execution.",
+                &self.jobs_expired_total,
+            ),
+            (
+                "snn_reloads_total",
+                "Successful hot checkpoint reloads.",
+                &self.reloads_total,
+            ),
+            (
+                "snn_reload_failures_total",
+                "Rejected or failed hot-reload attempts.",
+                &self.reload_failures_total,
+            ),
+            (
+                "snn_stream_events_total",
+                "Stream events accepted into resident sessions.",
+                &self.stream_events_total,
+            ),
+            (
+                "snn_stream_evictions_total",
+                "Stream sessions evicted (idle timeout or LRU pressure).",
+                &self.stream_evictions_total,
+            ),
             (
                 "snn_stream_sessions_lost_total",
+                "Stream sessions invalidated by a panic or hot reload.",
                 &self.stream_sessions_lost_total,
             ),
             (
                 "snn_stream_rejected_capacity_total",
+                "Stream opens refused at the resident-session cap.",
                 &self.stream_rejected_capacity_total,
             ),
+            (
+                "snn_slow_requests_total",
+                "Requests exceeding the slow-trace threshold (trace dumped).",
+                &self.slow_requests_total,
+            ),
         ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", counter.get());
         }
-        let _ = writeln!(out, "# TYPE snn_queue_depth gauge");
-        let _ = writeln!(out, "snn_queue_depth {}", self.queue_depth.get());
-        let _ = writeln!(out, "# TYPE snn_reload_in_flight gauge");
-        let _ = writeln!(out, "snn_reload_in_flight {}", self.reload_in_flight.get());
-        let _ = writeln!(out, "# TYPE snn_stream_sessions_resident gauge");
+        for (name, help, gauge) in [
+            (
+                "snn_queue_depth",
+                "Current admission-queue depth.",
+                &self.queue_depth,
+            ),
+            (
+                "snn_reload_in_flight",
+                "1 while a hot reload is being applied, else 0.",
+                &self.reload_in_flight,
+            ),
+            (
+                "snn_stream_sessions_resident",
+                "Stream sessions currently resident on stream workers.",
+                &self.stream_sessions_resident,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", gauge.get());
+        }
+        self.batch_size.render_into(
+            &mut out,
+            "snn_batch_size",
+            "Distribution of dispatched micro-batch sizes.",
+        );
+        self.job_latency_us.render_into(
+            &mut out,
+            "snn_job_latency_us",
+            "Per-sample scheduler latency in microseconds.",
+        );
+        self.request_latency_us.render_into(
+            &mut out,
+            "snn_request_latency_us",
+            "Per-request HTTP latency in microseconds.",
+        );
+        self.stream_chunk_latency_us.render_into(
+            &mut out,
+            "snn_stream_chunk_latency_us",
+            "Per-chunk stream latency in microseconds.",
+        );
         let _ = writeln!(
             out,
-            "snn_stream_sessions_resident {}",
-            self.stream_sessions_resident.get()
+            "# HELP snn_stage_seconds Per-request stage timings from the tracing spans."
         );
-        self.batch_size.render_into(&mut out, "snn_batch_size");
-        self.job_latency_us
-            .render_into(&mut out, "snn_job_latency_us");
-        self.request_latency_us
-            .render_into(&mut out, "snn_request_latency_us");
-        self.stream_chunk_latency_us
-            .render_into(&mut out, "snn_stream_chunk_latency_us");
+        let _ = writeln!(out, "# TYPE snn_stage_seconds histogram");
+        for stage in Stage::ALL {
+            self.stage_us[stage as usize].render_stage_into(
+                &mut out,
+                "snn_stage_seconds",
+                stage.label(),
+            );
+        }
         for (name, h) in [
             ("snn_job_latency_us", &self.job_latency_us),
             ("snn_request_latency_us", &self.request_latency_us),
             ("snn_stream_chunk_latency_us", &self.stream_chunk_latency_us),
         ] {
             for (label, q) in [("p50", 0.50), ("p99", 0.99)] {
+                let _ = writeln!(
+                    out,
+                    "# HELP {name}_{label} Estimated {label} of {name} observations."
+                );
                 let _ = writeln!(out, "# TYPE {name}_{label} gauge");
                 let _ = writeln!(out, "{name}_{label} {}", h.quantile(q));
+            }
+        }
+        // Per-layer spike/event densities recorded by the snn-obs
+        // forward/backward hooks (only layers that have fired render).
+        let densities: Vec<(usize, u32)> = (0..snn_obs::MAX_LAYER_STATS)
+            .filter_map(|l| snn_obs::layer_density_ppm(l).map(|ppm| (l, ppm)))
+            .collect();
+        if !densities.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP snn_layer_event_density Latest per-layer spike/event density (fraction of cells active)."
+            );
+            let _ = writeln!(out, "# TYPE snn_layer_event_density gauge");
+            for (layer, ppm) in densities {
+                let _ = writeln!(
+                    out,
+                    "snn_layer_event_density{{layer=\"{}\"}} {}",
+                    escape_label_value(&layer.to_string()),
+                    ppm as f64 / 1e6
+                );
             }
         }
         out
@@ -548,6 +773,80 @@ mod tests {
         assert!(text.contains("snn_stream_chunk_latency_us_count 2"));
         assert!(text.contains("snn_stream_chunk_latency_us_sum 107"));
         assert!(text.contains("snn_stream_chunk_latency_us_p99"));
+    }
+
+    #[test]
+    fn render_is_prometheus_conformant() {
+        // Strict scrapers demand a # HELP and # TYPE line for every
+        // family: walk the exposition and check each sample line's
+        // family (name stripped of histogram suffixes and labels) was
+        // declared before use.
+        let m = ServeMetrics::new();
+        m.requests_total.inc();
+        m.batch_size.observe(8);
+        m.observe_stage(Stage::Parse, 120);
+        m.observe_stage(Stage::Inference, 4000);
+        let text = m.render();
+        let mut helped = std::collections::HashSet::new();
+        let mut typed = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(
+                    rest.len() > name.len(),
+                    "HELP line must carry text: {line:?}"
+                );
+                helped.insert(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                typed.insert(name.to_string());
+            } else {
+                assert!(!line.trim().is_empty(), "no blank lines in exposition");
+                let sample = line.split([' ', '{']).next().unwrap();
+                let family = sample
+                    .strip_suffix("_bucket")
+                    .or_else(|| sample.strip_suffix("_sum"))
+                    .or_else(|| sample.strip_suffix("_count"))
+                    .unwrap_or(sample);
+                let declared = |set: &std::collections::HashSet<String>| {
+                    set.contains(family) || set.contains(sample)
+                };
+                assert!(declared(&helped), "{sample}: sample before # HELP");
+                assert!(declared(&typed), "{sample}: sample before # TYPE");
+            }
+        }
+        assert!(text.contains("# HELP snn_requests_total "));
+        assert!(text.contains("# TYPE snn_stage_seconds histogram"));
+        assert!(text.contains("snn_stage_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 1"));
+        assert!(text.contains("snn_stage_seconds_count{stage=\"inference\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn stage_histogram_family_renders_every_stage() {
+        let m = ServeMetrics::new();
+        for stage in Stage::ALL {
+            m.observe_stage(stage, 1000);
+        }
+        let text = m.render();
+        for stage in Stage::ALL {
+            assert!(
+                text.contains(&format!(
+                    "snn_stage_seconds_count{{stage=\"{}\"}} 1",
+                    stage.label()
+                )),
+                "missing stage {}",
+                stage.label()
+            );
+        }
+        // Bounds are rendered in seconds: a 1000 µs observation lands
+        // at or below the 0.001024 s bucket.
+        assert!(text.contains("le=\"0.001024\""));
     }
 
     #[test]

@@ -62,7 +62,7 @@
 //! request is ever dropped without a response.
 
 use crate::fault::FaultPlan;
-use crate::metrics::ServeMetrics;
+use crate::metrics::{ServeMetrics, Stage};
 use crate::stream::{StreamConfig, StreamRouter};
 use snn_core::SpikeRaster;
 use snn_engine::{Engine, SessionPool};
@@ -183,6 +183,16 @@ struct Job {
     submitted_at: Instant,
     deadline: Option<Instant>,
     result_tx: mpsc::Sender<Result<usize, JobError>>,
+    /// Trace this job belongs to; `0` = untraced, and every tracing
+    /// branch downstream is skipped entirely.
+    trace: u64,
+    /// Root request span the stage spans parent under.
+    parent_span: u64,
+    /// [`snn_obs::now_ns`] at submission (for the queue-wait span).
+    submitted_ns: u64,
+    /// [`snn_obs::now_ns`] when the collator picked the job up (for the
+    /// batch-wait span); stamped by the collator.
+    collated_ns: u64,
 }
 
 impl Job {
@@ -539,13 +549,38 @@ impl Scheduler {
         raster: SpikeRaster,
         deadline: Option<Instant>,
     ) -> Result<Ticket, SubmitError> {
+        self.submit_traced(raster, deadline, 0, 0)
+    }
+
+    /// Like [`submit_with_deadline`](Self::submit_with_deadline), but
+    /// tags the job with an `snn-obs` trace: the collator and worker
+    /// stamp queue-wait / batch-wait / inference spans under
+    /// `parent_span`, and the per-layer forward hooks inherit the trace
+    /// through the worker's thread-local context. `trace = 0` (what the
+    /// plain submit paths pass) disables all of it for this job.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`].
+    pub fn submit_traced(
+        &self,
+        raster: SpikeRaster,
+        deadline: Option<Instant>,
+        trace: u64,
+        parent_span: u64,
+    ) -> Result<Ticket, SubmitError> {
         let (result_tx, result_rx) = mpsc::channel();
+        let traced = trace != 0 && snn_obs::enabled();
         let job = Job {
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             raster,
             submitted_at: Instant::now(),
             deadline,
             result_tx,
+            trace: if traced { trace } else { 0 },
+            parent_span,
+            submitted_ns: if traced { snn_obs::now_ns() } else { 0 },
+            collated_ns: 0,
         };
         let guard = self.queue_tx.lock().expect("queue sender poisoned");
         let Some(tx) = guard.as_ref() else {
@@ -606,6 +641,30 @@ impl Drop for Scheduler {
     }
 }
 
+/// Stamps a just-collated job: closes its queue-wait span and records
+/// the pickup time the worker's batch-wait span starts from. A no-op
+/// for untraced jobs.
+fn note_collated(job: &mut Job, metrics: &ServeMetrics) {
+    if job.trace == 0 {
+        return;
+    }
+    let now = snn_obs::now_ns();
+    job.collated_ns = now;
+    snn_obs::record_span_parts(
+        job.trace,
+        snn_obs::next_span_id(),
+        job.parent_span,
+        "queue_wait",
+        job.submitted_ns,
+        now,
+        0,
+    );
+    metrics.observe_stage(
+        Stage::QueueWait,
+        now.saturating_sub(job.submitted_ns) / 1000,
+    );
+}
+
 /// Collator loop: drain the admission queue into micro-batches under the
 /// `max_batch` / `max_wait` policy, shedding expired jobs before
 /// dispatch.
@@ -619,10 +678,11 @@ fn collate(
     loop {
         // Block for the first sample of the next batch; a disconnect
         // with an empty queue is the shutdown signal.
-        let Ok(first) = queue_rx.recv() else {
+        let Ok(mut first) = queue_rx.recv() else {
             return;
         };
         metrics.queue_depth.dec();
+        note_collated(&mut first, metrics);
         let mut batch = Vec::with_capacity(max_batch);
         batch.push(first);
         let deadline = Instant::now() + max_wait;
@@ -631,8 +691,9 @@ fn collate(
             // try_recv first: under load the queue is never empty, so the
             // common case collects without touching the clock or parking.
             match queue_rx.try_recv() {
-                Ok(job) => {
+                Ok(mut job) => {
                     metrics.queue_depth.dec();
+                    note_collated(&mut job, metrics);
                     batch.push(job);
                     continue;
                 }
@@ -647,8 +708,9 @@ fn collate(
                 break;
             }
             match queue_rx.recv_timeout(deadline - now) {
-                Ok(job) => {
+                Ok(mut job) => {
                     metrics.queue_depth.dec();
+                    note_collated(&mut job, metrics);
                     batch.push(job);
                 }
                 Err(RecvTimeoutError::Timeout) => break,
@@ -711,6 +773,7 @@ fn worker_loop(
         // with.
         let pool = Arc::clone(&engine_slot.read().expect("engine slot poisoned"));
         let mut session = pool.acquire();
+        let batch_len = batch.len() as u64;
         for job in batch {
             // Deadlines are re-checked at execution: a job can expire
             // between collation and its turn within the batch.
@@ -719,12 +782,36 @@ fn worker_loop(
                 let _ = job.result_tx.send(Err(JobError::Expired));
                 continue;
             }
+            // For traced jobs: close the batch-wait span (collated →
+            // execution starts, payload = batch occupancy) and open the
+            // inference span whose ID the per-layer forward hooks will
+            // parent under via the thread-local context.
+            let exec_span = if job.trace != 0 {
+                let start = snn_obs::now_ns();
+                snn_obs::record_span_parts(
+                    job.trace,
+                    snn_obs::next_span_id(),
+                    job.parent_span,
+                    "batch_wait",
+                    job.collated_ns,
+                    start,
+                    batch_len,
+                );
+                metrics.observe_stage(
+                    Stage::BatchWait,
+                    start.saturating_sub(job.collated_ns) / 1000,
+                );
+                Some((snn_obs::next_span_id(), start))
+            } else {
+                None
+            };
             let mut attempt = 0u32;
             let result = loop {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     if let Some(plan) = faults {
                         plan.apply(job.seq, attempt);
                     }
+                    let _ctx = exec_span.map(|(span, _)| snn_obs::with_trace(job.trace, span));
                     session.classify(&job.raster)
                 }));
                 match outcome {
@@ -750,6 +837,19 @@ fn worker_loop(
                 metrics
                     .job_latency_us
                     .observe(job.submitted_at.elapsed().as_micros() as u64);
+                if let Some((span, start)) = exec_span {
+                    let end = snn_obs::now_ns();
+                    snn_obs::record_span_parts(
+                        job.trace,
+                        span,
+                        job.parent_span,
+                        "inference",
+                        start,
+                        end,
+                        batch_len,
+                    );
+                    metrics.observe_stage(Stage::Inference, end.saturating_sub(start) / 1000);
+                }
             }
             // A dropped receiver (client went away) is not an error; the
             // work is already done.

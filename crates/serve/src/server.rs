@@ -12,6 +12,16 @@
 //! | `/healthz/ready` | GET | — | readiness: `"ok"` or `"degraded"` |
 //! | `/metrics` | GET | — | Prometheus text format |
 //! | `/admin/reload` | POST | `{"path": "..."}` (optional) | hot checkpoint reload |
+//! | `/admin/trace/export` | GET | — | Chrome trace-event JSON (Perfetto-loadable) |
+//! | `/admin/trace/<id>` | GET | — | one trace's spans as JSON; `404` if evicted/unknown |
+//!
+//! Every `/classify` and `/classify_batch` response carries an
+//! `X-Trace-Id` header (while tracing is enabled); the named trace's
+//! per-stage spans — parse / queue-wait / batch-wait / inference /
+//! serialize, plus the per-layer forward spans — stay retrievable from
+//! the flight recorder until overwritten. Requests slower than
+//! [`ServerConfig::slow_trace_ms`] dump their stage breakdown to stderr
+//! and bump `snn_slow_requests_total`.
 //!
 //! Admission control: a full scheduler queue answers `503` with a
 //! `Retry-After` header instead of buffering; oversized bodies and
@@ -28,7 +38,7 @@
 //! case the old engine keeps serving untouched.
 
 use crate::http::{self, HttpError, Request, Response};
-use crate::metrics::ServeMetrics;
+use crate::metrics::{ServeMetrics, Stage};
 use crate::scheduler::{BatchPolicy, EngineSwapError, Scheduler, SubmitError, TicketError};
 use crate::stream::StreamConfig;
 use crate::{wire, FaultPlan};
@@ -72,6 +82,10 @@ pub struct ServerConfig {
     /// How long after a caught worker panic `/healthz/ready` keeps
     /// reporting `degraded`.
     pub degraded_window: Duration,
+    /// Requests whose end-to-end wall clock exceeds this many
+    /// milliseconds dump their per-stage span breakdown to stderr and
+    /// increment `snn_slow_requests_total` (`None` = never dump).
+    pub slow_trace_ms: Option<u64>,
     /// Test-only deterministic fault injection threaded into the
     /// scheduler (see [`FaultPlan`]); `None` in production.
     pub faults: Option<Arc<FaultPlan>>,
@@ -92,6 +106,7 @@ impl Default for ServerConfig {
             checkpoint_path: None,
             default_deadline_ms: None,
             degraded_window: Duration::from_secs(2),
+            slow_trace_ms: None,
             faults: None,
             stream: StreamConfig::default(),
         }
@@ -362,12 +377,87 @@ fn route(request: &Request, ctx: &Ctx) -> Response {
         ("GET", "/healthz" | "/healthz/live") => liveness(ctx),
         ("GET", "/healthz/ready") => readiness(ctx),
         ("GET", "/metrics") => Response::text(200, ctx.scheduler.metrics().render()),
+        ("GET", "/admin/trace/export") => trace_export(request),
+        ("GET", path) if path.strip_prefix("/admin/trace/").is_some() => {
+            trace_lookup(path.strip_prefix("/admin/trace/").unwrap_or(""))
+        }
         (_, "/classify" | "/classify_batch" | "/admin/reload") => Response::error(405, "use POST"),
         (_, "/healthz" | "/healthz/live" | "/healthz/ready" | "/metrics") => {
             Response::error(405, "use GET")
         }
+        (_, path) if path.starts_with("/admin/trace/") => Response::error(405, "use GET"),
         _ => Response::error(404, "unknown route"),
     }
+}
+
+/// `GET /admin/trace/export` — the whole flight recorder (or one trace,
+/// with `?trace=<id>`) as Chrome trace-event JSON, loadable directly in
+/// Perfetto / `chrome://tracing`.
+fn trace_export(request: &Request) -> Response {
+    let filter = request
+        .target
+        .split_once('?')
+        .map(|(_, query)| query)
+        .and_then(|query| {
+            query
+                .split('&')
+                .find_map(|pair| pair.strip_prefix("trace="))
+        });
+    let events = match filter {
+        Some(raw) => match parse_trace_id(raw) {
+            Some(id) => snn_obs::trace_events(id),
+            None => return Response::error(404, "unknown trace id"),
+        },
+        None => snn_obs::snapshot(),
+    };
+    Response::json(200, snn_obs::chrome_trace_json(&events))
+}
+
+/// `GET /admin/trace/<id>` — one trace's spans as JSON. Unknown,
+/// malformed, and evicted ids all answer a clean `404`; this route never
+/// panics on hostile input.
+fn trace_lookup(raw_id: &str) -> Response {
+    let Some(trace) = parse_trace_id(raw_id) else {
+        return Response::error(404, "unknown trace id");
+    };
+    let events = snn_obs::trace_events(trace);
+    if events.is_empty() {
+        return Response::error(404, "unknown trace id");
+    }
+    let spans: Vec<String> = events
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"span\": {}, \"parent\": {}, \"name\": {}, \"thread\": {}, \
+                 \"start_ns\": {}, \"end_ns\": {}, \"duration_ns\": {}, \"payload\": {}}}",
+                e.span,
+                e.parent,
+                Json::from(e.name),
+                e.thread,
+                e.start_ns,
+                e.end_ns,
+                e.duration_ns(),
+                e.payload,
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"trace\": \"{trace:016x}\", \"spans\": [{}]}}",
+            spans.join(", ")
+        ),
+    )
+}
+
+/// Parses a 1–16 hex-digit trace id; anything else is `None` (routes
+/// answer 404, never 500).
+fn parse_trace_id(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if raw.is_empty() || raw.len() > 16 || !raw.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(raw, 16).ok().filter(|&id| id != 0)
 }
 
 /// Parses one wire-format raster, enforcing the declared-size cap before
@@ -437,8 +527,93 @@ fn ticket_error_response(err: TicketError) -> Response {
     }
 }
 
+/// Per-request trace state: the minted trace id, the root span every
+/// stage span parents under, and the request's start time. `None` while
+/// tracing is globally disabled — the untraced path does no
+/// observability work at all beyond one relaxed atomic load.
+struct RequestTrace {
+    trace: u64,
+    root: u64,
+    start_ns: u64,
+}
+
+impl RequestTrace {
+    fn begin() -> Option<Self> {
+        if !snn_obs::enabled() {
+            return None;
+        }
+        Some(Self {
+            trace: snn_obs::next_trace_id(),
+            root: snn_obs::next_span_id(),
+            start_ns: snn_obs::now_ns(),
+        })
+    }
+
+    /// Records one request-stage span (parented under the root) and
+    /// feeds the matching `snn_stage_seconds` histogram.
+    fn stage(&self, metrics: &ServeMetrics, stage: Stage, name: &'static str, start_ns: u64) {
+        let end_ns = snn_obs::now_ns();
+        snn_obs::record_span_parts(
+            self.trace,
+            snn_obs::next_span_id(),
+            self.root,
+            name,
+            start_ns,
+            end_ns,
+            0,
+        );
+        metrics.observe_stage(stage, end_ns.saturating_sub(start_ns) / 1_000);
+    }
+
+    /// Closes the root span, applies the slow-request dump policy, and
+    /// stamps the response with its `X-Trace-Id` header.
+    fn finish(self, ctx: &Ctx, response: Response) -> Response {
+        let end_ns = snn_obs::now_ns();
+        snn_obs::record_span_parts(
+            self.trace,
+            self.root,
+            0,
+            "request",
+            self.start_ns,
+            end_ns,
+            u64::from(response.status),
+        );
+        let total_ns = end_ns.saturating_sub(self.start_ns);
+        if let Some(threshold_ms) = ctx.config.slow_trace_ms {
+            if total_ns / 1_000_000 >= threshold_ms {
+                let metrics = ctx.scheduler.metrics();
+                metrics.slow_requests_total.inc();
+                let stages: Vec<String> = snn_obs::trace_events(self.trace)
+                    .iter()
+                    .filter(|e| e.span != self.root)
+                    .map(|e| format!("{}={}us", e.name, e.duration_ns() / 1_000))
+                    .collect();
+                eprintln!(
+                    "slow request trace={:016x} total={}us status={} {}",
+                    self.trace,
+                    total_ns / 1_000,
+                    response.status,
+                    stages.join(" "),
+                );
+            }
+        }
+        response.with_header("X-Trace-Id", format!("{:016x}", self.trace))
+    }
+}
+
 /// `POST /classify` — one raster in, one class out.
 fn classify_one(request: &Request, ctx: &Ctx) -> Response {
+    let trace = RequestTrace::begin();
+    let response = classify_one_traced(request, ctx, trace.as_ref());
+    match trace {
+        Some(t) => t.finish(ctx, response),
+        None => response,
+    }
+}
+
+fn classify_one_traced(request: &Request, ctx: &Ctx, trace: Option<&RequestTrace>) -> Response {
+    let metrics = ctx.scheduler.metrics();
+    let parse_start = trace.map_or(0, |t| t.start_ns);
     let doc = match parse_json_body(&request.body) {
         Ok(doc) => doc,
         Err(resp) => return resp,
@@ -447,16 +622,30 @@ fn classify_one(request: &Request, ctx: &Ctx) -> Response {
         Ok(r) => r,
         Err(resp) => return resp,
     };
+    if let Some(t) = trace {
+        t.stage(metrics, Stage::Parse, "parse", parse_start);
+    }
     let deadline = match request_deadline(request, ctx) {
         Ok(d) => d,
         Err(resp) => return resp,
     };
-    let ticket = match ctx.scheduler.submit_with_deadline(raster, deadline) {
+    let (trace_id, root) = trace.map_or((0, 0), |t| (t.trace, t.root));
+    let ticket = match ctx
+        .scheduler
+        .submit_traced(raster, deadline, trace_id, root)
+    {
         Ok(t) => t,
         Err(e) => return submit_error_response(e),
     };
     match ticket.wait() {
-        Ok(class) => Response::json(200, format!("{{\"class\": {class}}}")),
+        Ok(class) => {
+            let serialize_start = trace.map_or(0, |_| snn_obs::now_ns());
+            let resp = Response::json(200, format!("{{\"class\": {class}}}"));
+            if let Some(t) = trace {
+                t.stage(metrics, Stage::Serialize, "serialize", serialize_start);
+            }
+            resp
+        }
         Err(e) => ticket_error_response(e),
     }
 }
@@ -465,6 +654,17 @@ fn classify_one(request: &Request, ctx: &Ctx) -> Response {
 /// flows through the scheduler, so it shares admission control and may be
 /// collated with other requests' samples.
 fn classify_batch(request: &Request, ctx: &Ctx) -> Response {
+    let trace = RequestTrace::begin();
+    let response = classify_batch_traced(request, ctx, trace.as_ref());
+    match trace {
+        Some(t) => t.finish(ctx, response),
+        None => response,
+    }
+}
+
+fn classify_batch_traced(request: &Request, ctx: &Ctx, trace: Option<&RequestTrace>) -> Response {
+    let metrics = ctx.scheduler.metrics();
+    let parse_start = trace.map_or(0, |t| t.start_ns);
     let doc = match parse_json_body(&request.body) {
         Ok(doc) => doc,
         Err(resp) => return resp,
@@ -489,15 +689,25 @@ fn classify_batch(request: &Request, ctx: &Ctx) -> Response {
             Err(resp) => return resp,
         }
     }
+    if let Some(t) = trace {
+        t.stage(metrics, Stage::Parse, "parse", parse_start);
+    }
     let deadline = match request_deadline(request, ctx) {
         Ok(d) => d,
         Err(resp) => return resp,
     };
+    // All samples share the request's trace: their queue-wait /
+    // batch-wait / inference spans parent under the one root span, so
+    // `/admin/trace/<id>` shows the whole fan-out.
+    let (trace_id, root) = trace.map_or((0, 0), |t| (t.trace, t.root));
     // All-or-nothing admission keeps the response shape simple: a batch
     // either gets `classes` for every sample or a single 503.
     let mut tickets = Vec::with_capacity(parsed.len());
     for raster in parsed {
-        match ctx.scheduler.submit_with_deadline(raster, deadline) {
+        match ctx
+            .scheduler
+            .submit_traced(raster, deadline, trace_id, root)
+        {
             Ok(t) => tickets.push(t),
             Err(e) => {
                 // Already-submitted samples still run (their tickets are
@@ -513,8 +723,13 @@ fn classify_batch(request: &Request, ctx: &Ctx) -> Response {
             Err(e) => return ticket_error_response(e),
         }
     }
+    let serialize_start = trace.map_or(0, |_| snn_obs::now_ns());
     let body: Vec<String> = classes.iter().map(|c| c.to_string()).collect();
-    Response::json(200, format!("{{\"classes\": [{}]}}", body.join(", ")))
+    let resp = Response::json(200, format!("{{\"classes\": [{}]}}", body.join(", ")));
+    if let Some(t) = trace {
+        t.stage(metrics, Stage::Serialize, "serialize", serialize_start);
+    }
+    resp
 }
 
 /// `POST /admin/reload` — hot checkpoint reload. The new engine is built

@@ -1,0 +1,331 @@
+//! End-to-end tracing tests over real loopback sockets: `X-Trace-Id`
+//! propagation, `/admin/trace/<id>` span retrieval, Perfetto (Chrome
+//! trace-event) export, hostile trace-id handling, and flight-recorder
+//! eviction behaviour.
+
+use snn_core::{Network, NeuronKind, SpikeRaster};
+use snn_engine::Engine;
+use snn_json::Json;
+use snn_neuron::NeuronParams;
+use snn_serve::{serve, BatchPolicy, Client, ServerConfig, ServerHandle};
+use snn_tensor::Rng;
+use std::time::Duration;
+
+fn engine(seed: u64) -> Engine {
+    let mut rng = Rng::seed_from(seed);
+    let net = Network::mlp(
+        &[6, 12, 4],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults().with_v_th(0.4),
+        &mut rng,
+    );
+    Engine::from_network(net).build()
+}
+
+fn inputs(n: usize, seed: u64) -> Vec<SpikeRaster> {
+    let mut rng = Rng::seed_from(seed);
+    (0..n)
+        .map(|_| {
+            let mut r = SpikeRaster::zeros(10, 6);
+            for t in 0..10 {
+                for c in 0..6 {
+                    if rng.coin(0.25) {
+                        r.set(t, c, true);
+                    }
+                }
+            }
+            r
+        })
+        .collect()
+}
+
+fn start(seed: u64, config: ServerConfig) -> ServerHandle {
+    serve(engine(seed), config).expect("bind ephemeral port")
+}
+
+fn connect(server: &ServerHandle) -> Client {
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("set timeout");
+    client
+}
+
+/// Sends one `/classify` and returns the response's trace id.
+fn traced_classify(client: &mut Client, raster: &SpikeRaster) -> String {
+    let body = raster.to_json().to_string();
+    let resp = client
+        .request("POST", "/classify", body.as_bytes())
+        .expect("classify");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    resp.header("x-trace-id")
+        .expect("every classify response carries X-Trace-Id")
+        .to_string()
+}
+
+#[test]
+fn classify_returns_trace_id_and_spans_fit_the_request() {
+    let server = start(1, ServerConfig::default());
+    let mut client = connect(&server);
+    let sample = &inputs(1, 2)[0];
+
+    let trace_id = traced_classify(&mut client, sample);
+    assert_eq!(trace_id.len(), 16, "zero-padded 64-bit hex: {trace_id}");
+    assert!(trace_id.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    let resp = client
+        .get(&format!("/admin/trace/{trace_id}"))
+        .expect("trace lookup");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let doc = Json::parse(&resp.body_str()).expect("trace json parses");
+    assert_eq!(
+        doc.get("trace").and_then(Json::as_str),
+        Some(trace_id.as_str())
+    );
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_array)
+        .expect("spans array");
+
+    // The root span covers the request; its direct children are the
+    // stage spans, whose disjoint intervals must sum to within the
+    // request's wall clock.
+    let field = |s: &Json, k: &str| s.get(k).and_then(Json::as_f64).unwrap();
+    let root = spans
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some("request"))
+        .expect("root request span recorded");
+    let root_span = field(root, "span");
+    let root_start = field(root, "start_ns");
+    let root_end = field(root, "end_ns");
+    assert!(root_end > root_start);
+
+    let mut seen = Vec::new();
+    let mut stage_sum = 0.0;
+    for s in spans {
+        let name = s.get("name").and_then(Json::as_str).unwrap().to_string();
+        assert!(field(s, "start_ns") >= root_start, "{name} starts in range");
+        assert!(field(s, "end_ns") <= root_end, "{name} ends in range");
+        if field(s, "parent") == root_span {
+            stage_sum += field(s, "duration_ns");
+        }
+        seen.push(name);
+    }
+    for stage in [
+        "parse",
+        "queue_wait",
+        "batch_wait",
+        "inference",
+        "serialize",
+    ] {
+        assert!(seen.iter().any(|n| n == stage), "missing stage {stage}");
+    }
+    // The engine hooks attach per-layer forward spans under inference.
+    assert!(
+        seen.iter().any(|n| n.ends_with("_forward")),
+        "per-layer forward spans recorded: {seen:?}"
+    );
+    assert!(
+        stage_sum <= (root_end - root_start) + 1.0,
+        "stage spans are disjoint sub-intervals of the request: \
+         {stage_sum}ns vs {}ns",
+        root_end - root_start
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn batch_request_shares_one_trace() {
+    let server = start(3, ServerConfig::default());
+    let mut client = connect(&server);
+    let samples = inputs(4, 4);
+    let body = Json::obj(vec![(
+        "rasters",
+        Json::Arr(samples.iter().map(|r| r.to_json()).collect()),
+    )])
+    .to_string();
+    let resp = client
+        .request("POST", "/classify_batch", body.as_bytes())
+        .expect("batch");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let trace_id = resp.header("x-trace-id").expect("batch trace id");
+
+    let lookup = client
+        .get(&format!("/admin/trace/{trace_id}"))
+        .expect("trace lookup");
+    assert_eq!(lookup.status, 200);
+    let doc = Json::parse(&lookup.body_str()).unwrap();
+    let spans = doc.get("spans").and_then(Json::as_array).unwrap();
+    // One inference span per sample, all under the same trace.
+    let inferences = spans
+        .iter()
+        .filter(|s| s.get("name").and_then(Json::as_str) == Some("inference"))
+        .count();
+    assert_eq!(inferences, samples.len());
+
+    server.shutdown();
+}
+
+#[test]
+fn export_is_perfetto_loadable_chrome_trace_json() {
+    let server = start(5, ServerConfig::default());
+    let mut client = connect(&server);
+    let sample = &inputs(1, 6)[0];
+    let trace_id = traced_classify(&mut client, sample);
+
+    // Filtered export: only this trace's events.
+    let resp = client
+        .get(&format!("/admin/trace/export?trace={trace_id}"))
+        .expect("export");
+    assert_eq!(resp.status, 200);
+    let doc = Json::parse(&resp.body_str()).expect("export is valid json");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        // The Chrome trace-event fields Perfetto requires of a complete
+        // ("ph": "X") event.
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(Json::as_f64).is_some());
+        assert!(e.get("pid").is_some() && e.get("tid").is_some());
+        assert_eq!(
+            e.get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Json::as_str),
+            Some(trace_id.as_str()),
+            "filtered export carries only the requested trace"
+        );
+    }
+
+    // Unfiltered export dumps the whole recorder and still parses.
+    let all = client.get("/admin/trace/export").expect("full export");
+    assert_eq!(all.status, 200);
+    let doc = Json::parse(&all.body_str()).expect("full export parses");
+    assert!(!doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .unwrap()
+        .is_empty());
+
+    server.shutdown();
+}
+
+#[test]
+fn hostile_trace_ids_get_clean_404s() {
+    let server = start(7, ServerConfig::default());
+    let mut client = connect(&server);
+
+    // Unknown-but-well-formed, malformed, oversized, traversal-ish,
+    // and junk ids: every one a clean 404, never a 500 or a hang.
+    let hostile = [
+        "ffffffffffffffff",
+        "0",
+        "00000000000000000",
+        "deadbeefdeadbeefdead",
+        "not-hex",
+        "%2e%2e%2f",
+        "..",
+        "1e9",
+        "0x12",
+        " 42",
+        "12 34",
+        "-1",
+        "\u{1F980}",
+    ];
+    for id in hostile {
+        let resp = client
+            .get(&format!("/admin/trace/{id}"))
+            .expect("request survives");
+        // Ids the HTTP layer itself refuses (embedded whitespace,
+        // non-ASCII request targets) answer 400 and close the
+        // connection; everything that reaches the route answers 404.
+        assert!(
+            resp.status == 404 || resp.status == 400,
+            "id {id:?} must fail cleanly, never panic: {}",
+            resp.status
+        );
+        if resp.status == 400 {
+            client.reconnect().expect("reconnect after malformed id");
+        }
+    }
+    // Fuzz loop: pseudo-random garbage ids.
+    let mut rng = Rng::seed_from(99);
+    for _ in 0..64 {
+        let len = 1 + (rng.next_u64() % 24) as usize;
+        let id: String = (0..len)
+            .map(|_| (b'0' + (rng.next_u64() % 75) as u8) as char)
+            .filter(|c| c.is_ascii_graphic() && *c != '/' && *c != '?' && *c != '#')
+            .collect();
+        let resp = client
+            .get(&format!("/admin/trace/{id}x"))
+            .expect("request survives");
+        assert!(
+            resp.status == 404,
+            "garbage id {id:?} answered {}",
+            resp.status
+        );
+    }
+    // The server is still healthy afterwards.
+    assert_eq!(client.healthz().unwrap(), "ok");
+
+    server.shutdown();
+}
+
+#[test]
+fn evicted_traces_return_404_and_slow_requests_are_counted() {
+    // Shrink rings created from here on; servers started below spawn
+    // fresh worker/connection threads, which get the small rings.
+    snn_obs::set_ring_capacity(64);
+    let server = start(
+        9,
+        ServerConfig {
+            // Threshold 0: every request trips the slow-request dump.
+            slow_trace_ms: Some(0),
+            policy: BatchPolicy::default(),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = connect(&server);
+    let samples = inputs(8, 10);
+
+    let old_trace = traced_classify(&mut client, &samples[0]);
+    assert_eq!(
+        client
+            .get(&format!("/admin/trace/{old_trace}"))
+            .unwrap()
+            .status,
+        200,
+        "fresh trace is resident"
+    );
+
+    // Flood: each request records spans on the same server threads, so
+    // 64-slot rings wrap many times over and evict the old trace.
+    for k in 0..200 {
+        traced_classify(&mut client, &samples[k % samples.len()]);
+    }
+    let resp = client
+        .get(&format!("/admin/trace/{old_trace}"))
+        .expect("lookup after eviction");
+    assert_eq!(resp.status, 404, "evicted trace answers a clean 404");
+
+    // Every request exceeded the 0 ms threshold.
+    let metrics = client.metrics().expect("metrics");
+    let slow = metrics
+        .lines()
+        .find(|l| l.starts_with("snn_slow_requests_total "))
+        .expect("slow-request counter exported");
+    let count: f64 = slow.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert!(count >= 200.0, "all flooded requests counted slow: {slow}");
+
+    server.shutdown();
+    snn_obs::set_ring_capacity(4096);
+}

@@ -71,6 +71,7 @@ fn start_server(engine: Engine) -> ServerHandle {
                 max_wait: Duration::from_millis(1),
                 queue_capacity: 8192,
                 workers: 0,
+                ..BatchPolicy::default()
             },
             ..ServerConfig::default()
         },

@@ -63,6 +63,15 @@ pub struct FaultPlan {
     /// panicked), so every scheduled panic quarantines the worker's
     /// sessions and surfaces as a typed `SESSION_LOST` frame.
     pub stream_panic_rate: f64,
+    /// Number of initial connection registrations (epoll add + registry
+    /// insert) that fail deterministically — the hook behind the
+    /// registry-leak regression test: a failed registration must release
+    /// its `max_connections` slot, not wedge the server at the cap.
+    pub register_fail_first: u64,
+    /// Restricts scheduled worker panics to one replica of the replica
+    /// set (`None` = panics apply on every replica). Lets a chaos test
+    /// kill exactly one replica while asserting the others keep serving.
+    pub panic_replica: Option<usize>,
 }
 
 impl FaultPlan {
@@ -76,6 +85,8 @@ impl FaultPlan {
             corrupt_rate: 0.0,
             panic_attempts: 1,
             stream_panic_rate: 0.0,
+            register_fail_first: 0,
+            panic_replica: None,
         }
     }
 
@@ -109,6 +120,20 @@ impl FaultPlan {
     /// [`stream_panic_rate`](Self::stream_panic_rate)).
     pub fn with_stream_panic_rate(mut self, rate: f64) -> Self {
         self.stream_panic_rate = rate;
+        self
+    }
+
+    /// Fails the first `n` connection registrations (see
+    /// [`register_fail_first`](Self::register_fail_first)).
+    pub fn with_register_failures(mut self, n: u64) -> Self {
+        self.register_fail_first = n;
+        self
+    }
+
+    /// Restricts scheduled worker panics to replica `r` (see
+    /// [`panic_replica`](Self::panic_replica)).
+    pub fn with_panic_replica(mut self, r: usize) -> Self {
+        self.panic_replica = Some(r);
         self
     }
 
@@ -163,6 +188,32 @@ impl FaultPlan {
     /// `snn_worker_panics_total` a run must report.
     pub fn count_panics(&self, n: u64) -> u64 {
         (0..n).filter(|&seq| self.injects_panic(seq, 0)).count() as u64
+    }
+
+    /// Whether connection registration number `conn_seq` is scheduled to
+    /// fail (the first [`register_fail_first`](Self::register_fail_first)
+    /// registrations do, deterministically).
+    pub fn injects_register_failure(&self, conn_seq: u64) -> bool {
+        conn_seq < self.register_fail_first
+    }
+
+    /// Whether scheduled worker panics apply on `replica` (they apply on
+    /// every replica unless [`panic_replica`](Self::panic_replica) pins
+    /// them to one).
+    pub fn panics_on_replica(&self, replica: usize) -> bool {
+        self.panic_replica.is_none_or(|r| r == replica)
+    }
+
+    /// Replica-aware [`apply`](Self::apply): injected latency still
+    /// applies everywhere, but scheduled panics fire only when
+    /// [`panics_on_replica`](Self::panics_on_replica) allows them.
+    pub fn apply_on_replica(&self, replica: usize, seq: u64, attempt: u32) {
+        if let Some(delay) = self.injected_latency(seq) {
+            std::thread::sleep(delay);
+        }
+        if self.panics_on_replica(replica) && self.injects_panic(seq, attempt) {
+            panic!("{INJECTED_PANIC}: job {seq} attempt {attempt} (replica {replica})");
+        }
     }
 
     /// Whether stream command `seq` (a per-session command counter mixed
@@ -292,6 +343,36 @@ mod tests {
             .count();
         // Independent draws land near a quarter, not half or zero.
         assert!((800..=1250).contains(&both), "joint count {both}");
+    }
+
+    #[test]
+    fn register_failures_are_first_n_deterministic() {
+        let plan = FaultPlan::seeded(9).with_register_failures(3);
+        assert!(plan.injects_register_failure(0));
+        assert!(plan.injects_register_failure(2));
+        assert!(!plan.injects_register_failure(3));
+        assert!(!plan.injects_register_failure(1000));
+        // The default plan fails nothing.
+        assert!(!FaultPlan::seeded(9).injects_register_failure(0));
+    }
+
+    #[test]
+    fn panic_replica_pins_panics_to_one_replica() {
+        silence_injected_panics();
+        let plan = FaultPlan::seeded(4)
+            .with_panic_rate(1.0)
+            .with_panic_replica(1);
+        assert!(!plan.panics_on_replica(0));
+        assert!(plan.panics_on_replica(1));
+        // Replica 0 executes the scheduled-panic job unharmed...
+        plan.apply_on_replica(0, 7, 0);
+        // ...replica 1 panics with the marker.
+        let err = std::panic::catch_unwind(|| plan.apply_on_replica(1, 7, 0)).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains(INJECTED_PANIC));
+        // Unpinned plans panic everywhere.
+        let anywhere = FaultPlan::seeded(4).with_panic_rate(1.0);
+        assert!(anywhere.panics_on_replica(0) && anywhere.panics_on_replica(5));
     }
 
     #[test]

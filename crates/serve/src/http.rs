@@ -30,6 +30,11 @@ pub enum HttpError {
         /// Configured maximum.
         limit: usize,
     },
+    /// Syntactically valid request using a protocol feature this server
+    /// does not implement (maps to `501 Not Implemented`). The
+    /// connection must be closed: the parser has not consumed the body,
+    /// so any following bytes would desync a keep-alive stream.
+    Unsupported(String),
 }
 
 impl std::fmt::Display for HttpError {
@@ -40,6 +45,7 @@ impl std::fmt::Display for HttpError {
             HttpError::BodyTooLarge { declared, limit } => {
                 write!(f, "body of {declared} bytes exceeds limit {limit}")
             }
+            HttpError::Unsupported(m) => write!(f, "unsupported http feature: {m}"),
         }
     }
 }
@@ -166,6 +172,18 @@ pub fn read_request(
 
     let headers = read_headers(reader)?;
 
+    // This parser only implements `Content-Length` framing. A
+    // `Transfer-Encoding: chunked` request would otherwise parse as
+    // body-less and its chunk bytes would be read back as the *next*
+    // pipelined request — a request-smuggling-shaped desync. Any
+    // `Transfer-Encoding` value (even "identity") is rejected outright
+    // so framing can never be ambiguous (RFC 9112 §6.1).
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::Unsupported(
+            "transfer-encoding is not supported; use content-length".into(),
+        ));
+    }
+
     // RFC 9112 §6.3: multiple `Content-Length` headers with differing
     // values are a request-smuggling vector and must be rejected as
     // malformed. Identical duplicates are tolerated (the RFC permits
@@ -241,6 +259,7 @@ pub fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -494,6 +513,24 @@ mod tests {
     }
 
     #[test]
+    fn transfer_encoding_is_rejected_as_unsupported() {
+        // The chunk bytes after the blank line must never be parsed as a
+        // second pipelined request (request smuggling).
+        for raw in [
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: identity\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: 4\r\nTransfer-Encoding: chunked\r\n\r\nabcd",
+            "POST / HTTP/1.1\r\ntransfer-encoding: CHUNKED\r\n\r\n",
+        ] {
+            let err = parse(raw);
+            assert!(
+                matches!(err, Err(HttpError::Unsupported(_))),
+                "{raw:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_body_is_rejected_without_reading_it() {
         let raw = "POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n";
         match parse(raw) {
@@ -529,6 +566,7 @@ mod tests {
     #[test]
     fn reason_phrases() {
         assert_eq!(reason(200), "OK");
+        assert_eq!(reason(501), "Not Implemented");
         assert_eq!(reason(503), "Service Unavailable");
         assert_eq!(reason(418), "Unknown");
     }

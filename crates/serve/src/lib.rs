@@ -103,6 +103,7 @@ pub mod client;
 pub mod fault;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod scheduler;
 pub mod server;
 pub mod stream;

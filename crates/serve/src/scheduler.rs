@@ -62,7 +62,7 @@
 //! request is ever dropped without a response.
 
 use crate::fault::FaultPlan;
-use crate::metrics::{ServeMetrics, Stage};
+use crate::metrics::{ServeMetrics, Stage, MAX_REPLICAS};
 use crate::stream::{StreamConfig, StreamRouter};
 use snn_core::SpikeRaster;
 use snn_engine::{Engine, SessionPool};
@@ -88,8 +88,16 @@ pub struct BatchPolicy {
     /// Admission-queue capacity; a full queue rejects new submissions
     /// ([`SubmitError::QueueFull`]) instead of buffering unboundedly.
     pub queue_capacity: usize,
-    /// Worker threads executing batches (`0` = one per available core).
+    /// Worker threads executing batches, per replica (`0` = divide the
+    /// available cores across replicas, at least one each).
     pub workers: usize,
+    /// In-process engine replicas behind least-loaded dispatch. Each
+    /// replica owns its admission queue, collator, worker pool, and
+    /// hot-swappable [`SessionPool`]; `0` and `1` both mean a single
+    /// replica (the pre-replica behavior), larger values are clamped to
+    /// [`MAX_REPLICAS`]. Predictions are replica-count-invariant —
+    /// every replica serves clones of the same engine weights.
+    pub replicas: usize,
 }
 
 impl Default for BatchPolicy {
@@ -99,6 +107,7 @@ impl Default for BatchPolicy {
             max_wait: Duration::from_millis(2),
             queue_capacity: 1024,
             workers: 0,
+            replicas: 0,
         }
     }
 }
@@ -193,6 +202,9 @@ struct Job {
     /// [`snn_obs::now_ns`] when the collator picked the job up (for the
     /// batch-wait span); stamped by the collator.
     collated_ns: u64,
+    /// Replica this job was dispatched to; indexes the per-replica
+    /// metrics whose inflight gauge [`deliver`] decrements.
+    replica: usize,
 }
 
 impl Job {
@@ -312,8 +324,9 @@ impl Supervision {
 /// write (hot reload) never waits on inference.
 pub(crate) type EngineSlot = RwLock<Arc<SessionPool>>;
 
-/// The running micro-batching scheduler: one collator thread, a worker
-/// pool, and a bounded admission queue in front.
+/// The running micro-batching scheduler: N engine replicas (default 1),
+/// each with its own bounded admission queue, collator thread, and
+/// worker pool, behind least-loaded dispatch ([`BatchPolicy::replicas`]).
 ///
 /// # Examples
 ///
@@ -338,12 +351,19 @@ pub(crate) type EngineSlot = RwLock<Arc<SessionPool>>;
 /// scheduler.shutdown();
 /// ```
 pub struct Scheduler {
-    queue_tx: Mutex<Option<SyncSender<Job>>>,
+    replicas: Vec<Replica>,
     metrics: Arc<ServeMetrics>,
-    engine_slot: Arc<EngineSlot>,
     supervision: Arc<Supervision>,
     stream: StreamRouter,
     seq: AtomicU64,
+}
+
+/// One engine replica: its own admission queue, collator, worker pool,
+/// and hot-swappable engine slot. Replicas share nothing on the job hot
+/// path, so they scale out across cores without contending.
+struct Replica {
+    queue_tx: Mutex<Option<SyncSender<Job>>>,
+    engine_slot: Arc<EngineSlot>,
     collator: Mutex<Option<JoinHandle<()>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -403,64 +423,90 @@ impl Scheduler {
         let max_batch = policy.max_batch.max(1);
         let max_wait = policy.max_wait;
         let queue_capacity = policy.queue_capacity.max(1);
+        let n_replicas = policy.replicas.clamp(1, MAX_REPLICAS);
+        // Workers are a per-replica count: an explicit value is honored
+        // as-is, auto divides the cores across replicas.
         let n_workers = match policy.workers {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            0 => {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                (cores / n_replicas).max(1)
+            }
             n => n,
         };
 
-        let engine_slot = Arc::new(RwLock::new(Arc::new(SessionPool::new(engine))));
+        metrics.set_replica_count(n_replicas);
         let supervision = Arc::new(Supervision::new());
-        let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(queue_capacity);
-        // Rendezvous dispatch: the collator hands a batch directly to a
-        // free worker. While every worker is busy the collator blocks
-        // here — meanwhile submissions pile up in the admission queue, so
-        // the *next* batch is larger. That is the adaptive part of
-        // dynamic batching: batch size tracks load with no tuning.
-        let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Vec<Job>>(0);
-        let dispatch_rx = Arc::new(Mutex::new(dispatch_rx));
+        let mut replicas = Vec::with_capacity(n_replicas);
+        let mut slots = Vec::with_capacity(n_replicas);
+        for r in 0..n_replicas {
+            // Each replica serves its own pool over a clone of the same
+            // engine handle: shared (immutable) weights, private warm
+            // session buffers — which is what keeps predictions
+            // replica-count-invariant.
+            let engine_slot = Arc::new(RwLock::new(Arc::new(SessionPool::new(engine.clone()))));
+            slots.push(Arc::clone(&engine_slot));
+            let (queue_tx, queue_rx) = mpsc::sync_channel::<Job>(queue_capacity);
+            // Rendezvous dispatch: the collator hands a batch directly to
+            // a free worker. While every worker is busy the collator
+            // blocks here — meanwhile submissions pile up in the
+            // admission queue, so the *next* batch is larger. That is the
+            // adaptive part of dynamic batching: batch size tracks load
+            // with no tuning.
+            let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Vec<Job>>(0);
+            let dispatch_rx = Arc::new(Mutex::new(dispatch_rx));
 
-        let collator = {
-            let metrics = Arc::clone(&metrics);
-            std::thread::Builder::new()
-                .name("snn-serve-collator".into())
-                .spawn(move || collate(queue_rx, dispatch_tx, max_batch, max_wait, &metrics))
-                .expect("spawn collator thread")
-        };
-
-        let workers = (0..n_workers)
-            .map(|i| {
-                let rx = Arc::clone(&dispatch_rx);
-                let slot = Arc::clone(&engine_slot);
+            let collator = {
                 let metrics = Arc::clone(&metrics);
-                let supervision = Arc::clone(&supervision);
-                let faults = faults.clone();
                 std::thread::Builder::new()
-                    .name(format!("snn-serve-worker-{i}"))
-                    .spawn(move || {
-                        worker_loop(&rx, &slot, &metrics, &supervision, faults.as_deref())
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
+                    .name(format!("snn-serve-collator-{r}"))
+                    .spawn(move || collate(queue_rx, dispatch_tx, max_batch, max_wait, &metrics))
+                    .expect("spawn collator thread")
+            };
+
+            let workers = (0..n_workers)
+                .map(|i| {
+                    let rx = Arc::clone(&dispatch_rx);
+                    let slot = Arc::clone(&engine_slot);
+                    let metrics = Arc::clone(&metrics);
+                    let supervision = Arc::clone(&supervision);
+                    let faults = faults.clone();
+                    std::thread::Builder::new()
+                        .name(format!("snn-serve-r{r}-worker-{i}"))
+                        .spawn(move || {
+                            worker_loop(&rx, &slot, &metrics, &supervision, faults.as_deref(), r)
+                        })
+                        .expect("spawn worker thread")
+                })
+                .collect();
+
+            replicas.push(Replica {
+                queue_tx: Mutex::new(Some(queue_tx)),
+                engine_slot,
+                collator: Mutex::new(Some(collator)),
+                workers: Mutex::new(workers),
+            });
+        }
 
         let stream = StreamRouter::start(
             stream_cfg,
-            Arc::clone(&engine_slot),
+            slots,
             Arc::clone(&metrics),
             Arc::clone(&supervision),
             faults,
         );
 
         Self {
-            queue_tx: Mutex::new(Some(queue_tx)),
+            replicas,
             metrics,
-            engine_slot,
             supervision,
             stream,
             seq: AtomicU64::new(0),
-            collator: Mutex::new(Some(collator)),
-            workers: Mutex::new(workers),
         }
+    }
+
+    /// The configured replica count (≥ 1).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
     }
 
     /// The sticky router for resident-state streaming sessions (the
@@ -478,7 +524,8 @@ impl Scheduler {
     /// handle; it stays valid across [`swap_engine`](Self::swap_engine),
     /// it just stops being the one new batches use).
     pub fn engine(&self) -> Engine {
-        self.engine_slot
+        self.replicas[0]
+            .engine_slot
             .read()
             .expect("engine slot poisoned")
             .engine()
@@ -514,8 +561,14 @@ impl Scheduler {
                 offered: new_shape,
             });
         }
-        let fresh = Arc::new(SessionPool::new(engine));
-        *self.engine_slot.write().expect("engine slot poisoned") = fresh;
+        // Rolling swap, one replica at a time: each write lock is held
+        // only for the pointer store, so at most one replica is briefly
+        // unswapped-into while the other N−1 keep serving — readiness
+        // never drops below N−1 during a reload.
+        for replica in &self.replicas {
+            let fresh = Arc::new(SessionPool::new(engine.clone()));
+            *replica.engine_slot.write().expect("engine slot poisoned") = fresh;
+        }
         // Resident streams opened against the old engine are invalidated
         // by policy: each answers a typed SESSION_LOST at its next frame
         // instead of silently continuing on weights it never fed.
@@ -571,8 +624,10 @@ impl Scheduler {
     ) -> Result<Ticket, SubmitError> {
         let (result_tx, result_rx) = mpsc::channel();
         let traced = trace != 0 && snn_obs::enabled();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let replica = self.pick_replica(seq);
         let job = Job {
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            seq,
             raster,
             submitted_at: Instant::now(),
             deadline,
@@ -581,33 +636,66 @@ impl Scheduler {
             parent_span,
             submitted_ns: if traced { snn_obs::now_ns() } else { 0 },
             collated_ns: 0,
+            replica,
         };
-        let guard = self.queue_tx.lock().expect("queue sender poisoned");
+        let guard = self.replicas[replica]
+            .queue_tx
+            .lock()
+            .expect("queue sender poisoned");
         let Some(tx) = guard.as_ref() else {
             self.metrics.rejected_shutting_down.inc();
             return Err(SubmitError::ShuttingDown);
         };
-        // Increment the gauge *before* the send: the collator's matching
-        // decrement happens-after its recv, which happens-after this
-        // send, so the pair can never invert (a post-send increment
-        // would race the decrement and drift the gauge upward forever).
+        // Increment the gauges *before* the send: the matching decrement
+        // (collator recv for queue_depth, [`deliver`] for inflight)
+        // happens-after this send, so the pair can never invert (a
+        // post-send increment would race the decrement and drift the
+        // gauge upward forever).
         self.metrics.queue_depth.inc();
+        self.metrics.replica[replica].inflight.inc();
         match tx.try_send(job) {
             Ok(()) => {
                 self.metrics.jobs_total.inc();
+                self.metrics.replica[replica].jobs_total.inc();
                 Ok(Ticket { result_rx })
             }
             Err(TrySendError::Full(_)) => {
                 self.metrics.queue_depth.dec();
+                self.metrics.replica[replica].inflight.dec();
                 self.metrics.rejected_queue_full.inc();
                 Err(SubmitError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.metrics.queue_depth.dec();
+                self.metrics.replica[replica].inflight.dec();
                 self.metrics.rejected_shutting_down.inc();
                 Err(SubmitError::ShuttingDown)
             }
         }
+    }
+
+    /// Least-loaded dispatch with a rotating tie-break: scan starts at
+    /// `seq % n`, and only a strictly smaller inflight count steals the
+    /// pick. Under contention this tracks real load; on a quiet server
+    /// (all inflight 0) it degenerates to round-robin, which keeps
+    /// sequential traffic spreading across replicas deterministically.
+    fn pick_replica(&self, seq: u64) -> usize {
+        let n = self.replicas.len();
+        if n == 1 {
+            return 0;
+        }
+        let start = (seq % n as u64) as usize;
+        let mut best = start;
+        let mut best_load = u64::MAX;
+        for k in 0..n {
+            let i = (start + k) % n;
+            let load = self.metrics.replica[i].inflight.get();
+            if load < best_load {
+                best_load = load;
+                best = i;
+            }
+        }
+        best
     }
 
     /// Gracefully shuts down: closes admission, lets the collator drain
@@ -615,20 +703,24 @@ impl Scheduler {
     /// answer them, and joins all threads. Every ticket issued before
     /// the call still resolves.
     pub fn shutdown(&self) {
-        // Dropping the queue sender is the shutdown signal: the collator
-        // keeps receiving buffered jobs until the queue is empty, then
-        // sees the disconnect and exits, dropping the dispatch sender,
-        // which in turn terminates the workers once the last batch is
-        // done.
-        *self.queue_tx.lock().expect("queue sender poisoned") = None;
-        if let Some(handle) = self.collator.lock().expect("collator handle").take() {
-            let _ = handle.join();
+        // Dropping a queue sender is the shutdown signal: each collator
+        // keeps receiving buffered jobs until its queue is empty, then
+        // sees the disconnect and exits, dropping its dispatch sender,
+        // which in turn terminates that replica's workers once the last
+        // batch is done. Admission closes on every replica first so no
+        // late submit can land behind a draining queue.
+        for replica in &self.replicas {
+            *replica.queue_tx.lock().expect("queue sender poisoned") = None;
         }
-        let mut workers = self.workers.lock().expect("worker handles");
-        for handle in workers.drain(..) {
-            let _ = handle.join();
+        for replica in &self.replicas {
+            if let Some(handle) = replica.collator.lock().expect("collator handle").take() {
+                let _ = handle.join();
+            }
+            let mut workers = replica.workers.lock().expect("worker handles");
+            for handle in workers.drain(..) {
+                let _ = handle.join();
+            }
         }
-        drop(workers);
         // Stream workers drain their queues and exit; resident sessions
         // are dropped (clean shutdown does not depend on clients closing).
         self.stream.shutdown();
@@ -639,6 +731,19 @@ impl Drop for Scheduler {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Answers a job's ticket and settles its replica accounting: the
+/// inflight decrement is sequenced before the send, so any thread that
+/// received the answer observes the decremented gauge — which is what
+/// lets sequential traffic over a quiet server round-robin instead of
+/// piling onto one replica. Every terminal send for an admitted job
+/// must go through here.
+fn deliver(job: &Job, metrics: &ServeMetrics, result: Result<usize, JobError>) {
+    metrics.replica[job.replica].inflight.dec();
+    // A dropped receiver (client went away) is not an error; the work
+    // is already done.
+    let _ = job.result_tx.send(result);
 }
 
 /// Stamps a just-collated job: closes its queue-wait span and records
@@ -726,7 +831,7 @@ fn collate(
         batch.retain(|job| {
             if job.expired(now) {
                 metrics.jobs_expired_total.inc();
-                let _ = job.result_tx.send(Err(JobError::Expired));
+                deliver(job, metrics, Err(JobError::Expired));
                 return false;
             }
             true
@@ -755,6 +860,7 @@ fn worker_loop(
     metrics: &ServeMetrics,
     supervision: &Supervision,
     faults: Option<&FaultPlan>,
+    replica: usize,
 ) {
     loop {
         // Standard shared-receiver pattern: the lock is held only while
@@ -779,7 +885,7 @@ fn worker_loop(
             // between collation and its turn within the batch.
             if job.expired(Instant::now()) {
                 metrics.jobs_expired_total.inc();
-                let _ = job.result_tx.send(Err(JobError::Expired));
+                deliver(&job, metrics, Err(JobError::Expired));
                 continue;
             }
             // For traced jobs: close the batch-wait span (collated →
@@ -809,7 +915,7 @@ fn worker_loop(
             let result = loop {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     if let Some(plan) = faults {
-                        plan.apply(job.seq, attempt);
+                        plan.apply_on_replica(replica, job.seq, attempt);
                     }
                     let _ctx = exec_span.map(|(span, _)| snn_obs::with_trace(job.trace, span));
                     session.classify(&job.raster)
@@ -851,9 +957,7 @@ fn worker_loop(
                     metrics.observe_stage(Stage::Inference, end.saturating_sub(start) / 1000);
                 }
             }
-            // A dropped receiver (client went away) is not an error; the
-            // work is already done.
-            let _ = job.result_tx.send(result);
+            deliver(&job, metrics, result);
         }
     }
 }

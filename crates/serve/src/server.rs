@@ -15,6 +15,20 @@
 //! | `/admin/trace/export` | GET | — | Chrome trace-event JSON (Perfetto-loadable) |
 //! | `/admin/trace/<id>` | GET | — | one trace's spans as JSON; `404` if evicted/unknown |
 //!
+//! # Readiness-based connection handling
+//!
+//! The front end is a single poll thread (an [`epoll`](crate::poll)
+//! interest set over the nonblocking listener plus every accepted
+//! connection) feeding a bounded handler pool
+//! ([`ServerConfig::handler_threads`]). An idle keep-alive or streaming
+//! connection costs one registered file descriptor — not a parked
+//! thread. When a connection becomes readable its state (buffered
+//! reader, protocol position) is handed to a handler thread, which
+//! serves every request already buffered and then re-arms the
+//! descriptor. Binary streaming connections run the same way through the
+//! resumable [`StreamConn`] state machine — one frame per step, never a
+//! thread parked per stream.
+//!
 //! Every `/classify` and `/classify_batch` response carries an
 //! `X-Trace-Id` header (while tracing is enabled); the named trace's
 //! per-stage spans — parse / queue-wait / batch-wait / inference /
@@ -28,30 +42,50 @@
 //! rasters answer `413`/`400` before any allocation proportional to the
 //! claimed size. Requests may carry an `X-Deadline-Ms` header (or
 //! inherit [`ServerConfig::default_deadline_ms`]); work that expires
-//! before execution is shed and answered `504`.
+//! before execution is shed and answered `504`. Connections past
+//! [`ServerConfig::max_connections`] are answered `503` and then closed
+//! **gracefully**: the response is flushed, the write half is shut down,
+//! and the unread request bytes are drained (bounded) before the socket
+//! drops — so the client reads the `503` instead of `ECONNRESET` from an
+//! RST triggered by discarding unread data.
 //!
-//! `/admin/reload` builds a fresh [`Engine`] from a checkpoint on the
-//! connection thread — off the worker path — verifies its integrity
+//! `/admin/reload` builds a fresh [`Engine`] from a checkpoint on a
+//! handler thread — off the worker path — verifies its integrity
 //! trailer and shape, and atomically swaps it into the scheduler
-//! ([`Scheduler::swap_engine`]). A bad checkpoint answers `400`, a shape
-//! mismatch or concurrent reload answers `409`, and in every failure
-//! case the old engine keeps serving untouched.
+//! ([`Scheduler::swap_engine`]), one replica at a time. A bad checkpoint
+//! answers `400`, a shape mismatch or concurrent reload answers `409`,
+//! and in every failure case the old engine keeps serving untouched.
 
 use crate::http::{self, HttpError, Request, Response};
 use crate::metrics::{ServeMetrics, Stage};
+use crate::poll::{Poller, Waker, EVENT_READABLE_OR_CLOSED};
 use crate::scheduler::{BatchPolicy, EngineSwapError, Scheduler, SubmitError, TicketError};
-use crate::stream::StreamConfig;
+use crate::stream::{StreamConfig, StreamConn, StreamRouter};
 use crate::{wire, FaultPlan};
 use snn_core::SpikeRaster;
 use snn_engine::{CheckpointError, Engine};
 use snn_json::Json;
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader};
+use std::io::{self, BufRead, BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Poller token for the listening socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Poller token for the waker's receive half.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+/// Read/write timeout on accepted sockets: a handler thread blocks at
+/// most this long on a half-sent request or an unread response.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Bounds for draining unread request bytes before a server-initiated
+/// close (see [`drain_before_close`]).
+const DRAIN_LIMIT_BYTES: usize = 64 * 1024;
+const DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -70,9 +104,14 @@ pub struct ServerConfig {
     /// Maximum samples in one `/classify_batch` request.
     pub max_batch_request: usize,
     /// Maximum simultaneously open connections; excess connections are
-    /// answered `503` and closed instead of spawning ever more handler
-    /// threads.
+    /// answered `503` and closed gracefully (the client reads the `503`,
+    /// not a connection reset) instead of registering ever more
+    /// descriptors.
     pub max_connections: usize,
+    /// Request-handler pool size (`0` = default of 64). The pool is fed
+    /// only by *readable* connections, so this bounds handler threads
+    /// regardless of how many connections are open.
+    pub handler_threads: usize,
     /// Default checkpoint for `POST /admin/reload` when the request body
     /// names none.
     pub checkpoint_path: Option<String>,
@@ -87,7 +126,8 @@ pub struct ServerConfig {
     /// increment `snn_slow_requests_total` (`None` = never dump).
     pub slow_trace_ms: Option<u64>,
     /// Test-only deterministic fault injection threaded into the
-    /// scheduler (see [`FaultPlan`]); `None` in production.
+    /// scheduler and the connection-registration path (see
+    /// [`FaultPlan`]); `None` in production.
     pub faults: Option<Arc<FaultPlan>>,
     /// Resident-session limits and sticky-worker settings for the binary
     /// streaming protocol (see [`StreamConfig`]).
@@ -103,6 +143,7 @@ impl Default for ServerConfig {
             max_raster_cells: 1 << 22,
             max_batch_request: 1024,
             max_connections: 1024,
+            handler_threads: 0,
             checkpoint_path: None,
             default_deadline_ms: None,
             degraded_window: Duration::from_secs(2),
@@ -122,6 +163,95 @@ struct Ctx {
     reload_busy: AtomicBool,
 }
 
+/// Where a connection is in its protocol, preserved across poller
+/// wakeups.
+enum Proto {
+    /// Nothing read yet: the first buffered byte picks HTTP vs stream.
+    Unknown,
+    Http,
+    Stream(StreamConn),
+}
+
+/// One accepted connection's resumable state. Owned by the poll thread's
+/// idle map while parked, by exactly one handler thread while readable —
+/// the one-shot interest registration enforces the handoff.
+struct Conn {
+    id: u64,
+    /// Raw fd of the registered socket (`writer`'s descriptor); used by
+    /// the poll thread for re-arm and deregistration.
+    fd: i32,
+    /// Buffered reader over its own duplicated handle; buffered bytes
+    /// survive parking, and level-triggered interest re-fires for bytes
+    /// that arrived between the last read and the re-arm.
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    proto: Proto,
+}
+
+/// A unit handed to the handler pool.
+enum Work {
+    /// A readable parked connection (already removed from the idle map).
+    Ready(Conn),
+    /// A connection refused at accept time (over capacity, or its poller
+    /// registration failed): answer `message` with a `503` and close
+    /// gracefully. Never registered, so there is nothing to deregister.
+    Reject {
+        stream: TcpStream,
+        message: &'static str,
+    },
+}
+
+/// What a handler decided about a connection after serving everything
+/// readable.
+enum Outcome {
+    /// Park it back in the idle map and re-arm its descriptor.
+    Park,
+    /// Deregister and drop it.
+    Close,
+}
+
+/// State shared between the poll thread, the handler pool, and the
+/// [`ServerHandle`].
+struct Shared {
+    shutting_down: AtomicBool,
+    /// Connection registry: duplicated handles for the capacity check
+    /// and for force-closing stragglers at shutdown. An entry exists for
+    /// exactly the connections currently owned by the server — inserted
+    /// before poller registration, removed on registration failure
+    /// (never leak a capacity slot) and on close.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Parked connections awaiting readiness, keyed by poller token.
+    idle: Mutex<HashMap<u64, Conn>>,
+    /// Tokens whose descriptors the poll thread should re-arm.
+    rearm: Mutex<Vec<u64>>,
+    /// Connections to deregister and drop. Descriptor closes funnel
+    /// through the poll thread *after* `Poller::delete`, so a recycled
+    /// fd number can never collide with a stale registration.
+    dead: Mutex<Vec<Conn>>,
+    /// Handlers currently servicing work; shutdown's grace period waits
+    /// for this to reach zero before force-closing sockets.
+    busy: AtomicU64,
+    waker: Waker,
+}
+
+impl Shared {
+    /// Parks a serviced connection and asks the poll thread to re-arm it.
+    fn park(&self, conn: Conn) {
+        let id = conn.id;
+        self.idle.lock().expect("idle map").insert(id, conn);
+        self.rearm.lock().expect("rearm list").push(id);
+        self.waker.wake();
+    }
+
+    /// Releases a connection: frees its capacity slot immediately and
+    /// hands the descriptor to the poll thread for deregistration.
+    fn close(&self, conn: Conn) {
+        self.conns.lock().expect("conn registry").remove(&conn.id);
+        self.dead.lock().expect("dead list").push(conn);
+        self.waker.wake();
+    }
+}
+
 /// A running server; dropping it (or calling
 /// [`shutdown`](ServerHandle::shutdown)) stops accepting, drains
 /// in-flight work, and joins every thread.
@@ -129,10 +259,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     ctx: Arc<Ctx>,
     metrics: Arc<ServeMetrics>,
-    shutting_down: Arc<AtomicBool>,
-    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    acceptor: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<Shared>,
+    poll: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -148,10 +277,17 @@ impl std::fmt::Debug for ServerHandle {
 ///
 /// # Errors
 ///
-/// Returns the bind error if the address is unavailable.
+/// Returns the bind error if the address is unavailable, or the poller
+/// setup error.
 pub fn serve(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let mut poller = Poller::new()?;
+    let (waker, waker_rx) = Waker::new()?;
+    poller.add(listener.as_raw_fd(), LISTENER_TOKEN, false)?;
+    poller.add(waker_rx.as_raw_fd(), WAKER_TOKEN, false)?;
+
     let metrics = Arc::new(ServeMetrics::new());
     let scheduler = Arc::new(Scheduler::start_with_streams(
         engine,
@@ -160,73 +296,412 @@ pub fn serve(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
         config.faults.clone(),
         config.stream,
     ));
+    let n_handlers = if config.handler_threads == 0 {
+        64
+    } else {
+        config.handler_threads
+    };
     let ctx = Arc::new(Ctx {
         scheduler,
         config,
         reload_busy: AtomicBool::new(false),
     });
-    let shutting_down = Arc::new(AtomicBool::new(false));
-    let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let shared = Arc::new(Shared {
+        shutting_down: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+        idle: Mutex::new(HashMap::new()),
+        rearm: Mutex::new(Vec::new()),
+        dead: Mutex::new(Vec::new()),
+        busy: AtomicU64::new(0),
+        waker,
+    });
 
-    let acceptor = {
+    // Handler pool behind a shared receiver: whichever handler is idle
+    // picks up the next readable connection.
+    let (work_tx, work_rx) = mpsc::channel::<Work>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let mut handlers = Vec::with_capacity(n_handlers);
+    for i in 0..n_handlers {
         let ctx = Arc::clone(&ctx);
-        let shutting_down = Arc::clone(&shutting_down);
-        let conns = Arc::clone(&conns);
-        let conn_threads = Arc::clone(&conn_threads);
+        let shared = Arc::clone(&shared);
+        let work_rx = Arc::clone(&work_rx);
+        handlers.push(
+            std::thread::Builder::new()
+                .name(format!("snn-serve-handler-{i}"))
+                .spawn(move || handler_loop(&ctx, &shared, &work_rx))
+                .expect("spawn handler thread"),
+        );
+    }
+
+    let poll = {
+        let ctx = Arc::clone(&ctx);
+        let shared = Arc::clone(&shared);
         std::thread::Builder::new()
-            .name("snn-serve-acceptor".into())
-            .spawn(move || {
-                let next_id = AtomicU64::new(0);
-                for stream in listener.incoming() {
-                    if shutting_down.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(mut stream) = stream else { continue };
-                    // Connection-level admission control: refuse past the
-                    // cap rather than spawning unbounded handler threads.
-                    if conns.lock().expect("conn registry").len() >= ctx.config.max_connections {
-                        let _ = Response::error(503, "too many connections")
-                            .with_header("Retry-After", "1")
-                            .write_to(&mut stream, false);
-                        continue;
-                    }
-                    // Reap finished handlers so a long-lived server does
-                    // not accumulate one JoinHandle per connection ever
-                    // accepted (dropping a finished handle detaches it).
-                    conn_threads
-                        .lock()
-                        .expect("conn threads")
-                        .retain(|handle| !handle.is_finished());
-                    let id = next_id.fetch_add(1, Ordering::Relaxed);
-                    if let Ok(clone) = stream.try_clone() {
-                        conns.lock().expect("conn registry").insert(id, clone);
-                    }
-                    let ctx = Arc::clone(&ctx);
-                    let conns = Arc::clone(&conns);
-                    let handle = std::thread::Builder::new()
-                        .name(format!("snn-serve-conn-{id}"))
-                        .spawn(move || {
-                            let _ = handle_connection(stream, &ctx);
-                            conns.lock().expect("conn registry").remove(&id);
-                        });
-                    if let Ok(handle) = handle {
-                        conn_threads.lock().expect("conn threads").push(handle);
-                    }
-                }
-            })
-            .expect("spawn acceptor thread")
+            .name("snn-serve-poll".into())
+            .spawn(move || poll_loop(&listener, poller, &waker_rx, &ctx, &shared, &work_tx))
+            .expect("spawn poll thread")
     };
 
     Ok(ServerHandle {
         addr,
         ctx,
         metrics,
-        shutting_down,
-        conns,
-        acceptor: Some(acceptor),
-        conn_threads,
+        shared,
+        poll: Some(poll),
+        handlers,
     })
+}
+
+/// The poll thread: owns the poller and the listener, accepts and
+/// registers connections, dispatches readable ones to the handler pool,
+/// and services handler requests (re-arm, deregister) funneled through
+/// [`Shared`]. It is the only thread that mutates poller interest, which
+/// keeps the fallback backend lock-free and makes
+/// deregister-before-close a strict ordering.
+fn poll_loop(
+    listener: &TcpListener,
+    mut poller: Poller,
+    waker_rx: &TcpStream,
+    ctx: &Ctx,
+    shared: &Shared,
+    work_tx: &Sender<Work>,
+) {
+    let mut next_id: u64 = 0;
+    let mut events: Vec<(u64, u32)> = Vec::new();
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        events.clear();
+        if poller.wait(&mut events, 100).is_err() {
+            // Pathological poller failure: back off instead of spinning.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for &(token, bits) in &events {
+            match token {
+                WAKER_TOKEN => Waker::drain(waker_rx),
+                LISTENER_TOKEN => {
+                    accept_ready(listener, &mut poller, ctx, shared, work_tx, &mut next_id);
+                }
+                id if bits & EVENT_READABLE_OR_CLOSED != 0 => {
+                    let conn = shared.idle.lock().expect("idle map").remove(&id);
+                    if let Some(conn) = conn {
+                        shared.busy.fetch_add(1, Ordering::SeqCst);
+                        if work_tx.send(Work::Ready(conn)).is_err() {
+                            shared.busy.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Handler requests, funneled here so all interest mutation and
+        // every registered-descriptor close happens on this thread.
+        let rearm: Vec<u64> = shared.rearm.lock().expect("rearm list").drain(..).collect();
+        for id in rearm {
+            let fd = shared
+                .idle
+                .lock()
+                .expect("idle map")
+                .get(&id)
+                .map(|conn| conn.fd);
+            let Some(fd) = fd else { continue };
+            if poller.rearm(fd, id).is_err() {
+                // Registration lost; the connection can never be woken
+                // again, so release it.
+                let conn = shared.idle.lock().expect("idle map").remove(&id);
+                if let Some(conn) = conn {
+                    shared.conns.lock().expect("conn registry").remove(&id);
+                    let _ = poller.delete(conn.fd);
+                    discard(conn, ctx.scheduler.streams());
+                }
+            }
+        }
+        let dead: Vec<Conn> = shared.dead.lock().expect("dead list").drain(..).collect();
+        for conn in dead {
+            let _ = poller.delete(conn.fd);
+            discard(conn, ctx.scheduler.streams());
+        }
+    }
+    // Exiting drops the listener (stops accepting) and `work_tx` (idle
+    // handlers see a closed channel and exit after draining the queue).
+}
+
+/// Accepts until the listener would block, applying connection-level
+/// admission control and poller registration.
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    ctx: &Ctx,
+    shared: &Shared,
+    work_tx: &Sender<Work>,
+    next_id: &mut u64,
+) {
+    let metrics = ctx.scheduler.metrics();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => return, // transient accept failure; retry next wait
+        };
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).ok();
+        stream.set_write_timeout(Some(IO_TIMEOUT)).ok();
+        // Connection-level admission control: refuse past the cap rather
+        // than growing the interest set without bound.
+        if shared.conns.lock().expect("conn registry").len() >= ctx.config.max_connections {
+            metrics.rejected_over_capacity.inc();
+            let _ = work_tx.send(Work::Reject {
+                stream,
+                message: "too many connections",
+            });
+            continue;
+        }
+        let id = *next_id;
+        *next_id += 1;
+        match register_conn(stream, id, poller, shared, ctx.config.faults.as_deref()) {
+            Ok(conn) => {
+                shared.idle.lock().expect("idle map").insert(id, conn);
+            }
+            Err(stream) => {
+                metrics.conn_register_failures_total.inc();
+                let _ = work_tx.send(Work::Reject {
+                    stream,
+                    message: "connection setup failed, retry later",
+                });
+            }
+        }
+    }
+}
+
+/// Inserts the connection into the registry and registers it with the
+/// poller. On *any* failure after the registry insert the entry is
+/// removed again and the stream handed back for a `503` — an entry
+/// without a live registration would permanently consume a
+/// `max_connections` slot.
+fn register_conn(
+    stream: TcpStream,
+    id: u64,
+    poller: &mut Poller,
+    shared: &Shared,
+    faults: Option<&FaultPlan>,
+) -> Result<Conn, TcpStream> {
+    let (registry, reader) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(registry), Ok(reader)) => (registry, reader),
+        _ => return Err(stream),
+    };
+    shared
+        .conns
+        .lock()
+        .expect("conn registry")
+        .insert(id, registry);
+    let fd = stream.as_raw_fd();
+    let added = if faults.is_some_and(|plan| plan.injects_register_failure(id)) {
+        Err(io::Error::other("injected registration failure"))
+    } else {
+        poller.add(fd, id, true)
+    };
+    if added.is_err() {
+        shared.conns.lock().expect("conn registry").remove(&id);
+        return Err(stream);
+    }
+    Ok(Conn {
+        id,
+        fd,
+        reader: BufReader::new(reader),
+        writer: stream,
+        proto: Proto::Unknown,
+    })
+}
+
+/// One handler thread: pulls readable connections (and accept-time
+/// rejects) off the shared queue until the poll thread drops the sender.
+fn handler_loop(ctx: &Ctx, shared: &Shared, work_rx: &Mutex<Receiver<Work>>) {
+    loop {
+        let work = {
+            let rx = work_rx.lock().expect("work receiver");
+            rx.recv()
+        };
+        match work {
+            Ok(Work::Ready(conn)) => {
+                service(conn, ctx, shared);
+                shared.busy.fetch_sub(1, Ordering::SeqCst);
+            }
+            Ok(Work::Reject { stream, message }) => reject(stream, message),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers a refused connection with `503` and closes it gracefully, so
+/// the client observes the response rather than a connection reset
+/// caused by closing a socket with unread request bytes.
+fn reject(mut stream: TcpStream, message: &'static str) {
+    let _ = Response::error(503, message)
+        .with_header("Retry-After", "1")
+        .write_to(&mut stream, false);
+    let mut reader = stream.try_clone().ok();
+    if let Some(reader) = reader.as_mut() {
+        drain_before_close(reader, &stream);
+    }
+}
+
+/// Half-closes and drains a connection the server decided to terminate
+/// while request bytes may still be unread (over-capacity rejects, `413`
+/// / `400` / `501` protocol errors). Closing with unread data makes the
+/// kernel send RST — the client then sees `ECONNRESET` instead of the
+/// response we just wrote, and a retrying client cannot distinguish
+/// "overloaded, back off" from a crash. Shutting down the write half
+/// first and reading to EOF (bounded in bytes and time) lets the
+/// response reach the client before the descriptor drops.
+fn drain_before_close<R: Read>(reader: &mut R, stream: &TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(DRAIN_TIMEOUT));
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    let mut drained = 0usize;
+    let mut buf = [0u8; 4096];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => return, // client saw our FIN and closed
+            Ok(n) => {
+                drained += n;
+                if drained >= DRAIN_LIMIT_BYTES || Instant::now() >= deadline {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Services one readable connection: resolves its protocol on first
+/// contact, serves everything buffered, then parks or closes it.
+fn service(mut conn: Conn, ctx: &Ctx, shared: &Shared) {
+    let outcome = loop {
+        match conn.proto {
+            Proto::Unknown => {
+                // One-byte dispatch: the stream protocol's magic starts
+                // with `0x7F`, which never begins an HTTP method, so
+                // peeking the buffered reader routes the connection
+                // without consuming anything.
+                match conn.reader.fill_buf() {
+                    Ok([]) => break Outcome::Close, // closed before sending anything
+                    Ok(buf) if buf[0] == wire::MAGIC[0] => {
+                        conn.proto = Proto::Stream(StreamConn::new());
+                    }
+                    Ok(_) => conn.proto = Proto::Http,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        break Outcome::Park; // spurious wakeup
+                    }
+                    Err(_) => break Outcome::Close,
+                }
+            }
+            Proto::Http => break service_http(&mut conn, ctx),
+            Proto::Stream(_) => break service_stream(&mut conn, ctx),
+        }
+    };
+    match outcome {
+        Outcome::Park => shared.park(conn),
+        Outcome::Close => shared.close(conn),
+    }
+}
+
+/// Serves HTTP requests until the connection has no more buffered input
+/// (park), closes cleanly, or errors.
+fn service_http(conn: &mut Conn, ctx: &Ctx) -> Outcome {
+    let metrics = ctx.scheduler.metrics();
+    loop {
+        let request = match http::read_request(&mut conn.reader, ctx.config.max_body_bytes) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Outcome::Close, // clean close
+            Err(HttpError::Io(_)) => return Outcome::Close,
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                // The body was not read; the connection is out of sync,
+                // so answer and close.
+                metrics.requests_total.inc();
+                let resp = Response::error(
+                    413,
+                    &format!("body of {declared} bytes exceeds limit of {limit}"),
+                );
+                count_response(metrics, resp.status);
+                return close_gracefully(conn, resp);
+            }
+            Err(HttpError::Malformed(msg)) => {
+                metrics.requests_total.inc();
+                let resp = Response::error(400, &format!("malformed request: {msg}"));
+                count_response(metrics, resp.status);
+                return close_gracefully(conn, resp);
+            }
+            Err(HttpError::Unsupported(msg)) => {
+                // `Transfer-Encoding` and friends: the body framing was
+                // not consumed, so continuing would desync the stream —
+                // answer and close.
+                metrics.requests_total.inc();
+                let resp = Response::error(501, &msg);
+                count_response(metrics, resp.status);
+                return close_gracefully(conn, resp);
+            }
+        };
+        metrics.requests_total.inc();
+        let started = Instant::now();
+        let keep_alive = request.keep_alive;
+        let response = route(&request, ctx);
+        count_response(metrics, response.status);
+        metrics
+            .request_latency_us
+            .observe(started.elapsed().as_micros() as u64);
+        if response.write_to(&mut conn.writer, keep_alive).is_err() || !keep_alive {
+            return Outcome::Close;
+        }
+        if conn.reader.buffer().is_empty() {
+            // No pipelined request buffered; bytes that raced in at the
+            // socket re-fire the level-triggered interest on re-arm.
+            return Outcome::Park;
+        }
+    }
+}
+
+/// Writes a connection-terminating error response, then drains the
+/// unread request so the close is graceful (see [`drain_before_close`]).
+fn close_gracefully(conn: &mut Conn, resp: Response) -> Outcome {
+    let _ = resp.write_to(&mut conn.writer, false);
+    drain_before_close(&mut conn.reader, &conn.writer);
+    Outcome::Close
+}
+
+/// Steps a binary streaming connection through every buffered frame.
+fn service_stream(conn: &mut Conn, ctx: &Ctx) -> Outcome {
+    let router = ctx.scheduler.streams();
+    let Conn {
+        reader,
+        writer,
+        proto,
+        ..
+    } = conn;
+    let Proto::Stream(stream_conn) = proto else {
+        return Outcome::Close;
+    };
+    loop {
+        match stream_conn.step(reader, writer, router) {
+            Ok(true) | Err(_) => return Outcome::Close,
+            Ok(false) => {
+                if reader.buffer().is_empty() {
+                    return Outcome::Park;
+                }
+            }
+        }
+    }
+}
+
+/// Releases whatever protocol state a dropped connection still holds
+/// (an open streaming session's resident state, in particular).
+fn discard(mut conn: Conn, router: &StreamRouter) {
+    if let Proto::Stream(stream_conn) = &mut conn.proto {
+        stream_conn.finish(router);
+    }
 }
 
 impl ServerHandle {
@@ -247,48 +722,52 @@ impl ServerHandle {
 
     /// Gracefully shuts the server down:
     ///
-    /// 1. stop accepting new connections (the acceptor is woken with a
-    ///    loopback connect and joined);
+    /// 1. stop accepting new connections (the poll thread is woken and
+    ///    joined; dropping its work sender winds down the handler pool);
     /// 2. drain the scheduler — every already-admitted sample is still
     ///    classified and answered;
-    /// 3. give open connections a short grace period to finish writing,
-    ///    then close their sockets and join the connection threads.
+    /// 3. give busy handlers a short grace period to finish writing,
+    ///    then force-close every remaining socket, join the handlers,
+    ///    and release any parked connections' resident state.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
 
     fn shutdown_in_place(&mut self) {
-        if self.shutting_down.swap(true, Ordering::SeqCst) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the acceptor out of its blocking `accept`.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.acceptor.take() {
+        self.shared.waker.wake();
+        if let Some(handle) = self.poll.take() {
             let _ = handle.join();
         }
-        // Drain in-flight batches: connection handlers holding tickets
-        // get their answers and write their responses.
+        // Drain in-flight batches: handlers holding tickets get their
+        // answers and write their responses.
         self.ctx.scheduler.shutdown();
-        // Grace period for handlers to finish writing, then force-close
-        // whatever is left (idle keep-alive connections blocked in read).
+        // Grace period for busy handlers to finish writing, then
+        // force-close whatever is left (parked keep-alive connections).
         let deadline = Instant::now() + Duration::from_secs(2);
         while Instant::now() < deadline {
-            if self.conns.lock().expect("conn registry").is_empty() {
+            if self.shared.busy.load(Ordering::SeqCst) == 0 {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(5));
         }
-        for (_, stream) in self.conns.lock().expect("conn registry").drain() {
+        for (_, stream) in self.shared.conns.lock().expect("conn registry").drain() {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        let handles: Vec<_> = self
-            .conn_threads
-            .lock()
-            .expect("conn threads")
-            .drain(..)
-            .collect();
-        for handle in handles {
+        for handle in std::mem::take(&mut self.handlers) {
             let _ = handle.join();
+        }
+        // The poll thread is gone, so parked and pending-dead
+        // connections are reclaimed here; streaming sessions release
+        // their resident state.
+        let router = self.ctx.scheduler.streams();
+        for (_, conn) in self.shared.idle.lock().expect("idle map").drain() {
+            discard(conn, router);
+        }
+        for conn in self.shared.dead.lock().expect("dead list").drain(..) {
+            discard(conn, router);
         }
     }
 }
@@ -296,67 +775,6 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown_in_place();
-    }
-}
-
-/// Serves one connection until close, EOF, or protocol error.
-fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let metrics = ctx.scheduler.metrics();
-    // One-byte dispatch: the stream protocol's magic starts with `0x7F`,
-    // which never begins an HTTP method, so peeking the buffered reader
-    // routes the connection without consuming anything.
-    match reader.fill_buf() {
-        Ok([]) => return Ok(()), // closed before sending anything
-        Ok(buf) if buf[0] == wire::MAGIC[0] => {
-            return crate::stream::handle_stream_connection(
-                &mut reader,
-                &mut writer,
-                ctx.scheduler.streams(),
-            );
-        }
-        Ok(_) => {}
-        Err(e) => return Err(e),
-    }
-    loop {
-        let request = match http::read_request(&mut reader, ctx.config.max_body_bytes) {
-            Ok(Some(request)) => request,
-            Ok(None) => return Ok(()), // clean close
-            Err(HttpError::Io(e)) => return Err(e),
-            Err(HttpError::BodyTooLarge { declared, limit }) => {
-                // The body was not read; the connection is out of sync,
-                // so answer and close.
-                metrics.requests_total.inc();
-                let resp = Response::error(
-                    413,
-                    &format!("body of {declared} bytes exceeds limit of {limit}"),
-                );
-                count_response(metrics, resp.status);
-                let _ = resp.write_to(&mut writer, false);
-                return Ok(());
-            }
-            Err(HttpError::Malformed(msg)) => {
-                metrics.requests_total.inc();
-                let resp = Response::error(400, &format!("malformed request: {msg}"));
-                count_response(metrics, resp.status);
-                let _ = resp.write_to(&mut writer, false);
-                return Ok(());
-            }
-        };
-        metrics.requests_total.inc();
-        let started = Instant::now();
-        let keep_alive = request.keep_alive;
-        let response = route(&request, ctx);
-        count_response(metrics, response.status);
-        metrics
-            .request_latency_us
-            .observe(started.elapsed().as_micros() as u64);
-        response.write_to(&mut writer, keep_alive)?;
-        if !keep_alive {
-            return Ok(());
-        }
     }
 }
 
@@ -733,10 +1151,10 @@ fn classify_batch_traced(request: &Request, ctx: &Ctx, trace: Option<&RequestTra
 }
 
 /// `POST /admin/reload` — hot checkpoint reload. The new engine is built
-/// on this connection thread (inference workers never stall on it),
+/// on a handler thread (inference workers never stall on it),
 /// integrity-verified by the checkpoint loader, shape-checked, and then
-/// atomically swapped into the scheduler. On any failure the old engine
-/// keeps serving.
+/// atomically swapped into the scheduler, one replica at a time. On any
+/// failure the old engine keeps serving.
 fn admin_reload(body: &[u8], ctx: &Ctx) -> Response {
     let metrics = ctx.scheduler.metrics();
     let path = match reload_path(body, ctx) {

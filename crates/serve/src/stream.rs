@@ -186,7 +186,10 @@ enum Cmd {
 /// through — the [`Scheduler`](crate::Scheduler::streams).
 pub struct StreamRouter {
     cfg: StreamConfig,
-    engine_slot: Arc<EngineSlot>,
+    /// One engine slot per replica; worker `i` serves
+    /// `slots[i % slots.len()]`, so a session's sticky worker also pins
+    /// it to one replica for its whole life.
+    slots: Vec<Arc<EngineSlot>>,
     generation: Arc<AtomicU64>,
     metrics: Arc<ServeMetrics>,
     registry: Arc<Mutex<HashMap<u64, Meta>>>,
@@ -208,15 +211,19 @@ impl std::fmt::Debug for StreamRouter {
 impl StreamRouter {
     pub(crate) fn start(
         cfg: StreamConfig,
-        engine_slot: Arc<EngineSlot>,
+        slots: Vec<Arc<EngineSlot>>,
         metrics: Arc<ServeMetrics>,
         supervision: Arc<Supervision>,
         faults: Option<Arc<FaultPlan>>,
     ) -> Self {
+        assert!(!slots.is_empty(), "StreamRouter needs at least one slot");
+        // At least one worker per replica slot, so every replica can
+        // hold resident sessions.
         let n_workers = match cfg.workers {
             0 => 2,
             n => n,
-        };
+        }
+        .max(slots.len());
         let generation = Arc::new(AtomicU64::new(0));
         let registry: Arc<Mutex<HashMap<u64, Meta>>> = Arc::new(Mutex::new(HashMap::new()));
         let mut senders = Vec::with_capacity(n_workers);
@@ -224,7 +231,7 @@ impl StreamRouter {
         for i in 0..n_workers {
             let (tx, rx) = mpsc::sync_channel::<Cmd>(WORKER_QUEUE);
             senders.push(tx);
-            let slot = Arc::clone(&engine_slot);
+            let slot = Arc::clone(&slots[i % slots.len()]);
             let generation = Arc::clone(&generation);
             let metrics = Arc::clone(&metrics);
             let registry = Arc::clone(&registry);
@@ -249,7 +256,7 @@ impl StreamRouter {
         }
         Self {
             cfg,
-            engine_slot,
+            slots,
             generation,
             metrics,
             registry,
@@ -296,7 +303,7 @@ impl StreamRouter {
     /// down.
     pub fn open(&self, n_in: u32, max_pending: u32) -> Result<(u64, u32, u32), StreamFailure> {
         let model_in = {
-            let pool = self.engine_slot.read().expect("engine slot poisoned");
+            let pool = self.slots[0].read().expect("engine slot poisoned");
             pool.engine().network().n_in() as u32
         };
         if n_in != model_in {
@@ -458,6 +465,23 @@ impl StreamRouter {
         reply_rx
             .recv()
             .map_err(|_| session_lost("stream worker panicked during close"))?
+    }
+
+    /// The sticky worker a live session is pinned to. Stable for the
+    /// session's whole life — sticky scheduling never migrates resident
+    /// state (asserted by the no-migration test).
+    pub fn session_worker(&self, id: u64) -> Option<usize> {
+        self.registry
+            .lock()
+            .expect("stream registry poisoned")
+            .get(&id)
+            .map(|m| m.worker)
+    }
+
+    /// The engine replica a live session's resident state lives on
+    /// (worker `i` serves replica `i % replicas`).
+    pub fn session_replica(&self, id: u64) -> Option<usize> {
+        self.session_worker(id).map(|w| w % self.slots.len())
     }
 
     /// Best-effort cleanup when a connection ends, however it ends.
@@ -772,13 +796,201 @@ fn process_cmd(
     }
 }
 
+/// Lifecycle position of a [`StreamConn`].
+enum ConnState {
+    /// Nothing consumed yet: the magic preamble and `HELLO` come first.
+    Start,
+    /// Session open; frames route to its sticky worker.
+    Open(u64),
+    /// Stream over (cleanly or not); further steps are no-ops.
+    Closed,
+}
+
+/// A resumable streaming-connection state machine.
+///
+/// The readiness-based server cannot park a thread inside a blocking
+/// per-connection loop, so the protocol logic lives here instead: each
+/// [`step`](StreamConn::step) consumes **one frame** and returns whether
+/// the stream is finished, letting a handler thread process exactly the
+/// frames that have arrived and then re-arm the connection in the
+/// poller. [`handle_stream_connection`] is the blocking composition of
+/// steps over one transport.
+pub struct StreamConn {
+    state: ConnState,
+    /// Routing failures on unacknowledged frames, deferred to the next
+    /// synchronous frame — mirroring how worker-side feed errors latch.
+    deferred: Option<StreamFailure>,
+    /// Reused frame-payload buffer.
+    payload: Vec<u8>,
+}
+
+impl Default for StreamConn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamConn {
+    /// A connection that has consumed nothing yet.
+    pub fn new() -> Self {
+        Self {
+            state: ConnState::Start,
+            deferred: None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Consumes one frame (or the preamble + `HELLO` on the first call)
+    /// and returns `true` when the stream is over. Whatever ends the
+    /// stream — `CLOSE`, EOF, a typed error reply, or a transport
+    /// failure — the session's registry entry is released before
+    /// returning, so an abandoned connection never leaks resident state.
+    ///
+    /// # Errors
+    ///
+    /// Only transport failures while *writing* replies; read failures
+    /// mean the client is gone and end the stream cleanly.
+    pub fn step<R: BufRead, W: Write>(
+        &mut self,
+        reader: &mut R,
+        writer: &mut W,
+        router: &StreamRouter,
+    ) -> io::Result<bool> {
+        let result = self.step_inner(reader, writer, router);
+        if !matches!(result, Ok(false)) {
+            self.finish(router);
+        }
+        result
+    }
+
+    /// Releases the session (registry entry + resident state) if one is
+    /// open. Idempotent; the cleanup path for connections that die
+    /// outside [`step`](Self::step).
+    pub fn finish(&mut self, router: &StreamRouter) {
+        if let ConnState::Open(id) = self.state {
+            router.finish(id);
+        }
+        self.state = ConnState::Closed;
+    }
+
+    fn step_inner<R: BufRead, W: Write>(
+        &mut self,
+        reader: &mut R,
+        writer: &mut W,
+        router: &StreamRouter,
+    ) -> io::Result<bool> {
+        let id = match self.state {
+            ConnState::Closed => return Ok(true),
+            ConnState::Open(id) => id,
+            ConnState::Start => {
+                match wire::read_magic(reader) {
+                    Ok(()) => {}
+                    Err(WireError::Io(_)) => return Ok(true),
+                    Err(e) => {
+                        reply_error(writer, ErrorCode::BadFrame, &e.to_string())?;
+                        return Ok(true);
+                    }
+                }
+                let Some(first) = read_frame(reader, writer, &mut self.payload)? else {
+                    return Ok(true);
+                };
+                let Frame::Hello { n_in, max_pending } = first else {
+                    reply_error(writer, ErrorCode::Protocol, "first frame must be HELLO")?;
+                    return Ok(true);
+                };
+                let (id, n_in, n_out) = match router.open(n_in, max_pending) {
+                    Ok(opened) => opened,
+                    Err((code, msg)) => {
+                        reply_error(writer, code, &msg)?;
+                        return Ok(true);
+                    }
+                };
+                self.state = ConnState::Open(id);
+                Reply::HelloOk {
+                    session_id: id,
+                    n_in,
+                    n_out,
+                }
+                .write_to(writer)?;
+                return Ok(false);
+            }
+        };
+        let Some(frame) = read_frame(reader, writer, &mut self.payload)? else {
+            return Ok(true);
+        };
+        match frame {
+            Frame::Hello { .. } => {
+                reply_error(writer, ErrorCode::Protocol, "HELLO repeated mid-stream")?;
+                Ok(true)
+            }
+            Frame::Events(events) => {
+                if self.deferred.is_none() {
+                    self.deferred = router.feed(id, events).err();
+                }
+                Ok(false)
+            }
+            Frame::Tick { advance } => {
+                if self.deferred.is_none() {
+                    self.deferred = router.tick(id, advance).err();
+                }
+                Ok(false)
+            }
+            Frame::Readout => {
+                if let Some((code, msg)) = self.deferred.take() {
+                    reply_error(writer, code, &msg)?;
+                    return Ok(true);
+                }
+                match router.readout(id) {
+                    Ok((class, steps)) => {
+                        Reply::Readout { class, steps }.write_to(writer)?;
+                        Ok(false)
+                    }
+                    Err((code, msg)) => {
+                        reply_error(writer, code, &msg)?;
+                        Ok(true)
+                    }
+                }
+            }
+            Frame::Reset => {
+                if let Some((code, msg)) = self.deferred.take() {
+                    reply_error(writer, code, &msg)?;
+                    return Ok(true);
+                }
+                match router.reset(id) {
+                    Ok(()) => {
+                        Reply::Ok.write_to(writer)?;
+                        Ok(false)
+                    }
+                    Err((code, msg)) => {
+                        reply_error(writer, code, &msg)?;
+                        Ok(true)
+                    }
+                }
+            }
+            Frame::Close => {
+                if let Some((code, msg)) = self.deferred.take() {
+                    reply_error(writer, code, &msg)?;
+                    return Ok(true);
+                }
+                match router.close(id) {
+                    Ok(()) => Reply::Ok.write_to(writer)?,
+                    Err((code, msg)) => reply_error(writer, code, &msg)?,
+                }
+                Ok(true)
+            }
+        }
+    }
+}
+
 /// Serves one binary streaming connection: validates the [`wire::MAGIC`]
 /// preamble, opens a session on the first `HELLO`, then shuttles frames
 /// between the transport and the session's sticky worker until `CLOSE`,
 /// EOF, or a typed error (after which the server closes the connection).
 ///
 /// Generic over the transport so tests can drive it with in-memory
-/// buffers.
+/// buffers. This is the blocking composition of [`StreamConn::step`];
+/// the readiness-based server drives the same state machine frame by
+/// frame instead.
 ///
 /// # Errors
 ///
@@ -789,88 +1001,12 @@ pub fn handle_stream_connection<R: BufRead, W: Write>(
     writer: &mut W,
     router: &StreamRouter,
 ) -> io::Result<()> {
-    match wire::read_magic(reader) {
-        Ok(()) => {}
-        Err(WireError::Io(_)) => return Ok(()),
-        Err(e) => return reply_error(writer, ErrorCode::BadFrame, &e.to_string()),
-    }
-    let mut payload = Vec::new();
-    let Some(first) = read_frame(reader, writer, &mut payload)? else {
-        return Ok(());
-    };
-    let Frame::Hello { n_in, max_pending } = first else {
-        return reply_error(writer, ErrorCode::Protocol, "first frame must be HELLO");
-    };
-    let (id, n_in, n_out) = match router.open(n_in, max_pending) {
-        Ok(opened) => opened,
-        Err((code, msg)) => return reply_error(writer, code, &msg),
-    };
-    Reply::HelloOk {
-        session_id: id,
-        n_in,
-        n_out,
-    }
-    .write_to(writer)?;
-    let result = stream_loop(reader, writer, router, id, &mut payload);
-    router.finish(id);
-    result
-}
-
-fn stream_loop<R: BufRead, W: Write>(
-    reader: &mut R,
-    writer: &mut W,
-    router: &StreamRouter,
-    id: u64,
-    payload: &mut Vec<u8>,
-) -> io::Result<()> {
-    // Routing failures on unacknowledged frames are deferred to the next
-    // synchronous frame, mirroring how worker-side feed errors latch.
-    let mut deferred: Option<StreamFailure> = None;
+    let mut conn = StreamConn::new();
     loop {
-        let Some(frame) = read_frame(reader, writer, payload)? else {
-            return Ok(());
-        };
-        match frame {
-            Frame::Hello { .. } => {
-                return reply_error(writer, ErrorCode::Protocol, "HELLO repeated mid-stream");
-            }
-            Frame::Events(events) => {
-                if deferred.is_none() {
-                    deferred = router.feed(id, events).err();
-                }
-            }
-            Frame::Tick { advance } => {
-                if deferred.is_none() {
-                    deferred = router.tick(id, advance).err();
-                }
-            }
-            Frame::Readout => {
-                if let Some((code, msg)) = deferred.take() {
-                    return reply_error(writer, code, &msg);
-                }
-                match router.readout(id) {
-                    Ok((class, steps)) => Reply::Readout { class, steps }.write_to(writer)?,
-                    Err((code, msg)) => return reply_error(writer, code, &msg),
-                }
-            }
-            Frame::Reset => {
-                if let Some((code, msg)) = deferred.take() {
-                    return reply_error(writer, code, &msg);
-                }
-                match router.reset(id) {
-                    Ok(()) => Reply::Ok.write_to(writer)?,
-                    Err((code, msg)) => return reply_error(writer, code, &msg),
-                }
-            }
-            Frame::Close => {
-                if let Some((code, msg)) = deferred.take() {
-                    return reply_error(writer, code, &msg);
-                }
-                return match router.close(id) {
-                    Ok(()) => Reply::Ok.write_to(writer),
-                    Err((code, msg)) => reply_error(writer, code, &msg),
-                };
-            }
+        match conn.step(reader, writer, router) {
+            Ok(true) => return Ok(()),
+            Ok(false) => {}
+            Err(e) => return Err(e),
         }
     }
 }
@@ -935,11 +1071,17 @@ mod tests {
     }
 
     fn rig_with(cfg: StreamConfig, faults: Option<Arc<FaultPlan>>) -> Rig {
-        let slot: Arc<EngineSlot> = Arc::new(RwLock::new(Arc::new(SessionPool::new(engine()))));
+        rig_replicated(cfg, faults, 1)
+    }
+
+    fn rig_replicated(cfg: StreamConfig, faults: Option<Arc<FaultPlan>>, replicas: usize) -> Rig {
+        let slots: Vec<Arc<EngineSlot>> = (0..replicas)
+            .map(|_| Arc::new(RwLock::new(Arc::new(SessionPool::new(engine())))) as Arc<EngineSlot>)
+            .collect();
         let metrics = Arc::new(ServeMetrics::new());
         let router = StreamRouter::start(
             cfg,
-            slot,
+            slots,
             Arc::clone(&metrics),
             Arc::new(Supervision::new()),
             faults,
@@ -1095,6 +1237,47 @@ mod tests {
         assert!(r.metrics.worker_panics_total.get() >= 1);
         assert_eq!(r.metrics.stream_sessions_lost_total.get(), 2);
         assert_eq!(r.metrics.stream_sessions_resident.get(), 0);
+    }
+
+    #[test]
+    fn sticky_sessions_never_migrate_workers_or_replicas() {
+        // Two replica slots, four workers: worker i serves slot i % 2.
+        let cfg = StreamConfig {
+            workers: 4,
+            ..StreamConfig::default()
+        };
+        let r = rig_replicated(cfg, None, 2);
+        let input = raster();
+        let deltas: Vec<(u16, u16)> = input
+            .delta_events()
+            .iter()
+            .map(|&(dt, ch)| (dt as u16, ch as u16))
+            .collect();
+        let expected = engine().session().classify(&input) as u32;
+        let mut seen_replicas = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let (id, _, _) = r.router.open(6, 0).unwrap();
+            let worker = r.router.session_worker(id).unwrap();
+            let replica = r.router.session_replica(id).unwrap();
+            assert_eq!(replica, worker % 2);
+            seen_replicas.insert(replica);
+            // Many frames: the session must stay pinned to its worker
+            // (and therefore replica) across every one of them, and its
+            // resident state must keep accumulating coherently.
+            for (i, chunk) in deltas.chunks(2).enumerate() {
+                r.router.feed(id, chunk.to_vec()).unwrap();
+                assert_eq!(r.router.session_worker(id), Some(worker), "chunk {i}");
+                assert_eq!(r.router.session_replica(id), Some(replica), "chunk {i}");
+            }
+            r.router.tick(id, input.steps() as u32).unwrap();
+            let (class, steps) = r.router.readout(id).unwrap();
+            assert_eq!(steps, input.steps() as u64);
+            assert_eq!(class, expected, "replica {replica} must serve same model");
+            assert_eq!(r.router.session_worker(id), Some(worker));
+            r.router.close(id).unwrap();
+        }
+        // Round-robin session ids across 4 workers cover both replicas.
+        assert_eq!(seen_replicas.len(), 2, "both replicas held sessions");
     }
 
     #[test]

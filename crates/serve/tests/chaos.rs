@@ -317,6 +317,105 @@ fn chaos_storm_with_mid_run_reloads_loses_nothing() {
     let _ = std::fs::remove_file(&checkpoint);
 }
 
+#[test]
+fn register_failure_does_not_leak_connection_slots() {
+    // Regression: the connection registry entry is inserted before the
+    // poller registration; a registration failure used to leave the
+    // entry behind, permanently consuming a max_connections slot. With
+    // the first three registrations fault-injected to fail and a cap of
+    // three, a leak would make every later connection answer an
+    // over-capacity 503.
+    let server = start_with_faults(
+        50,
+        FaultPlan::seeded(51).with_register_failures(3),
+        ServerConfig {
+            max_connections: 3,
+            ..ServerConfig::default()
+        },
+    );
+    let samples = inputs(1, 52);
+    let expected = engine(50).classify_batch(&samples);
+
+    // The three fault-injected connections answer 503 and close.
+    for _ in 0..3 {
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        let err = client.classify(&samples[0]).unwrap_err();
+        assert_eq!(err.status(), Some(503), "register failure answers 503");
+    }
+    assert_eq!(server.metrics().conn_register_failures_total.get(), 3);
+
+    // All three capacity slots are free again: three simultaneous
+    // connections serve correctly...
+    let mut clients: Vec<Client> = (0..3)
+        .map(|_| {
+            let mut client = Client::connect(server.addr()).unwrap();
+            client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+            assert_eq!(client.classify(&samples[0]).unwrap(), expected[0]);
+            client
+        })
+        .collect();
+    // ...and a fourth is a genuine over-capacity reject.
+    let mut extra = Client::connect(server.addr()).unwrap();
+    extra.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let err = extra.classify(&samples[0]).unwrap_err();
+    assert_eq!(err.status(), Some(503), "fourth connection is over cap");
+    assert_eq!(server.metrics().rejected_over_capacity.get(), 1);
+
+    // The three resident connections are still healthy.
+    for client in &mut clients {
+        assert_eq!(client.healthz().unwrap(), "ok");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn replica_panic_leaves_other_replica_serving() {
+    // Two replicas, panics pinned to replica 0 and double-attempted so
+    // they always fail. A quiet server's rotating least-loaded dispatch
+    // alternates replicas deterministically, so exactly the even
+    // requests die with a clean 503 while the odd ones classify
+    // correctly — one replica burning never takes the server down.
+    let server = start_with_faults(
+        60,
+        FaultPlan::seeded(61)
+            .with_panic_rate(1.0)
+            .with_panic_attempts(2)
+            .with_panic_replica(0),
+        ServerConfig {
+            policy: BatchPolicy {
+                replicas: 2,
+                workers: 1,
+                ..BatchPolicy::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let samples = inputs(16, 62);
+    let expected = engine(60).classify_batch(&samples);
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    for (k, (raster, &want)) in samples.iter().zip(&expected).enumerate() {
+        match client.classify(raster) {
+            Ok(class) => {
+                assert_eq!(k % 2, 1, "request {k} ran on the panicking replica");
+                assert_eq!(class, want, "healthy replica must answer correctly");
+            }
+            Err(err) => {
+                assert_eq!(k % 2, 0, "request {k} ran on the healthy replica");
+                assert_eq!(err.status(), Some(503), "{err}");
+            }
+        }
+    }
+    let m = server.metrics();
+    assert_eq!(m.replica_count(), 2);
+    assert_eq!(m.replica[0].jobs_total.get(), 8);
+    assert_eq!(m.replica[1].jobs_total.get(), 8);
+    assert_eq!(m.worker_panics_total.get(), 16, "8 jobs x 2 attempts");
+    assert_eq!(client.healthz().unwrap(), "ok", "server survives");
+    server.shutdown();
+}
+
 fn stream_deltas(raster: &SpikeRaster) -> Vec<(u16, u16)> {
     raster
         .delta_events()

@@ -184,6 +184,48 @@ fn connections_past_the_cap_are_refused_with_503() {
 }
 
 #[test]
+fn over_cap_503_reaches_the_client_without_a_reset() {
+    use std::io::{Read, Write};
+    // Regression: the over-capacity path used to write the 503 and drop
+    // the socket without reading the request. Closing with unread bytes
+    // in the receive buffer makes the kernel send RST, so the client
+    // observed ECONNRESET instead of the 503 — and a retrying client
+    // (which only backs off on a *received* 503) treated it as a crash.
+    let server = serve(
+        engine(10),
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut held = Client::connect(server.addr()).unwrap();
+    held.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    assert_eq!(held.healthz().unwrap(), "ok");
+
+    // Raw socket so the full wire exchange is visible: send a complete
+    // request, then read everything until EOF.
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response)
+        .expect("clean EOF, not ECONNRESET");
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 503"), "got: {text}");
+    assert!(
+        text.to_ascii_lowercase().contains("retry-after: 1"),
+        "got: {text}"
+    );
+    assert_eq!(server.metrics().rejected_over_capacity.get(), 1);
+
+    // The resident connection is unaffected.
+    assert_eq!(held.healthz().unwrap(), "ok");
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_closes_idle_connections_and_joins() {
     let server = start(6, BatchPolicy::default());
     let addr = server.addr();

@@ -236,6 +236,53 @@ fn live_server_answers_mutants_with_4xx_or_clean_close() {
     server.shutdown();
 }
 
+/// Request-smuggling pin: the parser does not implement
+/// `Transfer-Encoding`, so a chunked request must be refused outright
+/// with `501` and a close. If it were parsed as body-less instead (the
+/// old behavior), the chunk payload below — crafted to look like a
+/// second request — would be read as a smuggled pipelined request on
+/// the same connection and draw a second response.
+#[test]
+fn transfer_encoding_is_refused_with_501_and_close() {
+    let mut rng_net = Rng::seed_from(7);
+    let net = Network::mlp(
+        &[4, 6, 2],
+        NeuronKind::Adaptive,
+        NeuronParams::paper_defaults(),
+        &mut rng_net,
+    );
+    let server = serve(Engine::from_network(net).build(), ServerConfig::default())
+        .expect("bind ephemeral port");
+
+    let smuggled = b"POST /classify HTTP/1.1\r\nHost: fuzz\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     1b\r\nGET /healthz HTTP/1.1\r\n\r\n\r\n0\r\n\r\n";
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(smuggled).expect("write");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = Vec::new();
+    stream
+        .take(1 << 20)
+        .read_to_end(&mut response)
+        .expect("clean close after the 501");
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 501"), "got: {text}");
+    assert_eq!(
+        text.matches("HTTP/1.1 ").count(),
+        1,
+        "exactly one response — the chunk payload must never be parsed \
+         as a second request: {text}"
+    );
+    assert_eq!(
+        server.metrics().requests_total.get(),
+        1,
+        "the smuggled inner request must not be counted"
+    );
+    server.shutdown();
+}
+
 /// Structurally-broken heads (no valid request line) must specifically
 /// draw a 4xx when any response is produced at all.
 #[test]

@@ -190,6 +190,7 @@ fn full_queue_applies_backpressure() {
             max_wait: Duration::from_millis(1),
             queue_capacity: 2,
             workers: 1,
+            ..BatchPolicy::default()
         },
     );
     let batch = inputs(64, 8);

@@ -291,6 +291,9 @@ fn evicted_traces_return_404_and_slow_requests_are_counted() {
             // Threshold 0: every request trips the slow-request dump.
             slow_trace_ms: Some(0),
             policy: BatchPolicy::default(),
+            // One handler thread, so every request records its spans in
+            // the same ring and the flood below reliably wraps it.
+            handler_threads: 1,
             ..ServerConfig::default()
         },
     );

@@ -310,7 +310,6 @@ impl DenseLayer {
         active_out: &mut ActiveIndices,
     ) {
         let t_steps = active_in.steps();
-        let n_out = self.n_out();
         let alpha = self.params.synapse_decay();
         let beta = self.params.reset_decay();
         let (theta, v_th) = (self.params.theta, self.params.v_th);
@@ -319,35 +318,31 @@ impl DenseLayer {
             trace_in: k,
             trace_out: h,
             drive: g,
+            fired,
+            prev_fired,
         } = scratch;
 
         for t in 0..t_steps {
             let active = active_in.step(t);
-            kernels::scale(alpha, k); // eq. 9 decay
-            for &j in active {
-                k[j] += 1.0; // eq. 9 event update
-            }
+            kernels::decay_add_unit(alpha, k, active); // eq. 9
             rec.pre.row_mut(t).copy_from_slice(k);
-            // g[t] = α·g[t−1] + Σ active columns  (eq. 7, factored)
-            kernels::scale(alpha, g);
-            mirror.cols.accumulate_columns(active, g);
-            kernels::scale(beta, h); // eq. 8 decay
-            if t > 0 {
-                for &i in active_out.step(t - 1) {
-                    h[i] += 1.0; // eq. 8: last step's spikes charge h
-                }
-            }
-            let vrow = rec.v.row_mut(t);
-            let orow = rec.o.row_mut(t);
-            for i in 0..n_out {
-                let vi = g[i] - theta * h[i]; // eq. 6
-                vrow[i] = vi;
-                if vi >= v_th {
-                    orow[i] = 1.0; // eq. 10
-                    active_out.push(i);
-                }
-            }
-            active_out.end_step();
+            // g[t] = α·g[t−1] + Σ active columns  (eq. 7, factored),
+            // fused decay + accumulation in one blocked traversal
+            kernels::fused_decay_accumulate(alpha, &mirror.cols, active, g);
+            // eq. 8: decay + last step's spikes charge h (empty at t = 0)
+            kernels::decay_add_unit(beta, h, prev_fired);
+            // eqs. 6 + 10: membrane, threshold, and record writes fused
+            kernels::fused_adaptive_membrane(
+                theta,
+                v_th,
+                g,
+                h,
+                Some(rec.v.row_mut(t)),
+                Some(rec.o.row_mut(t)),
+                Some(fired),
+            );
+            active_out.push_step(fired);
+            std::mem::swap(fired, prev_fired);
         }
     }
 
@@ -359,7 +354,6 @@ impl DenseLayer {
         active_out: &mut ActiveIndices,
     ) {
         let t_steps = active_in.steps();
-        let n_out = self.n_out();
         let lambda = self.params.synapse_decay();
         let gain = self.kind.input_gain(&self.params);
         let v_th = self.params.v_th;
@@ -367,6 +361,7 @@ impl DenseLayer {
         let LayerScratch {
             trace_out: vm,
             drive: current,
+            fired,
             ..
         } = scratch;
 
@@ -378,22 +373,22 @@ impl DenseLayer {
                     prow[j] = 1.0;
                 }
             }
-            current.fill(0.0);
-            mirror.cols.accumulate_columns(active, current);
-            let vrow = rec.v.row_mut(t);
-            let orow = rec.o.row_mut(t);
-            for i in 0..n_out {
-                let vi = lambda * vm[i] + gain * current[i];
-                vrow[i] = vi; // cache the pre-reset potential for BPTT
-                if vi >= v_th {
-                    orow[i] = 1.0;
-                    active_out.push(i);
-                    vm[i] = 0.0; // eq. 1b: hard reset
-                } else {
-                    vm[i] = vi;
-                }
-            }
-            active_out.end_step();
+            // `W·x[t]` from scratch each step: the alpha = 0 case of the
+            // fused kernel is an exact clear + blocked accumulation.
+            kernels::fused_decay_accumulate(0.0, &mirror.cols, active, current);
+            // Membrane decay + threshold + hard reset + record writes in
+            // one sweep (vrow caches the pre-reset potential for BPTT).
+            kernels::fused_hard_reset_membrane(
+                lambda,
+                gain,
+                v_th,
+                current,
+                vm,
+                Some(rec.v.row_mut(t)),
+                Some(rec.o.row_mut(t)),
+                Some(fired),
+            );
+            active_out.push_step(fired);
         }
     }
 
@@ -437,7 +432,6 @@ impl DenseLayer {
         scratch: &mut LayerScratch,
     ) {
         let t_steps = input.rows();
-        let n_out = self.n_out();
         let alpha = self.params.synapse_decay();
         let beta = self.params.reset_decay();
         let (theta, v_th) = (self.params.theta, self.params.v_th);
@@ -445,27 +439,29 @@ impl DenseLayer {
             trace_in: k,
             trace_out: h,
             drive: g,
+            ..
         } = scratch;
 
         for t in 0..t_steps {
-            for (ki, &xi) in k.iter_mut().zip(input.row(t)) {
-                *ki = alpha * *ki + xi; // eq. 9
-            }
+            kernels::decay_axpy(1.0, input.row(t), alpha, k); // eq. 9
             rec.pre.row_mut(t).copy_from_slice(k);
             self.weights.matvec_into(k, g); // eq. 7, dense product
-            kernels::scale(beta, h); // eq. 8 decay
             if t > 0 {
-                for (hi, &o) in h.iter_mut().zip(rec.o.row(t - 1)) {
-                    *hi += o; // eq. 8: last step's spikes charge h
-                }
+                // eq. 8: decay + last step's spikes charge h
+                kernels::decay_axpy(1.0, rec.o.row(t - 1), beta, h);
+            } else {
+                kernels::scale(beta, h); // eq. 8 decay (no spikes yet)
             }
-            let vrow = rec.v.row_mut(t);
-            let orow = rec.o.row_mut(t);
-            for i in 0..n_out {
-                let vi = g[i] - theta * h[i]; // eq. 6
-                vrow[i] = vi;
-                orow[i] = if vi >= v_th { 1.0 } else { 0.0 }; // eq. 10
-            }
+            // eqs. 6 + 10 fused
+            kernels::fused_adaptive_membrane(
+                theta,
+                v_th,
+                g,
+                h,
+                Some(rec.v.row_mut(t)),
+                Some(rec.o.row_mut(t)),
+                None,
+            );
         }
     }
 
@@ -476,7 +472,6 @@ impl DenseLayer {
         scratch: &mut LayerScratch,
     ) {
         let t_steps = input.rows();
-        let n_out = self.n_out();
         let lambda = self.params.synapse_decay();
         let gain = self.kind.input_gain(&self.params);
         let v_th = self.params.v_th;
@@ -489,15 +484,18 @@ impl DenseLayer {
         for t in 0..t_steps {
             rec.pre.row_mut(t).copy_from_slice(input.row(t));
             self.weights.matvec_into(input.row(t), current);
-            let vrow = rec.v.row_mut(t);
-            let orow = rec.o.row_mut(t);
-            for i in 0..n_out {
-                let vi = lambda * vm[i] + gain * current[i];
-                vrow[i] = vi; // cache the pre-reset potential for BPTT
-                let fired = vi >= v_th;
-                orow[i] = if fired { 1.0 } else { 0.0 };
-                vm[i] = if fired { 0.0 } else { vi }; // eq. 1b: hard reset
-            }
+            // Membrane decay + threshold + hard reset (eq. 1b) + record
+            // writes in one sweep (vrow caches the pre-reset potential).
+            kernels::fused_hard_reset_membrane(
+                lambda,
+                gain,
+                v_th,
+                current,
+                vm,
+                Some(rec.v.row_mut(t)),
+                Some(rec.o.row_mut(t)),
+                None,
+            );
         }
     }
 
@@ -526,9 +524,7 @@ impl DenseLayer {
         scratch: &mut LayerScratch,
         fired: &mut Vec<usize>,
     ) {
-        let n_out = self.n_out();
         let mirror = self.fresh_mirror();
-        fired.clear();
         match self.kind {
             NeuronKind::Adaptive => {
                 let alpha = self.params.synapse_decay();
@@ -540,18 +536,11 @@ impl DenseLayer {
                     ..
                 } = scratch;
                 // g[t] = α·g[t−1] + Σ active columns  (eq. 7, factored)
-                kernels::scale(alpha, g);
-                mirror.cols.accumulate_columns(active, g);
-                kernels::scale(beta, h); // eq. 8 decay
-                for &i in prev_fired {
-                    h[i] += 1.0; // eq. 8: last step's spikes charge h
-                }
-                for i in 0..n_out {
-                    let vi = g[i] - theta * h[i]; // eq. 6
-                    if vi >= v_th {
-                        fired.push(i); // eq. 10
-                    }
-                }
+                kernels::fused_decay_accumulate(alpha, &mirror.cols, active, g);
+                // eq. 8: decay + last step's spikes charge h
+                kernels::decay_add_unit(beta, h, prev_fired);
+                // eqs. 6 + 10 (fused kernel clears `fired`)
+                kernels::fused_adaptive_membrane(theta, v_th, g, h, None, None, Some(fired));
             }
             NeuronKind::HardReset | NeuronKind::HardResetMatched => {
                 let lambda = self.params.synapse_decay();
@@ -562,17 +551,18 @@ impl DenseLayer {
                     drive: current,
                     ..
                 } = scratch;
-                current.fill(0.0);
-                mirror.cols.accumulate_columns(active, current);
-                for i in 0..n_out {
-                    let vi = lambda * vm[i] + gain * current[i];
-                    if vi >= v_th {
-                        fired.push(i);
-                        vm[i] = 0.0; // eq. 1b: hard reset
-                    } else {
-                        vm[i] = vi;
-                    }
-                }
+                kernels::fused_decay_accumulate(0.0, &mirror.cols, active, current);
+                // eq. 1b fused (the kernel clears `fired`)
+                kernels::fused_hard_reset_membrane(
+                    lambda,
+                    gain,
+                    v_th,
+                    current,
+                    vm,
+                    None,
+                    None,
+                    Some(fired),
+                );
             }
         }
     }
@@ -616,19 +606,14 @@ impl DenseLayer {
                     trace_in: k,
                     trace_out: h,
                     drive: g,
+                    ..
                 } = scratch;
-                for (ki, &xi) in k.iter_mut().zip(input) {
-                    *ki = alpha * *ki + xi; // eq. 9
-                }
+                kernels::decay_axpy(1.0, input, alpha, k); // eq. 9
                 self.weights.matvec_into(k, g); // eq. 7, dense product
-                kernels::scale(beta, h); // eq. 8 decay
-                for (hi, &o) in h.iter_mut().zip(prev_out) {
-                    *hi += o; // eq. 8: last step's spikes charge h
-                }
-                for i in 0..n_out {
-                    let vi = g[i] - theta * h[i]; // eq. 6
-                    out[i] = if vi >= v_th { 1.0 } else { 0.0 }; // eq. 10
-                }
+                                                // eq. 8: decay + last step's spikes charge h
+                kernels::decay_axpy(1.0, prev_out, beta, h);
+                // eqs. 6 + 10 fused, writing the 0/1 output row directly
+                kernels::fused_adaptive_membrane(theta, v_th, g, h, None, Some(out), None);
             }
             NeuronKind::HardReset | NeuronKind::HardResetMatched => {
                 let lambda = self.params.synapse_decay();
@@ -640,12 +625,17 @@ impl DenseLayer {
                     ..
                 } = scratch;
                 self.weights.matvec_into(input, current);
-                for i in 0..n_out {
-                    let vi = lambda * vm[i] + gain * current[i];
-                    let fired = vi >= v_th;
-                    out[i] = if fired { 1.0 } else { 0.0 };
-                    vm[i] = if fired { 0.0 } else { vi }; // eq. 1b: hard reset
-                }
+                // eq. 1b fused, writing the 0/1 output row directly
+                kernels::fused_hard_reset_membrane(
+                    lambda,
+                    gain,
+                    v_th,
+                    current,
+                    vm,
+                    None,
+                    Some(out),
+                    None,
+                );
             }
         }
     }

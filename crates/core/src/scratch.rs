@@ -34,12 +34,21 @@ pub struct LayerScratch {
     /// Drive accumulator `g[t] = W·k[t]` (adaptive, maintained
     /// incrementally) or the per-step current `W·x[t]` — length `n_out`.
     pub drive: Vec<f32>,
+    /// Staging for the indices fired at the step being computed (filled
+    /// by the fused membrane kernels, then bulk-appended to the output
+    /// `ActiveIndices`).
+    pub fired: Vec<usize>,
+    /// The previous step's fired indices (swapped with
+    /// [`fired`](Self::fired) after each step; the eq. 8 reset-trace
+    /// charge reads it).
+    pub prev_fired: Vec<usize>,
 }
 
 impl LayerScratch {
-    /// Sizes and zero-fills the three state buffers (the single home of
-    /// the buffer-initialization invariant — called by
-    /// `ScratchSpace::ensure` and by `DenseLayer::forward_steps`).
+    /// Sizes and zero-fills the three state buffers and clears the fired
+    /// staging lists (the single home of the buffer-initialization
+    /// invariant — called by `ScratchSpace::ensure` and by
+    /// `DenseLayer::forward_steps`).
     pub(crate) fn ensure(&mut self, n_in: usize, n_out: usize) {
         self.trace_in.clear();
         self.trace_in.resize(n_in, 0.0);
@@ -47,6 +56,8 @@ impl LayerScratch {
         self.trace_out.resize(n_out, 0.0);
         self.drive.clear();
         self.drive.resize(n_out, 0.0);
+        self.fired.clear();
+        self.prev_fired.clear();
     }
 }
 

@@ -388,6 +388,15 @@ impl ActiveIndices {
         self.offsets.push(self.indices.len());
     }
 
+    /// Appends `channels` as one complete step (a [`push`](Self::push)
+    /// per channel followed by [`end_step`](Self::end_step)) — the bulk
+    /// form the fused membrane kernels feed with their staged fired
+    /// lists.
+    pub fn push_step(&mut self, channels: &[usize]) {
+        self.indices.extend_from_slice(channels);
+        self.offsets.push(self.indices.len());
+    }
+
     /// Refills from a raster, reusing the backing buffers.
     pub fn fill_from(&mut self, raster: &SpikeRaster) {
         self.clear();

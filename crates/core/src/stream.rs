@@ -43,7 +43,7 @@
 
 use crate::engine::{Engine, StreamMode};
 use crate::scratch::LayerScratch;
-use snn_tensor::stats;
+use snn_tensor::{kernels, stats};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
@@ -384,9 +384,7 @@ impl StreamSession {
             let input: &[f32] = if l == 0 { &self.dense_in } else { &head[l - 1] };
             layer.step_dense(input, &self.rows_prev[l], &mut self.layers[l], &mut tail[0]);
         }
-        for (c, &x) in self.rows_new[n_layers - 1].iter().enumerate() {
-            self.counts[c] += x;
-        }
+        kernels::add_assign(&self.rows_new[n_layers - 1], &mut self.counts);
         std::mem::swap(&mut self.rows_prev, &mut self.rows_new);
     }
 }

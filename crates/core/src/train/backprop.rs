@@ -22,7 +22,7 @@
 use crate::scratch::ScratchSpace;
 use crate::{Forward, Network, NeuronKind};
 use snn_neuron::Surrogate;
-use snn_tensor::Matrix;
+use snn_tensor::{kernels, Matrix};
 
 /// How the event-driven backward pass
 /// ([`backward_sparse_into`]) prunes the per-timestep membrane adjoint
@@ -306,16 +306,14 @@ pub fn backward_into(
                         let d_o_total = ext[i] + dh_next[i];
                         dv[i] = d_o_total * surrogate.grad(vrow[i] - v_th);
                     }
-                    for i in 0..n_out {
-                        dh_next[i] = -theta * dv[i] + beta * dh_next[i];
-                    }
+                    // dh[t] = −ϑ·dv[t] + β·dh[t+1], laned
+                    kernels::decay_axpy(-theta, dv, beta, dh_next);
                     dw.add_outer(1.0, dv, rec.pre.row(t));
                     layer.weights().matvec_t_into(dv, wt_dv);
-                    let d_pre_row = d_pre.row_mut(t);
-                    for j in 0..n_in {
-                        dk_next[j] = wt_dv[j] + alpha * dk_next[j];
-                        d_pre_row[j] = dk_next[j];
-                    }
+                    // dk[t] = Wᵀ·dv + α·dk[t+1], written through to the
+                    // downstream adjoint row (same fused helper as the
+                    // sparse path — that identity keeps Exact == dense)
+                    kernels::carry_decay_out(alpha, wt_dv, dk_next, d_pre.row_mut(t));
                 }
             }
             NeuronKind::HardReset | NeuronKind::HardResetMatched => {
@@ -341,13 +339,11 @@ pub fn backward_into(
                     // update) rather than read from scratch.active, so a
                     // `Forward` from any source — including the dense
                     // reference path — differentiates correctly.
-                    snn_tensor::kernels::threshold_mask(rec.pre.row(t), 0.0, active_tmp);
+                    kernels::threshold_mask(rec.pre.row(t), 0.0, active_tmp);
                     dw.add_outer_indexed(gain, dv, active_tmp);
                     layer.weights().matvec_t_into(dv, wt_dv);
-                    let d_pre_row = d_pre.row_mut(t);
-                    for j in 0..n_in {
-                        d_pre_row[j] = gain * wt_dv[j];
-                    }
+                    // dx[t] = gain·(Wᵀ·dv), laned
+                    kernels::scale_copy(gain, wt_dv, d_pre.row_mut(t));
                     dv_next.copy_from_slice(dv);
                 }
             }
@@ -481,9 +477,7 @@ pub fn backward_sparse_into(
                     // Decay every carry, then fold in the surviving
                     // events; addition is commutative, so the surviving
                     // entries match the dense update bitwise.
-                    for h in dh_next.iter_mut() {
-                        *h *= beta;
-                    }
+                    kernels::scale(beta, dh_next);
                     for &i in active {
                         dh_next[i] += -theta * dv[i];
                     }
@@ -494,11 +488,10 @@ pub fn backward_sparse_into(
                         dw.add_outer_indexed_rows(1.0, dv, active, rec.pre.row(t));
                         layer.weights().matvec_t_into_indexed(dv, active, wt_dv);
                     }
-                    let d_pre_row = d_pre.row_mut(t);
-                    for j in 0..n_in {
-                        dk_next[j] = wt_dv[j] + alpha * dk_next[j];
-                        d_pre_row[j] = dk_next[j];
-                    }
+                    // Same fused carry helper as `backward_into` — the
+                    // per-element ops are identical, which is what keeps
+                    // the Exact policy bitwise-equal to dense.
+                    kernels::carry_decay_out(alpha, wt_dv, dk_next, d_pre.row_mut(t));
                 }
             }
             NeuronKind::HardReset | NeuronKind::HardResetMatched => {
@@ -521,7 +514,7 @@ pub fn backward_sparse_into(
                     // Spike-column list rebuilt from the record, exactly
                     // as in `backward_into` (works for a `Forward` from
                     // any source).
-                    snn_tensor::kernels::threshold_mask(rec.pre.row(t), 0.0, active_tmp);
+                    kernels::threshold_mask(rec.pre.row(t), 0.0, active_tmp);
                     if active.len() > dense_cutoff {
                         dw.add_outer_indexed(gain, dv, active_tmp);
                         layer.weights().matvec_t_into(dv, wt_dv);
@@ -529,10 +522,9 @@ pub fn backward_sparse_into(
                         dw.add_outer_indexed_pairs(gain, dv, active, active_tmp);
                         layer.weights().matvec_t_into_indexed(dv, active, wt_dv);
                     }
-                    let d_pre_row = d_pre.row_mut(t);
-                    for j in 0..n_in {
-                        d_pre_row[j] = gain * wt_dv[j];
-                    }
+                    // dx[t] = gain·(Wᵀ·dv), same laned helper as the
+                    // dense path
+                    kernels::scale_copy(gain, wt_dv, d_pre.row_mut(t));
                     // Only surviving events propagate through the
                     // reset-gated carry (dv was pruned in place).
                     dv_next.copy_from_slice(dv);

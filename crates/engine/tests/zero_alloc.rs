@@ -7,9 +7,12 @@
 //! harness does on other threads. This file is its own integration-test
 //! binary, so the allocator override cannot leak into other suites.
 
-use snn_core::{Network, NeuronKind, SpikeRaster};
+use snn_core::train::{
+    backward_sparse_into, ClassificationLoss, Gradients, RateCrossEntropy, SparsityPolicy,
+};
+use snn_core::{Forward, Network, NeuronKind, ScratchSpace, SpikeRaster};
 use snn_engine::{hardware, Backend, DeployConfig, Engine, Session};
-use snn_neuron::NeuronParams;
+use snn_neuron::{NeuronParams, Surrogate};
 use snn_tensor::Rng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -118,6 +121,67 @@ fn hardware_session_hot_path_is_allocation_free() {
         .backend(hardware(DeployConfig::five_bit(), 3))
         .build();
     assert_hot_path_is_allocation_free(engine.session(), "hardware");
+}
+
+#[test]
+fn fused_forward_and_sparse_backward_are_allocation_free() {
+    // The fused timestep kernels (fused decay+accumulate, fused
+    // membrane passes) and the laned BPTT recursions must not change
+    // the zero-per-sample-allocation guarantee of a full training step:
+    // forward_into + backward_sparse_into, under both the Exact and the
+    // default Auto pruning policy.
+    let net = net();
+    let batch = inputs();
+    let loss = RateCrossEntropy;
+    let surrogate = Surrogate::default();
+    let mut fwd = Forward::empty();
+    let mut scratch = ScratchSpace::new();
+    let mut grads = Gradients::zeros_like(&net);
+    let mut d_out = snn_tensor::Matrix::zeros(0, 0);
+
+    // Warm-up pass: buffers (records, scratch, d_out) grow to final size.
+    for input in &batch {
+        net.forward_into(input, &mut fwd, &mut scratch);
+        let _ = loss.loss_and_grad_into(fwd.output(), 1, &mut d_out);
+        for policy in [SparsityPolicy::Exact, SparsityPolicy::Auto] {
+            backward_sparse_into(
+                &net,
+                &fwd,
+                &d_out,
+                surrogate,
+                policy,
+                &mut grads,
+                &mut scratch,
+            );
+        }
+    }
+
+    grads.reset();
+    let before = allocations();
+    for input in &batch {
+        net.forward_into(input, &mut fwd, &mut scratch);
+        for policy in [SparsityPolicy::Exact, SparsityPolicy::Auto] {
+            backward_sparse_into(
+                &net,
+                &fwd,
+                &d_out,
+                surrogate,
+                policy,
+                &mut grads,
+                &mut scratch,
+            );
+        }
+        std::hint::black_box(&grads);
+    }
+    let after = allocations();
+    // The loss stages per-call temporaries (counts/softmax vectors), so
+    // d_out is reused from warm-up here; the fused forward and sparse
+    // backward paths themselves must be completely silent.
+    assert_eq!(
+        after - before,
+        0,
+        "fused forward/sparse-backward hot path allocated"
+    );
 }
 
 #[test]

@@ -51,14 +51,16 @@ impl TransientTrace {
         out
     }
 
-    /// Peak PSP voltage over the run.
+    /// Peak PSP voltage over the run (floored at 0, matching a fold
+    /// from a zero seed — the waveforms start at rest).
     pub fn peak_psp(&self) -> f32 {
-        self.psp.iter().fold(0.0f32, |m, &x| m.max(x))
+        snn_tensor::kernels::reduce_max(&self.psp).max(0.0)
     }
 
-    /// Peak threshold over the run.
+    /// Peak threshold over the run (floored at 0 like
+    /// [`peak_psp`](Self::peak_psp)).
     pub fn peak_threshold(&self) -> f32 {
-        self.threshold.iter().fold(0.0f32, |m, &x| m.max(x))
+        snn_tensor::kernels::reduce_max(&self.threshold).max(0.0)
     }
 
     /// Downsamples a waveform to one value per algorithmic step (the

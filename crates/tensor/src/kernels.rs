@@ -1,112 +1,143 @@
-//! Sparsity-aware and unrolled compute kernels.
+//! Sparsity-aware, lane-oriented compute kernels.
 //!
 //! The spike rasters this workspace multiplies are overwhelmingly zero
 //! (5–10% density is typical for the paper's workloads), and the weight
 //! recurrences of the SNN forward pass factor through products with
 //! *binary* spike vectors. This module exploits both facts:
 //!
-//! * [`dot`] / [`axpy`] — 4-way unrolled dense primitives with multiple
-//!   accumulators, used by every dense matrix product in [`Matrix`].
+//! * [`dot`] / [`axpy`] — dense primitives laned through
+//!   [`crate::lanes`] (fixed-width `f32x8` chunk loops with a fixed
+//!   combine order; AVX2 dispatch at runtime), used by every dense
+//!   matrix product in [`Matrix`].
 //! * [`ColMajor`] — a column-major mirror of a weight matrix, kept in
 //!   sync by the owning layer, whose [`ColMajor::accumulate_columns`]
 //!   computes `y += W·x` for a **binary sparse** `x` by summing only the
 //!   active columns: `O(n_out · nnz)` instead of `O(n_out · n_in)`.
+//! * Fused per-timestep kernels — [`fused_decay_accumulate`] folds the
+//!   leak `g = α·g` and the event accumulation `g += Σ active cols`
+//!   into one cache-blocked traversal, and the membrane passes
+//!   ([`fused_adaptive_membrane`], [`fused_hard_reset_membrane`]) do
+//!   decay + threshold + reset + record writes in a single sweep. The
+//!   per-timestep loops of every backend (`layer.rs`, `stream.rs`, the
+//!   engine backends built on them) and the BPTT recursions
+//!   ([`decay_axpy`], [`carry_decay_out`], [`scale_copy`]) route
+//!   through these.
 //!
 //! Index-list variants of the transposed product and the rank-1 update
 //! live on [`Matrix`] itself ([`Matrix::matvec_t_into_indexed`],
 //! [`Matrix::add_outer_indexed`]).
 //!
-//! Numerical note: the unrolled kernels reassociate floating-point sums,
-//! so results may differ from a naive loop by a few ULPs. All kernels are
-//! individually deterministic — given the same inputs they produce
-//! bit-identical outputs on every run and at any thread count.
+//! Numerical note: the lane kernels reassociate floating-point sums, so
+//! results may differ from a naive loop by a few ULPs; the lane
+//! reduction order (see [`crate::lanes`]) is the workspace's canonical
+//! float semantics. All kernels are individually deterministic — given
+//! the same inputs they produce bit-identical outputs on every run, on
+//! every dispatch path (AVX2 or portable), and at any thread count. The
+//! fused kernels perform the *same per-element operations in the same
+//! order* as the unfused multi-pass loops they replaced, so fusing is
+//! bitwise-neutral: only traversal order across cache blocks changes,
+//! never the arithmetic on any element.
 
+use crate::lanes;
 use crate::Matrix;
 
-/// Dense dot product with 4 independent accumulators (breaks the
-/// add-latency dependency chain; autovectorizes well).
+pub use crate::lanes::{reduce_max, set_force_scalar, simd_enabled};
+
+/// Output-row tile for the cache-blocked column accumulation: 4096
+/// `f32`s = 16 KiB per partial-sum segment, small enough that the `y`
+/// tile and a column tile coexist in L1 while every active column is
+/// drained into it, and large enough that the per-column segment jumps
+/// (one per tile per active column) stay cheap at high spike densities.
+pub const BLOCK_ROWS: usize = 4096;
+
+/// Dense dot product over 8 SIMD lanes with a fixed combine order (see
+/// [`crate::lanes::dot`]).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    let chunks = a.len() / 4;
-    let (a4, a_tail) = a.split_at(chunks * 4);
-    let (b4, b_tail) = b.split_at(chunks * 4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for (pa, pb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
-        s0 += pa[0] * pb[0];
-        s1 += pa[1] * pb[1];
-        s2 += pa[2] * pb[2];
-        s3 += pa[3] * pb[3];
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in a_tail.iter().zip(b_tail) {
-        tail += x * y;
-    }
-    (s0 + s1) + (s2 + s3) + tail
+    lanes::dot(a, b)
 }
 
-/// `y += alpha * x`, 4-way unrolled.
+/// `y += alpha * x`, laned.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    let chunks = x.len() / 4;
-    let (x4, x_tail) = x.split_at(chunks * 4);
-    let (y4, y_tail) = y.split_at_mut(chunks * 4);
-    for (px, py) in x4.chunks_exact(4).zip(y4.chunks_exact_mut(4)) {
-        py[0] += alpha * px[0];
-        py[1] += alpha * px[1];
-        py[2] += alpha * px[2];
-        py[3] += alpha * px[3];
-    }
-    for (x, y) in x_tail.iter().zip(y_tail) {
-        *y += alpha * x;
-    }
+    lanes::axpy(alpha, x, y);
 }
 
-/// `y += x`, 4-way unrolled (the `alpha = 1` axpy, kept separate so the
-/// hot column-accumulation loop has no multiply).
+/// `y += x`, laned (the `alpha = 1` axpy, kept separate so the hot
+/// column-accumulation loop has no multiply).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn add_assign(x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "add_assign: length mismatch");
-    let chunks = x.len() / 4;
-    let (x4, x_tail) = x.split_at(chunks * 4);
-    let (y4, y_tail) = y.split_at_mut(chunks * 4);
-    for (px, py) in x4.chunks_exact(4).zip(y4.chunks_exact_mut(4)) {
-        py[0] += px[0];
-        py[1] += px[1];
-        py[2] += px[2];
-        py[3] += px[3];
-    }
-    for (x, y) in x_tail.iter().zip(y_tail) {
-        *y += x;
-    }
+    lanes::add_assign(x, y);
 }
 
-/// `x *= alpha`, 4-way unrolled (leaky-integrator decay step).
+/// `x *= alpha`, laned (leaky-integrator decay step).
 #[inline]
 pub fn scale(alpha: f32, x: &mut [f32]) {
-    let chunks = x.len() / 4;
-    let (x4, x_tail) = x.split_at_mut(chunks * 4);
-    for px in x4.chunks_exact_mut(4) {
-        px[0] *= alpha;
-        px[1] *= alpha;
-        px[2] *= alpha;
-        px[3] *= alpha;
-    }
-    for x in x_tail {
-        *x *= alpha;
+    lanes::scale(alpha, x);
+}
+
+/// `y[i] = a·x[i] + b·y[i]` — the decay-and-charge update shared by the
+/// trace recursions of the forward pass (`k = α·k + x[t]`) and the
+/// adjoint recursions of BPTT (`dh = −ϑ·dv + β·dh`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn decay_axpy(a: f32, x: &[f32], b: f32, y: &mut [f32]) {
+    lanes::decay_axpy(a, x, b, y);
+}
+
+/// `carry[i] = add[i] + alpha·carry[i]; out[i] = carry[i]` — the BPTT
+/// synapse-trace adjoint `dk[t] = Wᵀ·dv + α·dk[t+1]` with its
+/// write-through into the downstream adjoint row. The dense and
+/// event-driven backward passes call this identical helper, which is
+/// part of what keeps `SparsityPolicy::Exact` bitwise-equal to dense.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn carry_decay_out(alpha: f32, add: &[f32], carry: &mut [f32], out: &mut [f32]) {
+    lanes::carry_decay_out(alpha, add, carry, out);
+}
+
+/// `out[i] = alpha·x[i]` — the hard-reset input-gain projection
+/// `dx[t] = gain·(Wᵀ·dv)`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn scale_copy(alpha: f32, x: &[f32], out: &mut [f32]) {
+    lanes::scale_copy(alpha, x, out);
+}
+
+/// `x *= decay; x[i] += 1.0 for i in events` — one trace update of the
+/// event-driven forward pass (the synapse trace `k = α·k + x[t]` for a
+/// binary `x[t]`, and the threshold trace `h = β·h + O[t−1]` for binary
+/// fires). The decay is laned; the unit charges are index writes.
+///
+/// # Panics
+///
+/// Panics if any event index is out of range.
+#[inline]
+pub fn decay_add_unit(decay: f32, x: &mut [f32], events: &[usize]) {
+    lanes::scale(decay, x);
+    for &i in events {
+        x[i] += 1.0;
     }
 }
 
@@ -123,10 +154,178 @@ pub fn scale(alpha: f32, x: &mut [f32]) {
 /// so pruning precisely that set changes nothing.
 #[inline]
 pub fn threshold_mask(x: &[f32], eps: f32, out: &mut Vec<usize>) {
-    out.clear();
-    for (i, &v) in x.iter().enumerate() {
-        if v.abs() > eps {
-            out.push(i);
+    lanes::threshold_mask(x, eps, out);
+}
+
+/// Fused leak + event accumulation: `y = alpha·y + Σ_{c ∈ active}
+/// cols.column(c)`, cache-blocked over [`BLOCK_ROWS`]-row output tiles
+/// so each partial-sum segment is decayed once and stays resident in L1
+/// while every active column drains into it — one traversal of `y`
+/// instead of the unfused decay pass plus one full-vector pass per
+/// column.
+///
+/// Bitwise-identical to `scale(alpha, y)` followed by
+/// [`ColMajor::accumulate_columns`]: each element still sees exactly
+/// one multiply followed by the active-column adds in the same order.
+/// `alpha == 0.0` clears the tile with an exact fill (matching the
+/// `fill(0.0)` of the unfused hard-reset path — `0.0 * x` would leave
+/// `-0.0`/NaN residue); `alpha == 1.0` skips the decay multiply.
+///
+/// # Panics
+///
+/// Panics if `y.len() != cols.rows()` or any index is out of range.
+pub fn fused_decay_accumulate(alpha: f32, cols: &ColMajor, active: &[usize], y: &mut [f32]) {
+    assert_eq!(y.len(), cols.rows, "fused_decay_accumulate: bad y");
+    let rows = cols.rows;
+    let mut start = 0;
+    while start < rows {
+        let end = (start + BLOCK_ROWS).min(rows);
+        let seg = &mut y[start..end];
+        if alpha == 0.0 {
+            seg.fill(0.0);
+        } else if alpha != 1.0 {
+            lanes::scale(alpha, seg);
+        }
+        for &c in active {
+            lanes::add_assign(&cols.column(c)[start..end], seg);
+        }
+        start = end;
+    }
+}
+
+/// Unblocked reference for [`fused_decay_accumulate`]: full-vector decay
+/// pass, then one full-vector pass per active column. Kept public so
+/// the property tests and the kernel bench's blocking sweep can compare
+/// the tiled kernel against it (they are bitwise-identical; only memory
+/// traffic differs).
+///
+/// # Panics
+///
+/// Panics if `y.len() != cols.rows()` or any index is out of range.
+pub fn fused_decay_accumulate_unblocked(
+    alpha: f32,
+    cols: &ColMajor,
+    active: &[usize],
+    y: &mut [f32],
+) {
+    assert_eq!(y.len(), cols.rows, "fused_decay_accumulate: bad y");
+    if alpha == 0.0 {
+        y.fill(0.0);
+    } else if alpha != 1.0 {
+        lanes::scale(alpha, y);
+    }
+    for &c in active {
+        lanes::add_assign(cols.column(c), y);
+    }
+}
+
+/// Fused adaptive-threshold membrane pass: for each neuron computes
+/// `v = g[i] − ϑ·h[i]`, fires where `v ≥ v_th`, and in the same sweep
+/// writes the optional potential/output record rows and collects the
+/// fired indices (ascending; `fired` is cleared first). Replaces the
+/// separate potential/threshold/record loops of the unfused path with
+/// identical per-element arithmetic.
+///
+/// Output rows are written as explicit `1.0`/`0.0`, which is
+/// bitwise-identical to the old "write `1.0` into a pre-zeroed row"
+/// convention.
+///
+/// # Panics
+///
+/// Panics if `g`/`h` or any provided record row differ in length.
+pub fn fused_adaptive_membrane(
+    theta: f32,
+    v_th: f32,
+    g: &[f32],
+    h: &[f32],
+    mut vrow: Option<&mut [f32]>,
+    mut orow: Option<&mut [f32]>,
+    mut fired: Option<&mut Vec<usize>>,
+) {
+    assert_eq!(g.len(), h.len(), "fused_adaptive_membrane: bad h");
+    if let Some(v) = vrow.as_deref_mut() {
+        assert_eq!(g.len(), v.len(), "fused_adaptive_membrane: bad vrow");
+    }
+    if let Some(o) = orow.as_deref_mut() {
+        assert_eq!(g.len(), o.len(), "fused_adaptive_membrane: bad orow");
+    }
+    if let Some(f) = fired.as_deref_mut() {
+        f.clear();
+    }
+    for i in 0..g.len() {
+        let vi = g[i] - theta * h[i];
+        let fire = vi >= v_th;
+        if let Some(v) = vrow.as_deref_mut() {
+            v[i] = vi;
+        }
+        if let Some(o) = orow.as_deref_mut() {
+            o[i] = if fire { 1.0 } else { 0.0 };
+        }
+        if fire {
+            if let Some(f) = fired.as_deref_mut() {
+                f.push(i);
+            }
+        }
+    }
+}
+
+/// Fused hard-reset membrane pass: for each neuron computes
+/// `v = λ·vm[i] + gain·current[i]`, fires where `v ≥ v_th`, applies the
+/// hard reset (`vm[i] = 0.0` on fire, else `vm[i] = v`), and in the
+/// same sweep writes the optional record rows and collects the fired
+/// indices (ascending; `fired` is cleared first).
+///
+/// # Panics
+///
+/// Panics if `current`/`vm` or any provided record row differ in
+/// length.
+// One scalar per circuit constant plus the three optional outputs; a
+// params struct would just re-bundle what NeuronParams already unpacked.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_hard_reset_membrane(
+    lambda: f32,
+    gain: f32,
+    v_th: f32,
+    current: &[f32],
+    vm: &mut [f32],
+    mut vrow: Option<&mut [f32]>,
+    mut orow: Option<&mut [f32]>,
+    mut fired: Option<&mut Vec<usize>>,
+) {
+    assert_eq!(current.len(), vm.len(), "fused_hard_reset_membrane: bad vm");
+    if let Some(v) = vrow.as_deref_mut() {
+        assert_eq!(
+            current.len(),
+            v.len(),
+            "fused_hard_reset_membrane: bad vrow"
+        );
+    }
+    if let Some(o) = orow.as_deref_mut() {
+        assert_eq!(
+            current.len(),
+            o.len(),
+            "fused_hard_reset_membrane: bad orow"
+        );
+    }
+    if let Some(f) = fired.as_deref_mut() {
+        f.clear();
+    }
+    for i in 0..current.len() {
+        let vi = lambda * vm[i] + gain * current[i];
+        let fire = vi >= v_th;
+        if let Some(v) = vrow.as_deref_mut() {
+            v[i] = vi;
+        }
+        if let Some(o) = orow.as_deref_mut() {
+            o[i] = if fire { 1.0 } else { 0.0 };
+        }
+        if fire {
+            vm[i] = 0.0;
+            if let Some(f) = fired.as_deref_mut() {
+                f.push(i);
+            }
+        } else {
+            vm[i] = vi;
         }
     }
 }
@@ -219,28 +418,34 @@ impl ColMajor {
     }
 
     /// `y += W·x` for a binary `x` given by its active indices:
-    /// sums the selected columns. `O(rows · active.len())`.
+    /// sums the selected columns, cache-blocked over output-row tiles
+    /// (the `alpha = 1` case of [`fused_decay_accumulate`]).
+    /// `O(rows · active.len())`.
     ///
     /// # Panics
     ///
     /// Panics if `y.len() != rows` or any index is out of range.
     pub fn accumulate_columns(&self, active: &[usize], y: &mut [f32]) {
-        assert_eq!(y.len(), self.rows, "accumulate_columns: bad y");
-        for &c in active {
-            add_assign(self.column(c), y);
-        }
+        fused_decay_accumulate(1.0, self, active, y);
     }
 
     /// `y += Σ_{c ∈ active} x[c] · column(c)` — the general (non-binary)
     /// sparse product, used when a spike vector carries magnitudes.
+    /// Cache-blocked like [`ColMajor::accumulate_columns`].
     ///
     /// # Panics
     ///
     /// Panics if `y.len() != rows` or any index is out of range.
     pub fn accumulate_columns_scaled(&self, active: &[usize], x: &[f32], y: &mut [f32]) {
         assert_eq!(y.len(), self.rows, "accumulate_columns_scaled: bad y");
-        for &c in active {
-            axpy(x[c], self.column(c), y);
+        let mut start = 0;
+        while start < self.rows {
+            let end = (start + BLOCK_ROWS).min(self.rows);
+            let seg = &mut y[start..end];
+            for &c in active {
+                lanes::axpy(x[c], &self.column(c)[start..end], seg);
+            }
+            start = end;
         }
     }
 }
@@ -369,5 +574,157 @@ mod tests {
         let mut y = vec![5.0f32; 3];
         cm.accumulate_columns(&[], &mut y);
         assert_eq!(y, vec![5.0; 3]);
+    }
+
+    /// Tall mirror (several [`BLOCK_ROWS`] tiles plus a ragged tail) for
+    /// the blocking tests.
+    fn tall_mirror(rows: usize, cols: usize, seed: u64) -> ColMajor {
+        let mut rng = Rng::seed_from(seed);
+        ColMajor::from_matrix(&Matrix::xavier_uniform(rows, cols, &mut rng))
+    }
+
+    #[test]
+    fn blocked_fused_matches_unblocked_bitwise() {
+        let rows = 2 * BLOCK_ROWS + 313; // exercises full tiles + tail
+        let cm = tall_mirror(rows, 19, 6);
+        let active = [0usize, 2, 3, 7, 18];
+        let mut rng = Rng::seed_from(7);
+        for alpha in [0.0f32, 0.37, 1.0] {
+            let y0: Vec<f32> = (0..rows).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let mut y_blocked = y0.clone();
+            let mut y_ref = y0;
+            fused_decay_accumulate(alpha, &cm, &active, &mut y_blocked);
+            fused_decay_accumulate_unblocked(alpha, &cm, &active, &mut y_ref);
+            for (a, b) in y_blocked.iter().zip(&y_ref) {
+                assert_eq!(a.to_bits(), b.to_bits(), "alpha {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_decay_accumulate_matches_scale_then_accumulate_bitwise() {
+        let cm = tall_mirror(97, 13, 8);
+        let active = [1usize, 5, 12];
+        let mut rng = Rng::seed_from(9);
+        let y0: Vec<f32> = (0..97).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut y_fused = y0.clone();
+        let mut y_ref = y0;
+        fused_decay_accumulate(0.9, &cm, &active, &mut y_fused);
+        scale(0.9, &mut y_ref);
+        // Unfused reference: per-column full passes (the old two-pass
+        // loop shape). Same per-element op order, so bitwise-equal.
+        for &c in &active {
+            add_assign(cm.column(c), &mut y_ref);
+        }
+        for (a, b) in y_fused.iter().zip(&y_ref) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_decay_accumulate_alpha_zero_is_exact_clear() {
+        let cm = tall_mirror(BLOCK_ROWS + 5, 3, 10);
+        let mut y = vec![f32::NAN; BLOCK_ROWS + 5];
+        fused_decay_accumulate(0.0, &cm, &[1], &mut y);
+        // NaN residue would survive `0.0 * NaN`; the exact clear must not.
+        for (a, b) in y.iter().zip(cm.column(1)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_scaled_accumulate_matches_unblocked_bitwise() {
+        let rows = BLOCK_ROWS + 77;
+        let cm = tall_mirror(rows, 9, 11);
+        let mut rng = Rng::seed_from(12);
+        let x: Vec<f32> = (0..9).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let active = [0usize, 4, 8];
+        let mut y_blocked = vec![0.25f32; rows];
+        let mut y_ref = y_blocked.clone();
+        cm.accumulate_columns_scaled(&active, &x, &mut y_blocked);
+        for &c in &active {
+            axpy(x[c], cm.column(c), &mut y_ref);
+        }
+        for (a, b) in y_blocked.iter().zip(&y_ref) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn decay_add_unit_matches_two_pass() {
+        let mut x: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let mut x_ref = x.clone();
+        decay_add_unit(0.8, &mut x, &[0, 5, 12]);
+        scale(0.8, &mut x_ref);
+        for &i in &[0usize, 5, 12] {
+            x_ref[i] += 1.0;
+        }
+        for (a, b) in x.iter().zip(&x_ref) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn adaptive_membrane_matches_unfused_reference() {
+        let g = [0.5f32, -0.2, 1.4, 0.0, 0.9];
+        let h = [0.1f32, 0.0, 0.5, 0.0, 2.0];
+        let (theta, v_th) = (0.3f32, 0.4f32);
+        let mut vrow = [0.0f32; 5];
+        let mut orow = [0.0f32; 5];
+        let mut fired = vec![9usize]; // must be cleared
+        fused_adaptive_membrane(
+            theta,
+            v_th,
+            &g,
+            &h,
+            Some(&mut vrow),
+            Some(&mut orow),
+            Some(&mut fired),
+        );
+        for i in 0..5 {
+            let vi = g[i] - theta * h[i];
+            assert_eq!(vrow[i].to_bits(), vi.to_bits());
+            assert_eq!(orow[i], if vi >= v_th { 1.0 } else { 0.0 });
+        }
+        assert_eq!(fired, vec![0, 2]);
+        // Record-free variant (stream path) agrees on the fired set.
+        let mut fired2 = Vec::new();
+        fused_adaptive_membrane(theta, v_th, &g, &h, None, None, Some(&mut fired2));
+        assert_eq!(fired, fired2);
+    }
+
+    #[test]
+    fn hard_reset_membrane_matches_unfused_reference() {
+        let current = [0.5f32, 0.0, 2.0, -1.0, 0.45];
+        let vm0 = [0.1f32, 0.4, 0.0, 0.2, 0.05];
+        let (lambda, gain, v_th) = (0.9f32, 0.1f32, 0.5f32);
+        let mut vm = vm0;
+        let mut vrow = [0.0f32; 5];
+        let mut orow = [0.0f32; 5];
+        let mut fired = Vec::new();
+        fused_hard_reset_membrane(
+            lambda,
+            gain,
+            v_th,
+            &current,
+            &mut vm,
+            Some(&mut vrow),
+            Some(&mut orow),
+            Some(&mut fired),
+        );
+        let mut fired_ref = Vec::new();
+        for i in 0..5 {
+            let vi = lambda * vm0[i] + gain * current[i];
+            assert_eq!(vrow[i].to_bits(), vi.to_bits());
+            if vi >= v_th {
+                fired_ref.push(i);
+                assert_eq!(orow[i], 1.0);
+                assert_eq!(vm[i], 0.0);
+            } else {
+                assert_eq!(orow[i], 0.0);
+                assert_eq!(vm[i].to_bits(), vi.to_bits());
+            }
+        }
+        assert_eq!(fired, fired_ref);
     }
 }

@@ -22,6 +22,7 @@
 
 mod grad;
 pub mod kernels;
+pub mod lanes;
 mod matrix;
 mod rng;
 pub mod stats;
